@@ -1,0 +1,73 @@
+// Experiment E12 (extension) — routing survivability with redundant
+// neighbors (Section 2.1's extra per-entry neighbors, used by Tapestry for
+// fault-tolerant routing).
+//
+// Crash a fraction of a consistent network and, BEFORE any repair runs,
+// measure the fraction of sampled live-pair routes that still succeed:
+//   - plain suffix routing (primary entries only), versus
+//   - fault-tolerant routing falling back to K backups per entry.
+// The repair protocol (bench_recovery) restores the tables afterwards; this
+// experiment quantifies how well the network limps along in between.
+#include <cstdio>
+
+#include "core/routing.h"
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hcube;
+  const bool quick = bench::flag_present(argc, argv, "--quick");
+  const auto n = bench::flag_u64(argc, argv, "--n", quick ? 400 : 2000);
+  const auto pairs = bench::flag_u64(argc, argv, "--pairs", quick ? 1500 : 5000);
+  const auto seed = bench::flag_u64(argc, argv, "--seed", 81);
+  const IdParams params{16, 8};
+
+  std::printf("# E12: fraction of routes that survive f%% crashes BEFORE "
+              "repair (n=%llu, b=16, d=8)\n\n",
+              static_cast<unsigned long long>(n));
+  std::printf("%7s | %10s | %10s %10s %10s\n", "crash-f", "primary-only",
+              "K=1", "K=2", "K=3");
+
+  for (const double frac : {0.05, 0.10, 0.20, 0.30}) {
+    std::printf("%6.0f%% |", frac * 100.0);
+    for (const std::uint32_t k : {0u, 1u, 2u, 3u}) {
+      EventQueue queue;
+      SyntheticLatency latency(static_cast<std::uint32_t>(n), 5.0, 120.0,
+                               seed);
+      Overlay overlay(params, {}, queue, latency);
+      UniqueIdGenerator gen(params, seed);
+      std::vector<NodeId> ids;
+      for (std::uint64_t i = 0; i < n; ++i) ids.push_back(gen.next());
+      build_consistent_network(overlay, ids, /*backups_per_entry=*/k);
+
+      Rng rng(seed + k);
+      const auto kill =
+          static_cast<std::size_t>(static_cast<double>(n) * frac);
+      for (const auto idx : rng.sample_without_replacement(n, kill))
+        overlay.crash(ids[idx]);
+      const NetworkView live = view_of(overlay);
+
+      std::uint64_t ok = 0, trials = 0;
+      Rng sample(seed + 100);
+      while (trials < pairs) {
+        const NodeId& a = ids[sample.next_below(ids.size())];
+        const NodeId& b = ids[sample.next_below(ids.size())];
+        if (a == b || !live.contains(a) || !live.contains(b)) continue;
+        ++trials;
+        const auto r = k == 0 ? route(live, a, b)
+                              : route_fault_tolerant(live, a, b);
+        if (r.success) ++ok;
+      }
+      if (k == 0) {
+        std::printf(" %11.4f |",
+                    static_cast<double>(ok) / static_cast<double>(trials));
+      } else {
+        std::printf(" %10.4f",
+                    static_cast<double>(ok) / static_cast<double>(trials));
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n# (K = redundant neighbors per entry; the paper's Section 3"
+              " model is K = 0)\n");
+  return 0;
+}

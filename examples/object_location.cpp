@@ -1,0 +1,105 @@
+// Object location — the application the paper's introduction motivates.
+//
+// A file-sharing community of 200 peers publishes objects addressed by
+// name. Names hash (SHA-1) to IDs in the node ID space; each object lives
+// at its root node, found by surrogate routing over consistent neighbor
+// tables. The example demonstrates the four properties of Section 1:
+//   P1 deterministic location (every origin finds every published object),
+//   P3 load balance (roots spread across nodes),
+//   P4 dynamic membership (publishing keeps working across a join wave),
+// and shows routing locality data (P2 is about proximity, which the paper —
+// and therefore this reproduction — leaves to the table-optimization
+// problem; we print hop counts as the overlay-level part of the story).
+//
+// Build & run:  ./build/examples/object_location
+#include <cstdio>
+#include <string>
+
+#include "core/builder.h"
+#include "core/consistency.h"
+#include "dht/object_store.h"
+#include "topology/latency.h"
+#include "util/stats.h"
+
+using namespace hcube;
+
+int main() {
+  const IdParams params{16, 8};
+  EventQueue queue;
+  SyntheticLatency latency(300, 5.0, 120.0, 5);
+  Overlay overlay(params, ProtocolOptions{}, queue, latency);
+
+  UniqueIdGenerator gen(params, 404);
+  std::vector<NodeId> peers;
+  for (int i = 0; i < 200; ++i) peers.push_back(gen.next());
+  build_consistent_network(overlay, peers);
+
+  ObjectStore store(view_of(overlay));
+
+  // --- publish a music collection from random peers ---
+  Rng rng(8);
+  constexpr int kObjects = 500;
+  StreamingStats publish_hops;
+  for (int i = 0; i < kObjects; ++i) {
+    const std::string name = "track-" + std::to_string(i) + ".mp3";
+    const NodeId& origin = peers[rng.next_below(peers.size())];
+    const auto result = store.publish(origin, name, "blob#" + name);
+    if (!result.success) {
+      std::printf("publish failed for %s\n", name.c_str());
+      return 1;
+    }
+    publish_hops.add(static_cast<double>(result.hops));
+  }
+  std::printf("published %d objects; publish hops: mean %.2f, max %.0f"
+              " (d = %u bound)\n",
+              kObjects, publish_hops.mean(), publish_hops.max(),
+              params.num_digits);
+
+  // --- P1: every peer can locate every sampled object ---
+  int located = 0, probes = 0;
+  for (int i = 0; i < kObjects; i += 25) {
+    const std::string name = "track-" + std::to_string(i) + ".mp3";
+    for (std::size_t p = 0; p < peers.size(); p += 17) {
+      ++probes;
+      std::string value;
+      if (store.lookup(peers[p], name, &value).success &&
+          value == "blob#" + name)
+        ++located;
+    }
+  }
+  std::printf("P1 deterministic location: %d/%d lookups found the object\n",
+              located, probes);
+
+  // --- P3: root load distribution ---
+  std::size_t peak = 0, holders = 0;
+  for (const NodeId& p : peers) {
+    peak = std::max(peak, store.load_of(p));
+    if (store.load_of(p) > 0) ++holders;
+  }
+  std::printf("P3 load balance: %zu/%zu peers hold objects; busiest holds"
+              " %zu of %d\n",
+              holders, peers.size(), peak, kObjects);
+
+  // --- P4: membership grows; the store keeps working ---
+  std::vector<NodeId> newcomers;
+  for (int i = 0; i < 60; ++i) newcomers.push_back(gen.next());
+  join_concurrently(overlay, newcomers, peers, rng);
+  if (!overlay.all_in_system() ||
+      !check_consistency(view_of(overlay)).consistent()) {
+    std::printf("join wave broke the network!\n");
+    return 1;
+  }
+  // Rebuild the store view over the grown network; republish (in a real
+  // deployment objects whose root moved would be handed off — root
+  // migration is object-layer machinery outside the paper's scope).
+  ObjectStore store2(view_of(overlay));
+  const auto pub = store2.publish(newcomers[0], "post-join.mp3", "fresh");
+  std::string got;
+  const auto find = store2.lookup(peers[0], "post-join.mp3", &got);
+  std::printf("P4 dynamic membership: 60 peers joined concurrently;"
+              " publish-from-newcomer then lookup-from-old-peer: %s\n",
+              find.success && got == "fresh" ? "OK" : "FAILED");
+  std::printf("   (both resolve the same root: %s)\n",
+              pub.root == find.root ? "yes" : "no");
+  return find.success ? 0 : 1;
+}

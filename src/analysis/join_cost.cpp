@@ -1,0 +1,117 @@
+#include "analysis/join_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/logmath.h"
+
+namespace hcube {
+namespace {
+
+// b^e as a double (exact for small exponents, ~1e-16 relative error at the
+// top of the range, which is far below the other error terms here).
+double pow_base(std::uint32_t b, std::uint32_t e) {
+  return std::pow(static_cast<double>(b), static_cast<double>(e));
+}
+
+}  // namespace
+
+std::vector<double> notification_level_distribution(const IdParams& params,
+                                                    std::uint64_t n) {
+  params.validate();
+  HCUBE_CHECK(n >= 1);
+  const std::uint32_t b = params.base;
+  const std::uint32_t d = params.num_digits;
+  const double space = pow_base(b, d);
+  HCUBE_CHECK_MSG(static_cast<double>(n) < space,
+                  "more nodes than the ID space holds");
+
+  std::vector<double> p(d, 0.0);
+  if (d == 1) {
+    // Every other node shares the (empty) suffix of length 0 and none can
+    // share 1 digit (IDs are unique single digits)... but with d = 1 the
+    // notification level is always 0.
+    p[0] = 1.0;
+    return p;
+  }
+
+  const double total = space - 1.0;  // candidate IDs for V (excluding x)
+  const double log_c_total_n = log_binomial(total, n);
+
+  // P_0(n) = C(b^d - b^{d-1}, n) / C(b^d - 1, n): no node shares x's
+  // rightmost digit.
+  p[0] = std::exp(log_binomial(space - pow_base(b, d - 1), n) -
+                  log_c_total_n);
+
+  double tail = p[0];
+  for (std::uint32_t i = 1; i + 1 < d; ++i) {
+    // B = (b-1) b^{d-1-i}: IDs sharing exactly i suffix digits with x.
+    // M = b^d - b^{d-i}:   IDs sharing fewer than i suffix digits.
+    const double big_b = static_cast<double>(b - 1) * pow_base(b, d - 1 - i);
+    const double big_m = space - pow_base(b, d - i);
+
+    // Sum over k >= 1 of C(B, k) C(M, n-k) / C(total, n), via the term
+    // ratio  t_k / t_{k-1} = (B-k+1)(n-k+1) / (k (M-n+k)).
+    const auto k_max = static_cast<std::uint64_t>(
+        std::min(static_cast<double>(n), big_b));
+    // t_1 = C(B,1) C(M, n-1) / C(total, n); zero when infeasible
+    // (log_binomial returns -inf for k > population).
+    double term = std::exp(std::log(big_b) + log_binomial(big_m, n - 1) -
+                           log_c_total_n);
+    double sum = term;
+    for (std::uint64_t k = 2; k <= k_max && term > 0.0; ++k) {
+      const double ratio =
+          (big_b - static_cast<double>(k) + 1.0) *
+          (static_cast<double>(n) - static_cast<double>(k) + 1.0) /
+          (static_cast<double>(k) *
+           (big_m - static_cast<double>(n) + static_cast<double>(k)));
+      if (!(ratio > 0.0)) break;  // remaining terms are infeasible (zero)
+      term *= ratio;
+      sum += term;
+      if (term < sum * 1e-16) break;  // converged
+    }
+    p[i] = sum;
+    tail += sum;
+  }
+  p[d - 1] = std::max(0.0, 1.0 - tail);
+  return p;
+}
+
+double expected_join_noti_single(const IdParams& params, std::uint64_t n) {
+  const std::vector<double> p = notification_level_distribution(params, n);
+  double e = 0.0;
+  for (std::uint32_t i = 0; i < params.num_digits; ++i)
+    e += static_cast<double>(n) / pow_base(params.base, i) * p[i];
+  return e - 1.0;
+}
+
+double expected_join_noti_concurrent_bound(const IdParams& params,
+                                           std::uint64_t n, std::uint64_t m) {
+  const std::vector<double> p = notification_level_distribution(params, n);
+  double e = 0.0;
+  for (std::uint32_t i = 0; i < params.num_digits; ++i)
+    e += static_cast<double>(n + m) / pow_base(params.base, i) * p[i];
+  return e;
+}
+
+std::vector<double> notification_level_distribution_mc(const IdParams& params,
+                                                       std::uint64_t n,
+                                                       std::uint64_t trials,
+                                                       Rng& rng) {
+  params.validate();
+  std::vector<double> p(params.num_digits, 0.0);
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    UniqueIdGenerator gen(params, rng());
+    const NodeId x = gen.next();
+    // The notification level is the longest suffix x shares with any member.
+    std::size_t level = 0;
+    for (std::uint64_t i = 0; i < n; ++i)
+      level = std::max(level, gen.next().csuf_len(x));
+    ++p[level];
+  }
+  for (double& v : p) v /= static_cast<double>(trials);
+  return p;
+}
+
+}  // namespace hcube

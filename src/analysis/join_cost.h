@@ -1,0 +1,55 @@
+// Analytic communication-cost model (Section 5.2, Theorems 3-5).
+//
+// Theorem 3:  per joining node, #CpRstMsg + #JoinWaitMsg <= d + 1.
+// Theorem 4:  for a single join into <V, N(V)> with |V| = n, the expected
+//             number of JoinNotiMsg is
+//                E[J] = sum_{i=0}^{d-1} (n / b^i) P_i(n)  -  1,
+//             where P_i(n) is the probability that the joiner's notification
+//             level is i:
+//                P_0(n)     = C(b^d - b^{d-1}, n) / C(b^d - 1, n)
+//                P_i(n)     = sum_{k=1}^{min(n,B)} C(B, k) *
+//                             C(b^d - b^{d-i}, n-k) / C(b^d - 1, n),
+//                             B = (b-1) b^{d-1-i},   for 1 <= i < d-1
+//                P_{d-1}(n) = 1 - sum_{j<d-1} P_j(n).
+// Theorem 5:  under m concurrent joins, an upper bound is
+//                E[J] <= sum_{i=0}^{d-1} ((n+m) / b^i) P_i(n).
+//
+// Population sizes are on the order of b^d (up to 16^40 ~ 1.46e48), so all
+// binomials are evaluated in log space (util/logmath.h) with a term-ratio
+// recurrence across k to keep the per-P_i cost at O(n + d).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ids/node_id.h"
+#include "util/rng.h"
+
+namespace hcube {
+
+// Theorem 3's bound.
+inline std::uint64_t theorem3_bound(const IdParams& params) {
+  return params.num_digits + 1;
+}
+
+// P_i(n) for i in [0, d); the vector sums to 1.
+std::vector<double> notification_level_distribution(const IdParams& params,
+                                                    std::uint64_t n);
+
+// Theorem 4: E[#JoinNotiMsg] for a single join into n nodes.
+double expected_join_noti_single(const IdParams& params, std::uint64_t n);
+
+// Theorem 5: upper bound on E[#JoinNotiMsg] per joiner when m nodes join a
+// network of n concurrently.
+double expected_join_noti_concurrent_bound(const IdParams& params,
+                                           std::uint64_t n, std::uint64_t m);
+
+// Monte-Carlo cross-check of notification_level_distribution: draws `trials`
+// random (joiner, V) configurations and returns the empirical distribution
+// of the notification level. Used by tests to validate the log-space math.
+std::vector<double> notification_level_distribution_mc(const IdParams& params,
+                                                       std::uint64_t n,
+                                                       std::uint64_t trials,
+                                                       Rng& rng);
+
+}  // namespace hcube

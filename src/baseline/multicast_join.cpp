@@ -1,0 +1,117 @@
+#include "baseline/multicast_join.h"
+
+#include "util/check.h"
+
+namespace hcube {
+
+MulticastNetwork::MulticastNetwork(const IdParams& params,
+                                   const std::vector<NodeId>& ids)
+    : params_(params), members_(params) {
+  HCUBE_CHECK(!ids.empty());
+  for (const NodeId& id : ids)
+    HCUBE_CHECK_MSG(members_.insert(id), "duplicate node ID");
+  for (const NodeId& id : ids) {
+    auto table = std::make_unique<NeighborTable>(params_, id);
+    members_.for_each_entry_candidate(
+        id, [&](std::size_t level, Digit j, const NodeId& first) {
+          if (j == id.digit(level)) return;
+          table->set(static_cast<std::uint32_t>(level), j, first,
+                     NeighborState::kS);
+        });
+    for (std::uint32_t i = 0; i < params_.num_digits; ++i)
+      table->set(i, id.digit(i), id, NeighborState::kS);
+    tables_.emplace(id, std::move(table));
+    order_.push_back(id);
+  }
+}
+
+NeighborTable& MulticastNetwork::table_of(const NodeId& id) {
+  auto it = tables_.find(id);
+  HCUBE_CHECK_MSG(it != tables_.end(), "unknown member");
+  return *it->second;
+}
+
+NetworkView MulticastNetwork::view() const {
+  NetworkView v(params_);
+  for (const NodeId& id : order_) v.add(tables_.at(id).get());
+  return v;
+}
+
+void MulticastNetwork::multicast(const NodeId& at, std::size_t class_len,
+                                 const NodeId& x, std::uint32_t entry_level,
+                                 MulticastJoinMetrics& m) {
+  ++m.existing_nodes_touched;
+  NeighborTable& t = table_of(at);
+  const Digit xd = x.digit(entry_level);
+  if (t.is_empty(entry_level, xd))
+    t.set(entry_level, xd, x, NeighborState::kS);
+
+  // Forward to one representative of every sub-class of our responsibility
+  // class (suffix of `at` of length class_len) that branches off our own
+  // digit path; each representative takes over its (one digit longer) class.
+  bool has_children = false;
+  for (std::size_t i = class_len; i < params_.num_digits; ++i) {
+    for (std::uint32_t j = 0; j < params_.base; ++j) {
+      if (j == at.digit(i)) continue;
+      const NodeId* w = t.neighbor(static_cast<std::uint32_t>(i), j);
+      if (w == nullptr) continue;
+      // Skip the joiner itself: nodes visited earlier in this multicast may
+      // already have filled x into their (entry_level, x[entry_level])
+      // entry, and x is not a multicast participant.
+      if (*w == x) continue;
+      has_children = true;
+      ++m.announce_messages;
+      multicast(*w, i + 1, x, entry_level, m);
+      ++m.ack_messages;  // child subtree complete -> ack flows up
+    }
+  }
+  // Hildrum et al.: an intermediate node holds the joiner in a pending list
+  // until all downstream acks arrive; leaves ack immediately.
+  if (has_children) ++m.existing_nodes_with_pending_state;
+}
+
+MulticastJoinMetrics MulticastNetwork::join(const NodeId& x,
+                                            const NodeId& gateway) {
+  HCUBE_CHECK_MSG(!members_.contains(x), "node already a member");
+  HCUBE_CHECK_MSG(tables_.contains(gateway), "gateway not a member");
+  MulticastJoinMetrics m;
+
+  // Route greedily toward x.ID; the node with no next hop is a member of
+  // x's notification set with the maximal shared suffix.
+  NodeId cur = gateway;
+  for (;;) {
+    const NeighborTable& t = table_of(cur);
+    const auto k = static_cast<std::uint32_t>(cur.csuf_len(x));
+    const NodeId* next = t.neighbor(k, x.digit(k));
+    if (next == nullptr) break;
+    HCUBE_CHECK(*next != cur);
+    cur = *next;
+    ++m.route_hops;
+  }
+  const auto k = static_cast<std::uint32_t>(cur.csuf_len(x));
+
+  // Multicast the announcement over V_ω (all nodes sharing the rightmost k
+  // digits of x), rooted at the node routing terminated at.
+  multicast(cur, k, x, k, m);
+
+  // The joiner copies one table level per hop of its copy chain, as in the
+  // primary protocol: k + 1 request messages.
+  m.table_copy_messages = k + 1;
+
+  // Install the joiner's (consistent) table.
+  HCUBE_CHECK(members_.insert(x));
+  auto table = std::make_unique<NeighborTable>(params_, x);
+  members_.for_each_entry_candidate(
+      x, [&](std::size_t level, Digit j, const NodeId& first) {
+        if (j == x.digit(level)) return;
+        table->set(static_cast<std::uint32_t>(level), j, first,
+                   NeighborState::kS);
+      });
+  for (std::uint32_t i = 0; i < params_.num_digits; ++i)
+    table->set(i, x.digit(i), x, NeighborState::kS);
+  tables_.emplace(x, std::move(table));
+  order_.push_back(x);
+  return m;
+}
+
+}  // namespace hcube

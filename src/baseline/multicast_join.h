@@ -1,0 +1,83 @@
+// Multicast-based join baseline (the approach of Hildrum, Kubiatowicz, Rao
+// and Zhao for Tapestry, sketched in the paper's Section 1 related work).
+//
+// The paper's critique of this design: "Each intermediate node in the
+// multicast tree keeps the joining node in a list (one list per entry
+// updated by a joining node) until it has received acknowledgments from all
+// downstream nodes. This approach has the disadvantage of requiring many
+// existing nodes to store and process extra states as well as send and
+// receive messages on behalf of joining nodes."
+//
+// This module implements a simplified form of that design so the claim can
+// be measured (experiment E6 in DESIGN.md): the joiner routes to the root of
+// its notification set, the root multicasts the announcement down the
+// class-partitioned tree spanning V_ω (each node forwards to one
+// representative per sub-class from its own table), every recipient holds
+// the joiner in a pending list until its subtree acks, and acks flow back
+// up. We count messages handled by existing nodes and peak pending state —
+// the quantities the Liu-Lam protocol drives to (near) zero at existing
+// nodes. Latency interleaving does not affect these counts, so the baseline
+// runs as a deterministic recursive walk rather than through the DES.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/neighbor_table.h"
+#include "core/view.h"
+#include "ids/node_id.h"
+#include "ids/suffix_trie.h"
+
+namespace hcube {
+
+struct MulticastJoinMetrics {
+  std::uint64_t route_hops = 0;          // gateway -> multicast root
+  std::uint64_t announce_messages = 0;   // multicast downstream
+  std::uint64_t ack_messages = 0;        // acks upstream
+  std::uint64_t table_copy_messages = 0; // building the joiner's table
+  std::uint64_t existing_nodes_touched = 0;
+  std::uint64_t existing_nodes_with_pending_state = 0;
+
+  std::uint64_t total_messages() const {
+    return route_hops + announce_messages + ack_messages +
+           table_copy_messages;
+  }
+  // Messages processed by nodes other than the joiner.
+  std::uint64_t messages_at_existing() const {
+    return route_hops + announce_messages + ack_messages +
+           table_copy_messages;
+  }
+};
+
+// A self-contained network whose nodes join via the multicast scheme.
+class MulticastNetwork {
+ public:
+  // Builds a consistent initial network over `ids` (same direct construction
+  // as core's NetworkBuilder).
+  MulticastNetwork(const IdParams& params, const std::vector<NodeId>& ids);
+
+  // Joins x (one join at a time), updating all tables. `gateway` must be a
+  // member.
+  MulticastJoinMetrics join(const NodeId& x, const NodeId& gateway);
+
+  std::size_t size() const { return order_.size(); }
+  NetworkView view() const;
+
+ private:
+  NeighborTable& table_of(const NodeId& id);
+
+  // Recursive class multicast over V_ω; returns (announces, acks,
+  // nodes reached) for the subtree.
+  void multicast(const NodeId& at, std::size_t class_len, const NodeId& x,
+                 std::uint32_t entry_level, MulticastJoinMetrics& m);
+
+  IdParams params_;
+  SuffixTrie members_;
+  std::unordered_map<NodeId, std::unique_ptr<NeighborTable>, NodeIdHash>
+      tables_;
+  std::vector<NodeId> order_;
+};
+
+}  // namespace hcube

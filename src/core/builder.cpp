@@ -1,0 +1,99 @@
+#include "core/builder.h"
+
+#include "ids/suffix_trie.h"
+#include "util/check.h"
+
+namespace hcube {
+
+void build_consistent_network(Overlay& overlay, const std::vector<NodeId>& ids,
+                              std::uint32_t backups_per_entry) {
+  HCUBE_CHECK_MSG(overlay.size() == 0,
+                  "direct construction requires an empty overlay");
+  HCUBE_CHECK(!ids.empty());
+  const IdParams& params = overlay.params();
+
+  SuffixTrie trie(params);
+  for (const NodeId& id : ids)
+    HCUBE_CHECK_MSG(trie.insert(id), "duplicate node ID");
+
+  for (const NodeId& id : ids) {
+    Node& node = overlay.add_node(id);
+    trie.for_each_entry_candidate(
+        id, [&](std::size_t level, Digit j, const NodeId& first) {
+          if (j == id.digit(level)) return;  // own entry, set by finish
+          node.install_entry(static_cast<std::uint32_t>(level), j, first);
+          if (backups_per_entry > 0) {
+            Suffix want = id.suffix_of_len(level);
+            want.push_back(j);
+            for (const NodeId& extra :
+                 trie.some_with_suffix(want, backups_per_entry + 1)) {
+              if (extra == first) continue;
+              node.install_backup(static_cast<std::uint32_t>(level), j, extra,
+                                  backups_per_entry);
+            }
+          }
+        });
+    node.finish_install();
+  }
+
+  // Complete the reverse-neighbor sets so later joiners' InSysNotiMsg /
+  // RvNghNotiMsg bookkeeping starts from the same state a protocol-built
+  // network would have.
+  for (const auto& node : overlay.nodes()) {
+    node->table().for_each_filled([&](std::uint32_t i, std::uint32_t j,
+                                      const NodeId& neighbor, NeighborState) {
+      if (neighbor == node->id()) return;
+      overlay.at(neighbor).install_reverse_neighbor(node->id(), {i, j});
+    });
+  }
+}
+
+namespace {
+
+const NodeId& random_member(const std::vector<NodeId>& members, Rng& rng) {
+  HCUBE_CHECK(!members.empty());
+  return members[rng.next_below(members.size())];
+}
+
+}  // namespace
+
+void join_sequentially(Overlay& overlay, const std::vector<NodeId>& new_ids,
+                       std::vector<NodeId> members, Rng& rng) {
+  for (const NodeId& id : new_ids) {
+    const NodeId gateway = random_member(members, rng);
+    overlay.schedule_join(id, gateway, overlay.now());
+    overlay.run_to_quiescence();
+    HCUBE_CHECK_MSG(overlay.at(id).is_s_node(),
+                    "sequential join did not complete");
+    members.push_back(id);
+  }
+}
+
+void join_concurrently(Overlay& overlay, const std::vector<NodeId>& new_ids,
+                       const std::vector<NodeId>& members, Rng& rng,
+                       SimTime window_ms) {
+  HCUBE_CHECK(window_ms >= 0.0);
+  for (const NodeId& id : new_ids) {
+    const NodeId gateway = random_member(members, rng);
+    const SimTime at = overlay.now() + window_ms * rng.next_double();
+    overlay.schedule_join(id, gateway, at);
+  }
+  overlay.run_to_quiescence();
+}
+
+void initialize_network(Overlay& overlay, const std::vector<NodeId>& ids,
+                        Rng& rng, bool concurrent) {
+  HCUBE_CHECK(!ids.empty());
+  HCUBE_CHECK_MSG(overlay.size() == 0,
+                  "initialization requires an empty overlay");
+  overlay.add_node(ids[0]).become_seed();
+  const std::vector<NodeId> rest(ids.begin() + 1, ids.end());
+  if (rest.empty()) return;
+  if (concurrent) {
+    join_concurrently(overlay, rest, {ids[0]}, rng);
+  } else {
+    join_sequentially(overlay, rest, {ids[0]}, rng);
+  }
+}
+
+}  // namespace hcube

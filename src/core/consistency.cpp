@@ -1,0 +1,127 @@
+#include "core/consistency.h"
+
+#include <sstream>
+
+#include "core/routing.h"
+#include "util/check.h"
+
+namespace hcube {
+
+std::string ConsistencyViolation::describe(const IdParams& params) const {
+  std::ostringstream os;
+  os << "node " << node.to_string(params) << " entry (" << level << ", "
+     << digit << "): ";
+  switch (kind) {
+    case Kind::kFalseNegative:
+      os << "false negative — matching node exists but entry is null";
+      break;
+    case Kind::kFalsePositive:
+      os << "false positive — no matching node exists but entry holds "
+         << present.to_string(params);
+      break;
+    case Kind::kUnknownNeighbor:
+      os << "entry names non-member " << present.to_string(params);
+      break;
+    case Kind::kStaleState:
+      os << "entry " << present.to_string(params) << " still in state T";
+      break;
+  }
+  return os.str();
+}
+
+std::string ConsistencyReport::summary(const IdParams& params,
+                                       std::size_t max_lines) const {
+  std::ostringstream os;
+  os << (consistent() ? "CONSISTENT" : "INCONSISTENT") << ": "
+     << entries_checked << " entries checked, " << total_violations
+     << " violations\n";
+  std::size_t lines = 0;
+  for (const auto& v : violations) {
+    if (lines++ >= max_lines) {
+      os << "  ...\n";
+      break;
+    }
+    os << "  " << v.describe(params) << "\n";
+  }
+  return os.str();
+}
+
+ConsistencyReport check_consistency(const NetworkView& net,
+                                    const ConsistencyCheckOptions& options) {
+  const IdParams& params = net.params();
+  ConsistencyReport report;
+
+  SuffixTrie members(params);
+  for (const NeighborTable* t : net.tables()) {
+    const bool fresh = members.insert(t->owner());
+    HCUBE_CHECK_MSG(fresh, "duplicate node ID in view");
+  }
+
+  auto add = [&](ConsistencyViolation v) {
+    ++report.total_violations;
+    if (report.violations.size() < options.max_violations_kept)
+      report.violations.push_back(std::move(v));
+  };
+
+  Suffix suffix;  // reused buffer: j . x[i-1..0], stored LSB-first
+  for (const NeighborTable* t : net.tables()) {
+    const NodeId& x = t->owner();
+    suffix.assign(x.digits().begin(), x.digits().end());
+    for (std::uint32_t i = 0; i < params.num_digits; ++i) {
+      for (std::uint32_t j = 0; j < params.base; ++j) {
+        ++report.entries_checked;
+        suffix[i] = static_cast<Digit>(j);
+        const std::span<const Digit> want(suffix.data(), i + 1);
+        const bool exists = members.contains_suffix(want);
+        const NodeId* entry = t->neighbor(i, j);
+        if (exists && entry == nullptr) {
+          add({ConsistencyViolation::Kind::kFalseNegative, x, i, j, {}});
+        } else if (!exists && entry != nullptr) {
+          add({ConsistencyViolation::Kind::kFalsePositive, x, i, j, *entry});
+        } else if (entry != nullptr) {
+          // NeighborTable::set already enforces the suffix invariant, so a
+          // filled entry matches `want`; membership is the remaining risk.
+          if (!members.contains(*entry)) {
+            add({ConsistencyViolation::Kind::kUnknownNeighbor, x, i, j,
+                 *entry});
+          } else if (options.check_states &&
+                     t->state(i, j) != NeighborState::kS) {
+            add({ConsistencyViolation::Kind::kStaleState, x, i, j, *entry});
+          }
+        }
+      }
+      // restore x's own digit for the next level's suffix prefix
+      suffix[i] = x.digit(i);
+    }
+  }
+  return report;
+}
+
+bool reachable(const NetworkView& net, const NodeId& from, const NodeId& to) {
+  return route(net, from, to).success;
+}
+
+std::uint64_t check_reachability_sample(const NetworkView& net,
+                                        std::uint64_t pairs, Rng& rng) {
+  const std::size_t n = net.size();
+  if (n < 2) return 0;
+  std::uint64_t failures = 0;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+  if (total <= pairs) {
+    for (const NeighborTable* a : net.tables())
+      for (const NeighborTable* b : net.tables())
+        if (a != b && !reachable(net, a->owner(), b->owner())) ++failures;
+    return failures;
+  }
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    const auto a = static_cast<std::size_t>(rng.next_below(n));
+    auto b = static_cast<std::size_t>(rng.next_below(n));
+    if (a == b) b = (b + 1) % n;
+    if (!reachable(net, net.tables()[a]->owner(), net.tables()[b]->owner()))
+      ++failures;
+  }
+  return failures;
+}
+
+}  // namespace hcube

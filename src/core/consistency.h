@@ -1,0 +1,70 @@
+// Consistency checking against Definition 3.8.
+//
+// A network <V, N(V)> is consistent iff for every node x and entry (i, j):
+//   (a) if V_{j . x[i-1..0]} is non-empty, the entry holds some node with
+//       that suffix (false-negative free — by Lemma 3.1 this is equivalent
+//       to all-pairs reachability), and
+//   (b) if it is empty, the entry is null (false-positive free).
+// The checker builds a suffix trie over the actual member IDs as ground
+// truth and audits every entry of every table, so it is an oracle that does
+// not depend on any protocol invariant it is meant to verify. It also
+// reports entries naming nodes that are not members (the stronger form of a
+// false positive) and — optionally — neighbor states that are still T after
+// quiescence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/view.h"
+#include "ids/node_id.h"
+#include "ids/suffix_trie.h"
+
+namespace hcube {
+
+struct ConsistencyViolation {
+  enum class Kind {
+    kFalseNegative,   // suffix exists in the network but entry is null
+    kFalsePositive,   // no such suffix but entry is filled
+    kUnknownNeighbor, // entry names a node that is not a member
+    kStaleState,      // entry state still T (only if check_states)
+  };
+  Kind kind;
+  NodeId node;            // owner of the offending table
+  std::uint32_t level = 0;
+  std::uint32_t digit = 0;
+  NodeId present;         // the entry's content, when filled
+
+  std::string describe(const IdParams& params) const;
+};
+
+struct ConsistencyReport {
+  std::vector<ConsistencyViolation> violations;  // capped at max_violations
+  std::uint64_t total_violations = 0;
+  std::uint64_t entries_checked = 0;
+
+  bool consistent() const { return total_violations == 0; }
+  std::string summary(const IdParams& params, std::size_t max_lines = 20) const;
+};
+
+struct ConsistencyCheckOptions {
+  // Also flag entries whose recorded neighbor state is still T; at
+  // quiescence every neighbor is an S-node, so T states are stale.
+  bool check_states = false;
+  std::size_t max_violations_kept = 64;
+};
+
+ConsistencyReport check_consistency(const NetworkView& net,
+                                    const ConsistencyCheckOptions& options = {});
+
+// Definition 3.7: is `to` reachable from `from` following (i, to[i]) entries?
+// (Single-pair reachability; route() in routing.h returns the path.)
+bool reachable(const NetworkView& net, const NodeId& from, const NodeId& to);
+
+// Samples `pairs` ordered pairs and verifies mutual reachability via
+// route(); exhaustive when size^2 <= pairs. Returns the number of failures.
+std::uint64_t check_reachability_sample(const NetworkView& net,
+                                        std::uint64_t pairs, Rng& rng);
+
+}  // namespace hcube

@@ -1,0 +1,280 @@
+#include "core/cset_tree.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hcube {
+
+Suffix notify_suffix(const SuffixTrie& v_trie, const NodeId& x) {
+  return x.suffix_of_len(v_trie.notify_suffix_len(x));
+}
+
+std::vector<std::pair<Suffix, std::vector<NodeId>>> group_by_notify_set(
+    const SuffixTrie& v_trie, const std::vector<NodeId>& w) {
+  std::vector<std::pair<Suffix, std::vector<NodeId>>> groups;
+  for (const NodeId& x : w) {
+    const Suffix omega = notify_suffix(v_trie, x);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == omega; });
+    if (it == groups.end()) {
+      groups.push_back({omega, {x}});
+    } else {
+      it->second.push_back(x);
+    }
+  }
+  return groups;
+}
+
+namespace {
+
+// Is a a suffix of b (or equal)? Suffixes are stored LSB-first, so this is
+// a prefix test on the digit vectors.
+bool suffix_contains(const Suffix& a, const Suffix& b) {
+  if (a.size() > b.size()) return false;
+  return std::equal(a.begin(), a.end(), b.begin());
+}
+
+bool comparable(const Suffix& a, const Suffix& b) {
+  return suffix_contains(a, b) || suffix_contains(b, a);
+}
+
+struct UnionFind {
+  explicit UnionFind(std::size_t n) : parent(n) {
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  }
+  std::size_t find(std::size_t i) {
+    while (parent[i] != i) i = parent[i] = parent[parent[i]];
+    return i;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+  std::vector<std::size_t> parent;
+};
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> group_dependent(
+    const SuffixTrie& v_trie, const std::vector<NodeId>& w) {
+  // V_ω1 ∩ V_ω2 != ∅ iff one notification suffix extends the other (the
+  // longer suffix set is non-empty by Definition 3.4). Definition 3.6's
+  // second clause (a common u in W whose notification set contains both) is
+  // subsumed transitively: both x and y would be unioned with u directly.
+  std::vector<Suffix> omega(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    omega[i] = notify_suffix(v_trie, w[i]);
+
+  UnionFind uf(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    for (std::size_t j = i + 1; j < w.size(); ++j)
+      if (comparable(omega[i], omega[j])) uf.unite(i, j);
+
+  std::vector<std::vector<NodeId>> groups;
+  std::vector<std::size_t> root_to_group(w.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const std::size_t r = uf.find(i);
+    if (root_to_group[r] == SIZE_MAX) {
+      root_to_group[r] = groups.size();
+      groups.emplace_back();
+    }
+    groups[root_to_group[r]].push_back(w[i]);
+  }
+  return groups;
+}
+
+// ---------------------------------------------------------------------------
+
+CSetTree CSetTree::make_template(const IdParams& params, const Suffix& omega,
+                                 const std::vector<NodeId>& w) {
+  CSetTree tree;
+  tree.omega_ = omega;
+
+  SuffixTrie w_trie(params);
+  for (const NodeId& x : w) {
+    HCUBE_CHECK_MSG(x.has_suffix(omega),
+                    "joiner lacks the group's notification suffix");
+    HCUBE_CHECK_MSG(w_trie.insert(x), "duplicate joiner ID");
+  }
+
+  // Breadth-first over suffix extensions with a non-empty W subset.
+  struct Work {
+    Suffix suffix;
+    std::size_t parent;  // SIZE_MAX = root
+  };
+  std::vector<Work> queue;
+  for (std::uint32_t l = 0; l < params.base; ++l) {
+    Suffix s = omega;
+    s.push_back(static_cast<Digit>(l));
+    if (w_trie.contains_suffix(s)) queue.push_back({std::move(s), SIZE_MAX});
+  }
+  for (std::size_t q = 0; q < queue.size(); ++q) {
+    const Suffix s = queue[q].suffix;  // copy: queue may reallocate below
+    CSet cset;
+    cset.suffix = s;
+    cset.members = w_trie.all_with_suffix(s);
+    const std::size_t index = tree.sets_.size();
+    tree.sets_.push_back(std::move(cset));
+    if (queue[q].parent == SIZE_MAX) {
+      tree.root_children_.push_back(index);
+    } else {
+      tree.sets_[queue[q].parent].children.push_back(index);
+    }
+    if (s.size() < params.num_digits) {
+      for (std::uint32_t l = 0; l < params.base; ++l) {
+        Suffix child = s;
+        child.push_back(static_cast<Digit>(l));
+        if (w_trie.contains_suffix(child))
+          queue.push_back({std::move(child), index});
+      }
+    }
+  }
+  return tree;
+}
+
+CSetTree CSetTree::realize(const NetworkView& net, const SuffixTrie& v_trie,
+                           const Suffix& omega, const std::vector<NodeId>& w) {
+  const IdParams& params = net.params();
+  CSetTree tree = make_template(params, omega, w);
+  tree.root_members_ = v_trie.all_with_suffix(omega);
+
+  SuffixTrie w_trie(params);
+  for (const NodeId& x : w) w_trie.insert(x);
+
+  // Recompute members level by level per Definition 5.1: x ∈ C_s iff
+  // x ∈ W_s and some member of the parent set stores x in the entry
+  // (|s| - 1, s.back()).
+  // make_template produced sets_ in BFS order, so parents precede children.
+  auto realized_members = [&](const std::vector<NodeId>& parent_members,
+                              const Suffix& s) {
+    std::set<NodeId> members;
+    const auto level = static_cast<std::uint32_t>(s.size() - 1);
+    const std::uint32_t digit = s.back();
+    for (const NodeId& u : parent_members) {
+      const NeighborTable* t = net.find(u);
+      HCUBE_CHECK_MSG(t != nullptr, "C-set member missing from view");
+      const NodeId* stored = t->neighbor(level, digit);
+      if (stored != nullptr && w_trie.contains(*stored) &&
+          stored->has_suffix(s)) {
+        members.insert(*stored);
+      }
+    }
+    return std::vector<NodeId>(members.begin(), members.end());
+  };
+
+  // Map from set index to realized members; root children read V_ω.
+  for (std::size_t i = 0; i < tree.sets_.size(); ++i) {
+    // Find the parent's realized members.
+    const Suffix& s = tree.sets_[i].suffix;
+    if (s.size() == omega.size() + 1) {
+      tree.sets_[i].members = realized_members(tree.root_members_, s);
+    }
+    for (const std::size_t child : tree.sets_[i].children) {
+      tree.sets_[child].members =
+          realized_members(tree.sets_[i].members, tree.sets_[child].suffix);
+    }
+  }
+  return tree;
+}
+
+bool CSetTree::all_nonempty() const {
+  for (const CSet& s : sets_)
+    if (s.members.empty()) return false;
+  return true;
+}
+
+bool CSetTree::same_structure(const CSetTree& other) const {
+  if (omega_ != other.omega_) return false;
+  if (sets_.size() != other.sets_.size()) return false;
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    if (sets_[i].suffix != other.sets_[i].suffix) return false;
+    if (sets_[i].children != other.sets_[i].children) return false;
+  }
+  return root_children_ == other.root_children_;
+}
+
+std::string CSetTree::to_string(const IdParams& params) const {
+  std::ostringstream os;
+  os << "C-set tree rooted at V_" << suffix_to_string(omega_, params) << " ("
+     << root_members_.size() << " root members)\n";
+  for (const CSet& s : sets_) {
+    os << "  C_" << suffix_to_string(s.suffix, params) << " = {";
+    for (std::size_t i = 0; i < s.members.size(); ++i) {
+      if (i) os << ", ";
+      os << s.members[i].to_string(params);
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> check_cset_conditions(const NetworkView& net,
+                                               const SuffixTrie& v_trie,
+                                               const Suffix& omega,
+                                               const std::vector<NodeId>& w) {
+  const IdParams& params = net.params();
+  std::vector<std::string> violations;
+  auto flag = [&](std::string msg) { violations.push_back(std::move(msg)); };
+
+  const CSetTree realized = CSetTree::realize(net, v_trie, omega, w);
+
+  // Condition (1): every C-set of the (template-shaped) realized tree is
+  // non-empty.
+  for (const auto& s : realized.sets()) {
+    if (s.members.empty())
+      flag("condition (1): realized C-set C_" +
+           suffix_to_string(s.suffix, params) + " is empty");
+  }
+
+  // Condition (2): every root member stores a W-node with the suffix of
+  // every child C-set of the root.
+  const auto level0 = static_cast<std::uint32_t>(omega.size());
+  for (const NodeId& y : realized.root_members()) {
+    const NeighborTable* t = net.find(y);
+    HCUBE_CHECK(t != nullptr);
+    for (const std::size_t ci : realized.root_children()) {
+      const Suffix& s = realized.sets()[ci].suffix;
+      const NodeId* stored = t->neighbor(level0, s.back());
+      if (stored == nullptr || !stored->has_suffix(s))
+        flag("condition (2): root member " + y.to_string(params) +
+             " does not store a node with suffix " +
+             suffix_to_string(s, params));
+    }
+  }
+
+  // Condition (3): for each joiner x, walk the path from the root to the
+  // leaf whose suffix is x.ID; for every sibling C-set branching off the
+  // path, x stores a node with the sibling's suffix.
+  for (const NodeId& x : w) {
+    // children of the current path node (start: root children)
+    const std::vector<std::size_t>* children = &realized.root_children();
+    std::size_t depth = omega.size();
+    while (children != nullptr && !children->empty() &&
+           depth < params.num_digits) {
+      const std::vector<std::size_t>* next_children = nullptr;
+      for (const std::size_t ci : *children) {
+        const CSetTree::CSet& cs = realized.sets()[ci];
+        if (cs.suffix.back() == x.digit(depth)) {
+          next_children = &cs.children;
+          continue;  // on x's path
+        }
+        // Sibling: x must store a node with cs.suffix.
+        const NeighborTable* t = net.find(x);
+        HCUBE_CHECK(t != nullptr);
+        const NodeId* stored =
+            t->neighbor(static_cast<std::uint32_t>(depth), cs.suffix.back());
+        if (stored == nullptr || !stored->has_suffix(cs.suffix))
+          flag("condition (3): joiner " + x.to_string(params) +
+               " does not store a node with sibling suffix " +
+               suffix_to_string(cs.suffix, params));
+      }
+      children = next_children;
+      ++depth;
+    }
+  }
+  return violations;
+}
+
+}  // namespace hcube

@@ -1,0 +1,85 @@
+// C-set trees (Section 3.3, Definitions 3.9 and 5.1).
+//
+// The paper stresses that C-set trees are conceptual — "not implemented in
+// any node". Here they are implemented *outside* the nodes, as an auditing
+// instrument: given the initial membership V and the joiner set W, we build
+// the tree template C(V, W) (Definition 3.9), realize cset(V, W) from the
+// final neighbor tables (Definition 5.1), and check the three conditions of
+// Section 3.3 that the correctness proof rests on. Tests use this to verify
+// not only that the protocol's outcome is consistent but that it is
+// consistent for the reason the paper argues.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/view.h"
+#include "ids/node_id.h"
+#include "ids/suffix_trie.h"
+
+namespace hcube {
+
+// x's notification suffix ω w.r.t. V: V_ω = V^Notify_x (Definition 3.4).
+// Empty suffix means the notification set is all of V.
+Suffix notify_suffix(const SuffixTrie& v_trie, const NodeId& x);
+
+// Groups joiners by notification suffix; each group belongs to one C-set
+// tree. Groups are ordered by first appearance in W.
+std::vector<std::pair<Suffix, std::vector<NodeId>>> group_by_notify_set(
+    const SuffixTrie& v_trie, const std::vector<NodeId>& w);
+
+// Partitions W into maximal groups of (transitively) dependent joins, per
+// the construction in the proof of Lemma 5.5. Joins in different groups are
+// mutually independent (Definition 3.5).
+std::vector<std::vector<NodeId>> group_dependent(const SuffixTrie& v_trie,
+                                                 const std::vector<NodeId>& w);
+
+class CSetTree {
+ public:
+  struct CSet {
+    Suffix suffix;                      // l_j ... l_1 . ω
+    std::vector<NodeId> members;        // template: W_suffix; realized: per
+                                        // Definition 5.1 (sorted, distinct)
+    std::vector<std::size_t> children;  // indices into sets()
+  };
+
+  // Definition 3.9: the template determined by V_ω and W (all of W must
+  // have notification suffix omega w.r.t. the V the caller grouped by).
+  static CSetTree make_template(const IdParams& params, const Suffix& omega,
+                                const std::vector<NodeId>& w);
+
+  // Definition 5.1: the realized tree read off the final neighbor tables.
+  // Has the same suffix skeleton as the template; condition (1) reduces to
+  // all_nonempty().
+  static CSetTree realize(const NetworkView& net, const SuffixTrie& v_trie,
+                          const Suffix& omega, const std::vector<NodeId>& w);
+
+  const Suffix& root_suffix() const { return omega_; }
+  const std::vector<NodeId>& root_members() const { return root_members_; }
+  const std::vector<CSet>& sets() const { return sets_; }
+  const std::vector<std::size_t>& root_children() const {
+    return root_children_;
+  }
+
+  bool all_nonempty() const;
+  bool same_structure(const CSetTree& other) const;
+
+  std::string to_string(const IdParams& params) const;
+
+ private:
+  Suffix omega_;
+  std::vector<NodeId> root_members_;  // V_ω (realized trees only)
+  std::vector<CSet> sets_;
+  std::vector<std::size_t> root_children_;
+};
+
+// Checks conditions (1)-(3) of Section 3.3 for the C-set tree of the group
+// (omega, w) against the final tables. Returns human-readable violations
+// (empty = all conditions hold).
+std::vector<std::string> check_cset_conditions(const NetworkView& net,
+                                               const SuffixTrie& v_trie,
+                                               const Suffix& omega,
+                                               const std::vector<NodeId>& w);
+
+}  // namespace hcube

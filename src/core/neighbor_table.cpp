@@ -1,0 +1,194 @@
+#include "core/neighbor_table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace hcube {
+
+NeighborTable::NeighborTable(const IdParams& params, NodeId owner)
+    : params_(params), owner_(std::move(owner)) {
+  params_.validate();
+  HCUBE_CHECK(owner_.is_valid());
+  HCUBE_CHECK(owner_.num_digits() == params_.num_digits);
+  entries_.resize(static_cast<std::size_t>(params_.num_digits) *
+                  params_.base);
+}
+
+std::size_t NeighborTable::index(std::uint32_t level,
+                                 std::uint32_t digit) const {
+  HCUBE_DCHECK(level < params_.num_digits);
+  HCUBE_DCHECK(digit < params_.base);
+  return static_cast<std::size_t>(level) * params_.base + digit;
+}
+
+const NodeId* NeighborTable::neighbor(std::uint32_t level,
+                                      std::uint32_t digit) const {
+  const Entry& e = entries_[index(level, digit)];
+  return e.node.is_valid() ? &e.node : nullptr;
+}
+
+NeighborState NeighborTable::state(std::uint32_t level,
+                                   std::uint32_t digit) const {
+  const Entry& e = entries_[index(level, digit)];
+  HCUBE_CHECK_MSG(e.node.is_valid(), "state() of an empty entry");
+  return e.state;
+}
+
+bool NeighborTable::holds(std::uint32_t level, std::uint32_t digit,
+                          const NodeId& node) const {
+  const Entry& e = entries_[index(level, digit)];
+  return e.node.is_valid() && e.node == node;
+}
+
+void NeighborTable::set(std::uint32_t level, std::uint32_t digit,
+                        const NodeId& node, NeighborState state) {
+  HCUBE_CHECK(node.is_valid());
+  // Suffix invariant of Section 2.1: the entry's desired suffix is
+  // digit · owner[level-1 .. 0].
+  HCUBE_CHECK_MSG(node.csuf_len(owner_) >= level || node == owner_,
+                  "neighbor does not share the required suffix");
+  HCUBE_CHECK_MSG(node.digit(level) == digit,
+                  "neighbor's level-th digit does not match the entry digit");
+  Entry& e = entries_[index(level, digit)];
+  if (!e.node.is_valid()) ++filled_;
+  e.node = node;
+  e.state = state;
+}
+
+void NeighborTable::set_state(std::uint32_t level, std::uint32_t digit,
+                              NeighborState state) {
+  Entry& e = entries_[index(level, digit)];
+  HCUBE_CHECK_MSG(e.node.is_valid(), "set_state() of an empty entry");
+  e.state = state;
+}
+
+void NeighborTable::clear(std::uint32_t level, std::uint32_t digit) {
+  Entry& e = entries_[index(level, digit)];
+  if (!e.node.is_valid()) return;
+  e.node = NodeId();
+  e.state = NeighborState::kT;
+  --filled_;
+}
+
+bool NeighborTable::offer_backup(std::uint32_t level, std::uint32_t digit,
+                                 const NodeId& node,
+                                 std::size_t max_backups) {
+  HCUBE_CHECK(node.is_valid());
+  if (max_backups == 0 || node == owner_) return false;
+  HCUBE_CHECK_MSG(node.csuf_len(owner_) >= level,
+                  "backup does not share the required suffix");
+  HCUBE_CHECK_MSG(node.digit(level) == digit,
+                  "backup's level-th digit does not match the entry digit");
+  const Entry& primary = entries_[index(level, digit)];
+  if (primary.node.is_valid() && primary.node == node) return false;
+  auto& list = backups_[index(level, digit)];
+  if (list.size() >= max_backups) return false;
+  for (const NodeId& b : list)
+    if (b == node) return false;
+  list.push_back(node);
+  ++total_backups_;
+  return true;
+}
+
+std::span<const NodeId> NeighborTable::backups(std::uint32_t level,
+                                               std::uint32_t digit) const {
+  auto it = backups_.find(index(level, digit));
+  if (it == backups_.end()) return {};
+  return it->second;
+}
+
+void NeighborTable::purge_backup(std::uint32_t level, std::uint32_t digit,
+                                 const NodeId& node) {
+  auto it = backups_.find(index(level, digit));
+  if (it == backups_.end()) return;
+  auto& list = it->second;
+  for (auto bit = list.begin(); bit != list.end();) {
+    if (*bit == node) {
+      bit = list.erase(bit);
+      --total_backups_;
+    } else {
+      ++bit;
+    }
+  }
+  if (list.empty()) backups_.erase(it);
+}
+
+NodeId NeighborTable::take_first_backup(std::uint32_t level,
+                                        std::uint32_t digit) {
+  auto it = backups_.find(index(level, digit));
+  if (it == backups_.end()) return NodeId();
+  NodeId first = it->second.front();
+  it->second.erase(it->second.begin());
+  --total_backups_;
+  if (it->second.empty()) backups_.erase(it);
+  return first;
+}
+
+void NeighborTable::for_each_filled(
+    const std::function<void(std::uint32_t, std::uint32_t, const NodeId&,
+                             NeighborState)>& fn) const {
+  for (std::uint32_t i = 0; i < params_.num_digits; ++i) {
+    for (std::uint32_t j = 0; j < params_.base; ++j) {
+      const Entry& e = entries_[index(i, j)];
+      if (e.node.is_valid()) fn(i, j, e.node, e.state);
+    }
+  }
+}
+
+TableSnapshot NeighborTable::snapshot(std::uint32_t level_lo,
+                                      std::uint32_t level_hi) const {
+  HCUBE_CHECK(level_lo <= level_hi && level_hi < params_.num_digits);
+  TableSnapshot snap;
+  for (std::uint32_t i = level_lo; i <= level_hi; ++i) {
+    for (std::uint32_t j = 0; j < params_.base; ++j) {
+      const Entry& e = entries_[index(i, j)];
+      if (e.node.is_valid())
+        snap.add(static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(j),
+                 e.node, e.state);
+    }
+  }
+  return snap;
+}
+
+BitVec NeighborTable::filled_bitvec() const {
+  BitVec bits(entries_.size());
+  for (std::size_t k = 0; k < entries_.size(); ++k)
+    if (entries_[k].node.is_valid()) bits.set(k);
+  return bits;
+}
+
+void NeighborTable::add_reverse_neighbor(const NodeId& v, EntryRef where) {
+  HCUBE_CHECK(v.is_valid());
+  if (v == owner_) return;  // a node is trivially its own neighbor
+  reverse_[v] = where;
+}
+
+std::vector<NodeId> NeighborTable::distinct_neighbors() const {
+  std::unordered_set<NodeId, NodeIdHash> seen;
+  for_each_filled([&](std::uint32_t, std::uint32_t, const NodeId& node,
+                      NeighborState) {
+    if (node != owner_) seen.insert(node);
+  });
+  return {seen.begin(), seen.end()};
+}
+
+std::string NeighborTable::to_string() const {
+  std::ostringstream os;
+  os << "table of " << owner_.to_string(params_) << "\n";
+  for (std::uint32_t i = 0; i < params_.num_digits; ++i) {
+    os << "  level " << i << ":";
+    for (std::uint32_t j = 0; j < params_.base; ++j) {
+      const Entry& e = entries_[index(i, j)];
+      if (!e.node.is_valid()) continue;
+      os << " (" << j << ")=" << e.node.to_string(params_)
+         << (e.state == NeighborState::kS ? "/S" : "/T");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hcube

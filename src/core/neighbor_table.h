@@ -1,0 +1,146 @@
+// Neighbor table of the hypercube routing scheme (Section 2.1).
+//
+// d levels × b entries. The (i, j)-entry of node x holds a neighbor whose ID
+// shares the rightmost i digits with x.ID and whose i-th digit is j (digits
+// counted from the right). Following Section 3 we keep one (primary)
+// neighbor per entry, plus the paper's per-neighbor state (T = not yet an
+// S-node, S = in system) and the reverse-neighbor bookkeeping that
+// InSysNotiMsg delivery needs.
+//
+// The class enforces the suffix invariant on every write: a table can never
+// hold a node in an entry whose required suffix the node's ID does not have.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ids/node_id.h"
+#include "proto/messages.h"
+
+namespace hcube {
+
+struct EntryRef {
+  std::uint32_t level;  // i
+  std::uint32_t digit;  // j
+};
+
+class NeighborTable {
+ public:
+  NeighborTable(const IdParams& params, NodeId owner);
+
+  const IdParams& params() const { return params_; }
+  const NodeId& owner() const { return owner_; }
+
+  // The paper's N_x(i, j); nullptr when the entry is empty.
+  const NodeId* neighbor(std::uint32_t level, std::uint32_t digit) const;
+  NeighborState state(std::uint32_t level, std::uint32_t digit) const;
+  bool is_empty(std::uint32_t level, std::uint32_t digit) const {
+    return neighbor(level, digit) == nullptr;
+  }
+
+  // Returns true if entry (level, digit) holds exactly this node.
+  bool holds(std::uint32_t level, std::uint32_t digit,
+             const NodeId& node) const;
+
+  // Sets N_x(level, digit) = node with the given state. Checks the suffix
+  // invariant: csuf(node, owner) >= level and node[level] == digit.
+  void set(std::uint32_t level, std::uint32_t digit, const NodeId& node,
+           NeighborState state);
+
+  // Updates only the recorded state; entry must hold `node`.
+  void set_state(std::uint32_t level, std::uint32_t digit,
+                 NeighborState state);
+
+  // Empties an entry (leave-protocol repair when the departing node was the
+  // last member of the entry's suffix class). No-op on an empty entry.
+  // Backups of the entry are kept (clear is followed either by a promote or
+  // by the entry's class being empty, in which case purge_backup applies).
+  void clear(std::uint32_t level, std::uint32_t digit);
+
+  // ---- Redundant neighbors (Section 2.1: "a subset of these nodes ...
+  // may be stored in the entry", extras used for fault-tolerant routing) --
+  //
+  // Backups are opportunistic: offered when a fill finds the entry already
+  // occupied. They satisfy the same suffix invariant as the primary but are
+  // NOT reverse-tracked (a stale backup is skipped by fault-tolerant
+  // routing and recovery, never trusted blindly).
+
+  // Records `node` as a backup for the entry if it is distinct from the
+  // primary, the owner, and existing backups, and the backup list has room.
+  // Returns true if stored.
+  bool offer_backup(std::uint32_t level, std::uint32_t digit,
+                    const NodeId& node, std::size_t max_backups);
+
+  // Backups for an entry, in offer order (empty span if none).
+  std::span<const NodeId> backups(std::uint32_t level,
+                                  std::uint32_t digit) const;
+
+  // Removes one backup / all backups equal to `node` across the entry.
+  void purge_backup(std::uint32_t level, std::uint32_t digit,
+                    const NodeId& node);
+
+  // Pops the first backup of the entry (invalid NodeId if none).
+  NodeId take_first_backup(std::uint32_t level, std::uint32_t digit);
+
+  std::size_t total_backups() const { return total_backups_; }
+
+  std::size_t filled_count() const { return filled_; }
+
+  // Iterates over non-empty entries in (level, digit) order.
+  void for_each_filled(
+      const std::function<void(std::uint32_t level, std::uint32_t digit,
+                               const NodeId& node, NeighborState state)>& fn)
+      const;
+
+  // Snapshot of the non-empty entries with level in [level_lo, level_hi]
+  // (inclusive), as carried in protocol messages.
+  TableSnapshot snapshot(std::uint32_t level_lo, std::uint32_t level_hi) const;
+  TableSnapshot snapshot_full() const {
+    return snapshot(0, params_.num_digits - 1);
+  }
+
+  // Bit vector with one bit per entry, '1' = filled (Section 6.2).
+  BitVec filled_bitvec() const;
+
+  // ---- Reverse neighbors ----
+  // v is a reverse neighbor of x when v stores x (x learns this from
+  // RvNghNotiMsg or by filling v in response to a JoinWaitMsg). A given v
+  // stores x in exactly one entry, so a flat map suffices.
+  void add_reverse_neighbor(const NodeId& v, EntryRef where);
+  // v stopped storing the owner (leave protocol). No-op if unknown.
+  void remove_reverse_neighbor(const NodeId& v) { reverse_.erase(v); }
+  const std::unordered_map<NodeId, EntryRef, NodeIdHash>& reverse_neighbors()
+      const {
+    return reverse_;
+  }
+
+  // The set of distinct nodes (other than the owner) appearing in the table.
+  std::vector<NodeId> distinct_neighbors() const;
+
+  std::string to_string() const;
+
+ private:
+  struct Entry {
+    NodeId node;  // invalid (default) = empty
+    NeighborState state = NeighborState::kT;
+  };
+
+  std::size_t index(std::uint32_t level, std::uint32_t digit) const;
+
+  IdParams params_;
+  NodeId owner_;
+  std::vector<Entry> entries_;  // level-major, d*b
+  std::size_t filled_ = 0;
+  std::unordered_map<NodeId, EntryRef, NodeIdHash> reverse_;
+  // Sparse backup store: most entries have none, so a side map keyed by
+  // entry index beats a per-entry vector (which would dominate the table's
+  // memory at paper scale).
+  std::unordered_map<std::size_t, std::vector<NodeId>> backups_;
+  std::size_t total_backups_ = 0;
+};
+
+}  // namespace hcube

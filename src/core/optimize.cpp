@@ -1,0 +1,70 @@
+#include "core/optimize.h"
+
+#include "ids/suffix_trie.h"
+#include "util/check.h"
+
+namespace hcube {
+
+OptimizeResult optimize_tables(Overlay& overlay, LatencyModel& latency,
+                               std::size_t max_candidates) {
+  HCUBE_CHECK(max_candidates >= 1);
+  OptimizeResult result;
+
+  SuffixTrie members(overlay.params());
+  for (const auto& node : overlay.nodes())
+    if (!node->has_departed()) members.insert(node->id());
+
+  for (const auto& node : overlay.nodes()) {
+    if (node->has_departed()) continue;
+    HCUBE_CHECK_MSG(node->is_s_node(),
+                    "optimize_tables requires a quiescent overlay");
+    const NodeId& x = node->id();
+    const HostId x_host = overlay.host_of(x);
+
+    // Collect the rebinds first: mutating while iterating the table is
+    // undefined for for_each_filled.
+    struct Rebind {
+      std::uint32_t level, digit;
+      NodeId from, to;
+    };
+    std::vector<Rebind> rebinds;
+    node->table().for_each_filled([&](std::uint32_t i, std::uint32_t j,
+                                      const NodeId& current, NeighborState) {
+      if (current == x) return;  // own entries stay self-pointing
+      ++result.entries_examined;
+      Suffix want = x.suffix_of_len(i);
+      want.push_back(static_cast<Digit>(j));
+      const auto candidates = members.some_with_suffix(want, max_candidates);
+      double best_latency = latency.latency_ms(x_host, overlay.host_of(current));
+      const NodeId* best = nullptr;
+      for (const NodeId& c : candidates) {
+        ++result.candidates_scanned;
+        if (c == current || c == x) continue;
+        const double l = latency.latency_ms(x_host, overlay.host_of(c));
+        if (l < best_latency) {
+          best_latency = l;
+          best = &c;
+        }
+      }
+      if (best != nullptr) rebinds.push_back({i, j, current, *best});
+    });
+
+    for (const Rebind& r : rebinds) {
+      node->rebind_entry(r.level, r.digit, r.to);
+      ++result.entries_rebound;
+      // Reverse bookkeeping: the old neighbor may no longer be stored by x
+      // anywhere; re-derive instead of guessing.
+      bool still_stored = false;
+      node->table().for_each_filled(
+          [&](std::uint32_t, std::uint32_t, const NodeId& n, NeighborState) {
+            if (n == r.from) still_stored = true;
+          });
+      if (!still_stored) overlay.at(r.from).drop_reverse_neighbor(x);
+      overlay.at(r.to).install_reverse_neighbor(
+          x, {r.level, static_cast<std::uint32_t>(r.digit)});
+    }
+  }
+  return result;
+}
+
+}  // namespace hcube

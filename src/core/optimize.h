@@ -1,0 +1,34 @@
+// Neighbor-table optimization — the paper's "problem 3".
+//
+// The join protocol deliberately relaxes PRR's optimality assumption and
+// only guarantees *consistency*; the paper points to Hildrum et al. [5] and
+// Castro et al. [2] for proximity optimization. This module provides the
+// optimization as an offline post-pass over a consistent overlay: for every
+// table entry it rebinds the neighbor to the lowest-latency member of the
+// entry's suffix class (scanning up to `max_candidates` class members).
+// Consistency is preserved by construction — the replacement has the same
+// required suffix — and the bench (bench_stretch) quantifies the effect on
+// routing stretch (property P2 of Section 1).
+#pragma once
+
+#include <cstdint>
+
+#include "core/overlay.h"
+#include "topology/latency.h"
+
+namespace hcube {
+
+struct OptimizeResult {
+  std::uint64_t entries_examined = 0;
+  std::uint64_t entries_rebound = 0;
+  std::uint64_t candidates_scanned = 0;
+};
+
+// Rebinds every (non-own) entry of every live node to the nearest class
+// member found among the first `max_candidates` members (digit-order scan).
+// Reverse-neighbor bookkeeping is updated in place. The latency model must
+// be the one the overlay's nodes are attached to.
+OptimizeResult optimize_tables(Overlay& overlay, LatencyModel& latency,
+                               std::size_t max_candidates = 32);
+
+}  // namespace hcube

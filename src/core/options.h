@@ -1,0 +1,34 @@
+// Protocol configuration knobs.
+#pragma once
+
+#include <cstdint>
+
+namespace hcube {
+
+// What a node puts into table-carrying messages (Section 6.2).
+enum class SnapshotPolicy : std::uint8_t {
+  // Baseline: every table-carrying message carries the full table.
+  kFullTable,
+  // JoinNotiMsg carries only levels noti_level .. |csuf(x, y)| (first §6.2
+  // enhancement). Other table-carrying messages stay full.
+  kPartialLevels,
+  // kPartialLevels plus: JoinNotiMsg carries a filled-entry bit vector and
+  // the JoinNotiRlyMsg table is pruned to entries the requester lacks below
+  // its notification level (second §6.2 enhancement).
+  kBitVector,
+};
+
+const char* to_string(SnapshotPolicy p);
+
+struct ProtocolOptions {
+  SnapshotPolicy snapshot_policy = SnapshotPolicy::kFullTable;
+
+  // Redundant neighbors per entry (Section 2.1's "extra neighbors ... for
+  // fault tolerant routing"). 0 = primary-only, as in the paper's Section 3
+  // simplification. When > 0, nodes opportunistically remember up to this
+  // many additional suffix-class members per entry; fault-tolerant routing
+  // (route_fault_tolerant) and recovery use them as instant fallbacks.
+  std::uint32_t backups_per_entry = 0;
+};
+
+}  // namespace hcube

@@ -1,0 +1,132 @@
+#include "core/overlay.h"
+
+#include "util/check.h"
+
+namespace hcube {
+
+Overlay::Overlay(const IdParams& params, const ProtocolOptions& options,
+                 EventQueue& queue, LatencyModel& latency)
+    : params_(params), options_(options), queue_(queue), net_(queue, latency) {
+  params_.validate();
+}
+
+Node& Overlay::add_node(const NodeId& id) {
+  HCUBE_CHECK_MSG(!registry_.contains(id), "duplicate node ID");
+  auto node = std::make_unique<Node>(id, params_, options_, *this);
+  Node* raw = node.get();
+  const HostId host = net_.add_endpoint(
+      [raw](HostId /*from*/, const Message& msg) { raw->handle(msg); });
+  nodes_.push_back(std::move(node));
+  registry_.emplace(id, std::make_pair(raw, host));
+  return *raw;
+}
+
+HostId Overlay::host_of(const NodeId& id) const {
+  auto it = registry_.find(id);
+  HCUBE_CHECK_MSG(it != registry_.end(), "unknown node ID");
+  return it->second.second;
+}
+
+Node* Overlay::find(const NodeId& id) {
+  auto it = registry_.find(id);
+  return it == registry_.end() ? nullptr : it->second.first;
+}
+
+const Node* Overlay::find(const NodeId& id) const {
+  auto it = registry_.find(id);
+  return it == registry_.end() ? nullptr : it->second.first;
+}
+
+Node& Overlay::at(const NodeId& id) {
+  Node* n = find(id);
+  HCUBE_CHECK_MSG(n != nullptr, "unknown node ID");
+  return *n;
+}
+
+const Node& Overlay::at(const NodeId& id) const {
+  const Node* n = find(id);
+  HCUBE_CHECK_MSG(n != nullptr, "unknown node ID");
+  return *n;
+}
+
+Node& Overlay::schedule_join(const NodeId& id, const NodeId& gateway,
+                             SimTime at) {
+  Node& node = add_node(id);
+  Node* raw = &node;
+  NodeId gw = gateway;
+  queue_.schedule_at(at, [raw, gw]() { raw->start_join(gw); });
+  return node;
+}
+
+std::uint64_t Overlay::run_to_quiescence(std::uint64_t max_events) {
+  return queue_.run(max_events);
+}
+
+bool Overlay::all_in_system() const {
+  for (const auto& node : nodes_) {
+    if (node->has_departed() || node->is_crashed()) continue;
+    if (!node->is_s_node()) return false;
+  }
+  return true;
+}
+
+std::size_t Overlay::live_size() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_)
+    if (!node->has_departed() && !node->is_crashed()) ++n;
+  return n;
+}
+
+void Overlay::crash(const NodeId& id) { at(id).mark_crashed(); }
+
+std::uint64_t Overlay::repair_all(SimTime ping_timeout_ms,
+                                  std::uint32_t rounds) {
+  const std::uint64_t queries_before = sent_of(MessageType::kRepairQuery);
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    // Pull phase: detect dead neighbors, vacate their entries, query peers.
+    for (const auto& node : nodes_) {
+      if (node->is_s_node()) node->start_repair(ping_timeout_ms);
+    }
+    run_to_quiescence();
+    // Push phase: survivors re-announce themselves. Running it only after
+    // the pull phase quiesced guarantees no announcement can resurrect a
+    // pointer to a dead node (all such entries are already vacated).
+    for (const auto& node : nodes_) {
+      if (node->is_s_node()) node->announce_table();
+    }
+    run_to_quiescence();
+  }
+  return sent_of(MessageType::kRepairQuery) - queries_before;
+}
+
+void Overlay::set_drop_filter(
+    std::function<bool(const NodeId&, const NodeId&, const MessageBody&)>
+        filter) {
+  if (!filter) {
+    net_.drop_filter = nullptr;
+    return;
+  }
+  net_.drop_filter = [this, filter = std::move(filter)](
+                         HostId /*from*/, HostId to, const Message& msg) {
+    // Recover the recipient's overlay ID from the endpoint index.
+    return filter(msg.sender, nodes_[to]->id(), msg.body);
+  };
+}
+
+void Overlay::send_message(const NodeId& from, const NodeId& to,
+                           MessageBody body) {
+  auto from_it = registry_.find(from);
+  auto to_it = registry_.find(to);
+  HCUBE_CHECK_MSG(from_it != registry_.end(), "send from unknown node");
+  HCUBE_CHECK_MSG(to_it != registry_.end(), "send to unknown node");
+
+  ++totals_.messages;
+  ++totals_.sent[static_cast<std::size_t>(type_of(body))];
+  totals_.bytes += wire_size_bytes(body, params_);
+  if (on_message) on_message(from, to, body);
+
+  net_.send(from_it->second.second, to_it->second.second,
+            Message{from, std::move(body)});
+}
+
+}  // namespace hcube

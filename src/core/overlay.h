@@ -1,0 +1,122 @@
+// The overlay: a set of protocol nodes bound to the simulated network.
+//
+// Owns the Node objects, maps overlay IDs to simulator endpoints (in a
+// deployment the IP address rides with every ID; here the registry plays
+// that role), schedules joins, and aggregates message metrics. This is the
+// top-level object examples and benchmarks drive.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/node.h"
+#include "core/options.h"
+#include "proto/messages.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace hcube {
+
+class Overlay : public NodeEnv {
+ public:
+  Overlay(const IdParams& params, const ProtocolOptions& options,
+          EventQueue& queue, LatencyModel& latency);
+
+  const IdParams& params() const { return params_; }
+  const ProtocolOptions& options() const { return options_; }
+  EventQueue& queue() { return queue_; }
+
+  // ---- membership ----
+
+  // Creates a node (not yet part of the network; call become_seed(),
+  // NetworkBuilder installation, or start_join / schedule_join next).
+  Node& add_node(const NodeId& id);
+
+  // Simulator endpoint of a node (for latency queries by tooling).
+  HostId host_of(const NodeId& id) const;
+
+  Node* find(const NodeId& id);
+  const Node* find(const NodeId& id) const;
+  Node& at(const NodeId& id);
+  const Node& at(const NodeId& id) const;
+
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+
+  // ---- joins ----
+
+  // Creates the node and starts its join at simulated time `at`.
+  Node& schedule_join(const NodeId& id, const NodeId& gateway, SimTime at);
+
+  // Drains the event queue (the protocol quiesces by itself: every message
+  // triggers finitely many others). Returns the number of events executed;
+  // check all_in_system() afterwards.
+  std::uint64_t run_to_quiescence(std::uint64_t max_events = UINT64_MAX);
+
+  // True when every node is either an S-node or has gracefully departed.
+  bool all_in_system() const;
+
+  // Number of nodes that have not departed.
+  std::size_t live_size() const;
+
+  // ---- metrics ----
+
+  struct Totals {
+    std::array<std::uint64_t, kNumMessageTypes> sent{};
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  const Totals& totals() const { return totals_; }
+  std::uint64_t sent_of(MessageType t) const {
+    return totals_.sent[static_cast<std::size_t>(t)];
+  }
+
+  // ---- failure injection & recovery (extension) ----
+
+  // Fail-stop crash: the node silently stops responding.
+  void crash(const NodeId& id);
+
+  // Drives the pull-based recovery protocol: every live S-node probes its
+  // neighbors and repairs entries pointing at dead ones, repeatedly, for
+  // `rounds` rounds (clustered failures can need more than one). Returns
+  // the number of repair queries issued (0 = nothing dead was detected).
+  std::uint64_t repair_all(SimTime ping_timeout_ms, std::uint32_t rounds = 2);
+
+  // ---- NodeEnv ----
+  void send_message(const NodeId& from, const NodeId& to,
+                    MessageBody body) override;
+  SimTime now() const override { return queue_.now(); }
+  void schedule(SimTime delay_ms, std::function<void()> fn) override {
+    queue_.schedule_after(delay_ms, std::move(fn));
+  }
+
+  // Observation hook for tests (called for every protocol message sent).
+  std::function<void(const NodeId& from, const NodeId& to,
+                     const MessageBody& body)>
+      on_message;
+
+  // Failure injection for tests: messages for which the filter returns true
+  // are silently lost. The protocol assumes reliable delivery (assumption
+  // (iii) in Section 3.1); this hook exists to demonstrate what that
+  // assumption protects against and that the consistency checker detects
+  // the resulting damage.
+  void set_drop_filter(
+      std::function<bool(const NodeId& from, const NodeId& to,
+                         const MessageBody& body)>
+          filter);
+
+ private:
+  IdParams params_;
+  ProtocolOptions options_;
+  EventQueue& queue_;
+  SimNetwork<Message> net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<NodeId, std::pair<Node*, HostId>, NodeIdHash> registry_;
+  Totals totals_;
+};
+
+}  // namespace hcube

@@ -1,0 +1,107 @@
+#include "core/routing.h"
+
+#include "core/overlay.h"
+#include "util/check.h"
+
+namespace hcube {
+
+NetworkView view_of(const Overlay& overlay) {
+  NetworkView view(overlay.params());
+  for (const auto& node : overlay.nodes())
+    if (!node->has_departed() && !node->is_crashed())
+      view.add(&node->table());
+  return view;
+}
+
+RouteResult route(const NetworkView& net, const NodeId& from,
+                  const NodeId& to) {
+  RouteResult result;
+  result.path.push_back(from);
+  const std::size_t d = net.params().num_digits;
+
+  NodeId cur = from;
+  while (cur != to) {
+    if (result.hops() >= d) return result;  // hop bound exceeded: failure
+    const NeighborTable* table = net.find(cur);
+    if (table == nullptr) return result;  // path led outside the view
+    const auto k = static_cast<std::uint32_t>(cur.csuf_len(to));
+    const NodeId* next = table->neighbor(k, to.digit(k));
+    if (next == nullptr) return result;  // required entry empty
+    HCUBE_CHECK_MSG(next->csuf_len(to) > k,
+                    "neighbor table entry does not extend the suffix match");
+    cur = *next;
+    result.path.push_back(cur);
+  }
+  result.success = true;
+  return result;
+}
+
+RouteResult route_fault_tolerant(const NetworkView& net, const NodeId& from,
+                                 const NodeId& to) {
+  RouteResult result;
+  result.path.push_back(from);
+  const std::size_t d = net.params().num_digits;
+
+  NodeId cur = from;
+  while (cur != to) {
+    if (result.hops() >= d) return result;
+    const NeighborTable* table = net.find(cur);
+    if (table == nullptr) return result;  // origin itself is not live
+    const auto k = static_cast<std::uint32_t>(cur.csuf_len(to));
+    const Digit jd = to.digit(k);
+    // Try the primary, then the redundant neighbors, skipping dead ones.
+    const NodeId* next = nullptr;
+    const NodeId* primary = table->neighbor(k, jd);
+    if (primary != nullptr && net.contains(*primary)) next = primary;
+    if (next == nullptr) {
+      for (const NodeId& b : table->backups(k, jd)) {
+        if (net.contains(b)) {
+          next = &b;
+          break;
+        }
+      }
+    }
+    if (next == nullptr) return result;  // no live candidate at this hop
+    HCUBE_CHECK(next->csuf_len(to) > k);
+    cur = *next;
+    result.path.push_back(cur);
+  }
+  result.success = true;
+  return result;
+}
+
+std::optional<SurrogateResult> surrogate_route(const NetworkView& net,
+                                               const NodeId& from,
+                                               const NodeId& object_id) {
+  const std::uint32_t b = net.params().base;
+  const std::size_t d = net.params().num_digits;
+
+  NodeId cur = from;
+  std::vector<NodeId> path{cur};
+  std::size_t level = cur.csuf_len(object_id);
+  while (level < d) {
+    const NeighborTable* table = net.find(cur);
+    if (table == nullptr) return std::nullopt;
+    const NodeId* next = nullptr;
+    for (std::uint32_t probe = 0; probe < b; ++probe) {
+      const auto j = static_cast<std::uint32_t>(
+          (object_id.digit(level) + probe) % b);
+      next = table->neighbor(static_cast<std::uint32_t>(level), j);
+      if (next != nullptr) break;
+    }
+    // A member node always has itself at (level, own digit), so some entry
+    // at every level is non-empty.
+    if (next == nullptr) return std::nullopt;
+    if (*next == cur) {
+      ++level;  // we are the best match at this level; go deeper locally
+    } else {
+      cur = *next;
+      path.push_back(cur);
+      // The suffix class is now one digit longer; resume at the next level.
+      ++level;
+    }
+  }
+  return SurrogateResult{cur, std::move(path)};
+}
+
+}  // namespace hcube

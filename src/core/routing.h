@@ -1,0 +1,54 @@
+// Hypercube (suffix) routing — Section 2.2 — plus PRR-style surrogate
+// routing for object IDs, which the object-location layer (src/dht) uses to
+// find the unique "root" node of an object.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/view.h"
+#include "ids/node_id.h"
+
+namespace hcube {
+
+struct RouteResult {
+  bool success = false;
+  // Nodes visited, starting with the origin; on success the last element is
+  // the destination.
+  std::vector<NodeId> path;
+
+  std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
+};
+
+// Routes from `from` toward node `to` by resolving one more suffix digit per
+// hop (the message sent from x starts at level |csuf(x, to)|). Fails — with
+// the partial path — when a required entry is empty (inconsistent network or
+// nonexistent destination) or when the hop bound d is exceeded.
+RouteResult route(const NetworkView& net, const NodeId& from,
+                  const NodeId& to);
+
+// Fault-tolerant routing over possibly-stale tables (Section 2.1's extra
+// neighbors put to work). `net` must contain only LIVE nodes' tables; an
+// entry — primary or backup — naming a node absent from the view models a
+// neighbor that failed to respond and is skipped. Succeeds whenever, at
+// every hop, the needed entry has at least one live candidate; never
+// consults crashed nodes' tables.
+RouteResult route_fault_tolerant(const NetworkView& net, const NodeId& from,
+                                 const NodeId& to);
+
+struct SurrogateResult {
+  NodeId root;
+  std::vector<NodeId> path;  // nodes visited, starting with the origin
+};
+
+// Surrogate routing: route toward an arbitrary ID (typically an object's
+// hash) that need not name a node. At each level the next digit is resolved
+// to the first non-empty entry scanning j = id[i], id[i]+1, ... (mod b).
+// On a consistent network every origin reaches the same root for a given ID
+// (Definition 3.8(a)+(b) make entry occupancy at level i identical across
+// all nodes sharing i suffix digits). Returns nullopt on a broken network.
+std::optional<SurrogateResult> surrogate_route(const NetworkView& net,
+                                               const NodeId& from,
+                                               const NodeId& object_id);
+
+}  // namespace hcube

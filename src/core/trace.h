@@ -1,0 +1,68 @@
+// Structured message tracing.
+//
+// A MessageTrace attaches to an Overlay's observation hook and records
+// every protocol message into a bounded ring buffer (oldest records are
+// dropped first, with a drop counter — tracing must never grow without
+// bound under a million-message soak). Tests and debugging sessions can
+// then ask "what did node x send?", "when was the first JoinNotiMsg?", or
+// dump a readable transcript.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/overlay.h"
+#include "proto/messages.h"
+
+namespace hcube {
+
+struct TraceRecord {
+  SimTime time;
+  NodeId from;
+  NodeId to;
+  MessageType type;
+  std::size_t wire_bytes;
+};
+
+class MessageTrace {
+ public:
+  explicit MessageTrace(std::size_t capacity = 1 << 16);
+
+  // Subscribes to the overlay's on_message hook (replacing any previous
+  // subscriber). The trace must outlive the overlay's use of the hook.
+  void attach(Overlay& overlay);
+
+  void record(SimTime time, const NodeId& from, const NodeId& to,
+              MessageType type, std::size_t wire_bytes);
+
+  std::size_t size() const { return records_.size(); }
+  std::size_t dropped() const { return dropped_; }
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+  // Snapshot queries (records in arrival order).
+  std::vector<TraceRecord> all() const;
+  std::vector<TraceRecord> involving(const NodeId& node) const;
+  std::vector<TraceRecord> of_type(MessageType type) const;
+  std::uint64_t count_of(MessageType type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  // Human-readable transcript of the most recent `max_lines` records.
+  std::string to_string(const IdParams& params,
+                        std::size_t max_lines = 50) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceRecord> records_;
+  std::size_t dropped_ = 0;
+  std::array<std::uint64_t, kNumMessageTypes> counts_{};
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace hcube

@@ -1,0 +1,48 @@
+// Read-only view over a set of neighbor tables.
+//
+// Routing, the consistency checker and C-set tree realization all need "the
+// table of node u" lookups over a snapshot of the network. A NetworkView
+// decouples them from Overlay so they also work on tables produced by other
+// means (e.g. the multicast-join baseline or hand-built fixtures).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/neighbor_table.h"
+#include "ids/node_id.h"
+
+namespace hcube {
+
+class Overlay;
+
+class NetworkView {
+ public:
+  explicit NetworkView(const IdParams& params) : params_(params) {}
+
+  void add(const NeighborTable* table) {
+    HCUBE_CHECK(table != nullptr);
+    tables_.push_back(table);
+    by_id_.emplace(table->owner(), table);
+  }
+
+  const IdParams& params() const { return params_; }
+  std::size_t size() const { return tables_.size(); }
+  const std::vector<const NeighborTable*>& tables() const { return tables_; }
+
+  const NeighborTable* find(const NodeId& id) const {
+    auto it = by_id_.find(id);
+    return it == by_id_.end() ? nullptr : it->second;
+  }
+  bool contains(const NodeId& id) const { return by_id_.contains(id); }
+
+ private:
+  IdParams params_;
+  std::vector<const NeighborTable*> tables_;
+  std::unordered_map<NodeId, const NeighborTable*, NodeIdHash> by_id_;
+};
+
+// View over all nodes currently in an overlay.
+NetworkView view_of(const Overlay& overlay);
+
+}  // namespace hcube

@@ -1,0 +1,79 @@
+#include "dht/object_store.h"
+
+#include "ids/sha1.h"
+#include "util/check.h"
+
+namespace hcube {
+
+NodeId ObjectStore::object_id(const std::string& name) const {
+  return id_from_name(name, view_.params());
+}
+
+ObjectStore::OpResult ObjectStore::publish(const NodeId& origin,
+                                           const std::string& name,
+                                           std::string value) {
+  OpResult result;
+  const auto routed = surrogate_route(view_, origin, object_id(name));
+  if (!routed) return result;
+  result.success = true;
+  result.root = routed->root;
+  result.hops = routed->path.size() - 1;
+  storage_[routed->root][name] = std::move(value);
+  return result;
+}
+
+ObjectStore::OpResult ObjectStore::lookup(const NodeId& origin,
+                                          const std::string& name,
+                                          std::string* value_out) {
+  OpResult result;
+  const auto routed = surrogate_route(view_, origin, object_id(name));
+  if (!routed) return result;
+  result.root = routed->root;
+  result.hops = routed->path.size() - 1;
+  auto node_it = storage_.find(routed->root);
+  if (node_it == storage_.end()) return result;
+  auto obj_it = node_it->second.find(name);
+  if (obj_it == node_it->second.end()) return result;
+  result.success = true;
+  if (value_out != nullptr) *value_out = obj_it->second;
+  return result;
+}
+
+std::size_t ObjectStore::objects_stored() const {
+  std::size_t total = 0;
+  for (const auto& [node, objects] : storage_) total += objects.size();
+  return total;
+}
+
+std::size_t ObjectStore::load_of(const NodeId& node) const {
+  auto it = storage_.find(node);
+  return it == storage_.end() ? 0 : it->second.size();
+}
+
+std::size_t ObjectStore::rebalance(NetworkView new_view) {
+  view_ = std::move(new_view);
+  HCUBE_CHECK_MSG(view_.size() > 0, "cannot rebalance onto an empty view");
+  const NodeId& origin = view_.tables().front()->owner();
+
+  std::vector<std::pair<NodeId, std::string>> moves;  // (old root, name)
+  for (const auto& [root, objects] : storage_) {
+    for (const auto& [name, value] : objects) {
+      const auto routed = surrogate_route(view_, origin, object_id(name));
+      HCUBE_CHECK_MSG(routed.has_value(),
+                      "surrogate routing failed during rebalance");
+      if (routed->root != root) moves.emplace_back(root, name);
+    }
+  }
+  for (const auto& [old_root, name] : moves) {
+    auto node_it = storage_.find(old_root);
+    auto obj_it = node_it->second.find(name);
+    std::string value = std::move(obj_it->second);
+    node_it->second.erase(obj_it);
+    if (node_it->second.empty()) storage_.erase(node_it);
+    const auto routed = surrogate_route(view_, origin, object_id(name));
+    storage_[routed->root][name] = std::move(value);
+  }
+  return moves.size();
+}
+
+}  // namespace hcube

@@ -1,0 +1,64 @@
+// A minimal location-independent object store on top of hypercube routing.
+//
+// This is the application the paper's introduction motivates: objects are
+// addressed by name, names hash to IDs in the node ID space, and each object
+// lives at its "root" — the node surrogate routing converges to for the
+// object's ID. On a consistent network every origin reaches the same root
+// (deterministic location, property P1), which the examples demonstrate and
+// the tests verify. Replication/proximity (PRR's directory machinery) is out
+// of scope here, as it is in the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/routing.h"
+#include "core/view.h"
+#include "ids/node_id.h"
+
+namespace hcube {
+
+class ObjectStore {
+ public:
+  explicit ObjectStore(NetworkView view) : view_(std::move(view)) {}
+
+  struct OpResult {
+    bool success = false;
+    NodeId root;             // the object's root node
+    std::size_t hops = 0;    // overlay hops the operation took
+  };
+
+  // Publishes name -> value from the given origin node: surrogate-routes to
+  // the object's root and stores the value there.
+  OpResult publish(const NodeId& origin, const std::string& name,
+                   std::string value);
+
+  // Looks the object up from the given origin.
+  OpResult lookup(const NodeId& origin, const std::string& name,
+                  std::string* value_out = nullptr);
+
+  // The ID an object name hashes to.
+  NodeId object_id(const std::string& name) const;
+
+  std::size_t objects_stored() const;
+  // How many objects the given node is root of (load-balance inspection).
+  std::size_t load_of(const NodeId& node) const;
+
+  // Membership changed (joins/leaves/recovery): adopt the new view and move
+  // every object whose surrogate root moved to its new root (the handoff a
+  // deployed system would perform when a closer node appears or a root
+  // departs). Returns the number of objects migrated. Objects rooted at a
+  // node no longer in the view are always moved.
+  std::size_t rebalance(NetworkView new_view);
+
+ private:
+  NetworkView view_;
+  // root node -> (name -> value)
+  std::unordered_map<NodeId,
+                     std::unordered_map<std::string, std::string>, NodeIdHash>
+      storage_;
+};
+
+}  // namespace hcube

@@ -1,0 +1,132 @@
+#include "ids/node_id.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hcube {
+namespace {
+
+char digit_to_char(Digit d) {
+  return d < 10 ? static_cast<char>('0' + d) : static_cast<char>('a' + d - 10);
+}
+
+int char_to_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'Z') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::size_t NodeId::csuf_len(const NodeId& other) const {
+  HCUBE_DCHECK(digits_.size() == other.digits_.size());
+  std::size_t k = 0;
+  while (k < digits_.size() && digits_[k] == other.digits_[k]) ++k;
+  return k;
+}
+
+bool NodeId::has_suffix(std::span<const Digit> suffix) const {
+  if (suffix.size() > digits_.size()) return false;
+  return std::equal(suffix.begin(), suffix.end(), digits_.begin());
+}
+
+Suffix NodeId::suffix_of_len(std::size_t len) const {
+  HCUBE_DCHECK(len <= digits_.size());
+  return Suffix(digits_.begin(),
+                digits_.begin() + static_cast<std::ptrdiff_t>(len));
+}
+
+std::string NodeId::to_string(const IdParams& params) const {
+  std::ostringstream os;
+  if (params.base <= 36) {
+    for (auto it = digits_.rbegin(); it != digits_.rend(); ++it)
+      os << digit_to_char(*it);
+  } else {
+    for (auto it = digits_.rbegin(); it != digits_.rend(); ++it) {
+      if (it != digits_.rbegin()) os << '.';
+      os << static_cast<int>(*it);
+    }
+  }
+  return os.str();
+}
+
+std::optional<NodeId> NodeId::from_string(const std::string& text,
+                                          const IdParams& params) {
+  std::vector<Digit> digits;
+  if (params.base <= 36) {
+    if (text.size() != params.num_digits) return std::nullopt;
+    digits.reserve(text.size());
+    // Text is MSB-first; store LSB-first.
+    for (auto it = text.rbegin(); it != text.rend(); ++it) {
+      int d = char_to_digit(*it);
+      if (d < 0 || static_cast<std::uint32_t>(d) >= params.base)
+        return std::nullopt;
+      digits.push_back(static_cast<Digit>(d));
+    }
+  } else {
+    std::istringstream is(text);
+    std::string part;
+    std::vector<Digit> msb_first;
+    while (std::getline(is, part, '.')) {
+      int v = -1;
+      try {
+        v = std::stoi(part);
+      } catch (...) {
+        return std::nullopt;
+      }
+      if (v < 0 || static_cast<std::uint32_t>(v) >= params.base)
+        return std::nullopt;
+      msb_first.push_back(static_cast<Digit>(v));
+    }
+    if (msb_first.size() != params.num_digits) return std::nullopt;
+    digits.assign(msb_first.rbegin(), msb_first.rend());
+  }
+  return NodeId(std::move(digits), params);
+}
+
+std::size_t NodeId::hash() const {
+  // FNV-1a over the digit bytes.
+  std::size_t h = 1469598103934665603ULL;
+  for (Digit d : digits_) {
+    h ^= d;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+NodeId random_id(Rng& rng, const IdParams& params) {
+  std::vector<Digit> digits(params.num_digits);
+  for (auto& d : digits)
+    d = static_cast<Digit>(rng.next_below(params.base));
+  return NodeId(std::move(digits), params);
+}
+
+NodeId UniqueIdGenerator::next() {
+  for (;;) {
+    NodeId id = random_id(rng_, params_);
+    if (used_.insert(id).second) return id;
+  }
+}
+
+bool UniqueIdGenerator::reserve(const NodeId& id) {
+  return used_.insert(id).second;
+}
+
+std::string suffix_to_string(const Suffix& s, const IdParams& params) {
+  std::ostringstream os;
+  if (s.empty()) return "(empty)";
+  if (params.base <= 36) {
+    for (auto it = s.rbegin(); it != s.rend(); ++it)
+      os << (*it < 10 ? static_cast<char>('0' + *it)
+                      : static_cast<char>('a' + *it - 10));
+  } else {
+    for (auto it = s.rbegin(); it != s.rend(); ++it) {
+      if (it != s.rbegin()) os << '.';
+      os << static_cast<int>(*it);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hcube

@@ -1,0 +1,132 @@
+// Node / object identifiers for the hypercube routing scheme.
+//
+// Following PRR and the paper, an ID is d digits of base b, and digits are
+// counted from the RIGHT: digit(0) is the rightmost digit. Routing matches
+// successively longer suffixes. We therefore store digits least-significant
+// first: digits_[i] == the paper's x[i].
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace hcube {
+
+using Digit = std::uint8_t;
+
+// Shape of the ID space. b and d are runtime parameters: the paper's
+// experiments use b = 16 with d = 8 and d = 40.
+struct IdParams {
+  std::uint32_t base = 16;        // b, in [2, 256]
+  std::uint32_t num_digits = 8;   // d, in [1, 64]
+
+  void validate() const {
+    HCUBE_CHECK_MSG(base >= 2 && base <= 256, "base must be in [2,256]");
+    HCUBE_CHECK_MSG(num_digits >= 1 && num_digits <= 64,
+                    "num_digits must be in [1,64]");
+  }
+
+  // log2(number of possible IDs); the ID space size b^d itself may exceed
+  // any integer type (16^40 = 2^160).
+  double log2_space_size() const {
+    return static_cast<double>(num_digits) *
+           std::log2(static_cast<double>(base));
+  }
+
+  bool operator==(const IdParams&) const = default;
+};
+
+// A suffix is a (possibly empty) sequence of digits, least-significant
+// first: suffix[0] is the rightmost digit. "y has suffix s" means
+// y.digit(i) == s[i] for all i < s.size().
+using Suffix = std::vector<Digit>;
+
+class NodeId {
+ public:
+  NodeId() = default;  // empty/invalid; use is_valid() to test
+
+  NodeId(std::vector<Digit> digits_lsb_first, const IdParams& params)
+      : digits_(std::move(digits_lsb_first)) {
+    HCUBE_CHECK(digits_.size() == params.num_digits);
+    for (Digit dg : digits_) HCUBE_CHECK(dg < params.base);
+  }
+
+  bool is_valid() const { return !digits_.empty(); }
+  std::size_t num_digits() const { return digits_.size(); }
+
+  // The paper's x[i]: the i-th digit counted from the right.
+  Digit digit(std::size_t i) const {
+    HCUBE_DCHECK(i < digits_.size());
+    return digits_[i];
+  }
+
+  std::span<const Digit> digits() const { return digits_; }
+
+  // Length of the longest common suffix with another ID: the paper's
+  // |csuf(x.ID, y.ID)|.
+  std::size_t csuf_len(const NodeId& other) const;
+
+  bool has_suffix(std::span<const Digit> suffix) const;
+
+  // The suffix made of this ID's rightmost `len` digits.
+  Suffix suffix_of_len(std::size_t len) const;
+
+  // MSB-first textual form, e.g. "21233" for the paper's examples. Uses
+  // 0-9a-z for bases up to 36, otherwise dot-separated decimal digits.
+  std::string to_string(const IdParams& params) const;
+  static std::optional<NodeId> from_string(const std::string& text,
+                                           const IdParams& params);
+
+  bool operator==(const NodeId&) const = default;
+  std::strong_ordering operator<=>(const NodeId&) const = default;
+
+  std::size_t hash() const;
+
+ private:
+  std::vector<Digit> digits_;
+};
+
+// Uniform random ID.
+NodeId random_id(Rng& rng, const IdParams& params);
+
+// Generates distinct IDs (the paper requires unique node IDs).
+class UniqueIdGenerator {
+ public:
+  explicit UniqueIdGenerator(IdParams params, std::uint64_t seed)
+      : params_(params), rng_(seed) {
+    params_.validate();
+  }
+
+  NodeId next();
+  // Registers an externally created ID so next() will never collide with it.
+  // Returns false if the ID was already known.
+  bool reserve(const NodeId& id);
+
+  const IdParams& params() const { return params_; }
+
+ private:
+  struct IdHash {
+    std::size_t operator()(const NodeId& id) const { return id.hash(); }
+  };
+
+  IdParams params_;
+  Rng rng_;
+  std::unordered_set<NodeId, IdHash> used_;
+};
+
+struct NodeIdHash {
+  std::size_t operator()(const NodeId& id) const { return id.hash(); }
+};
+
+std::string suffix_to_string(const Suffix& s, const IdParams& params);
+
+}  // namespace hcube

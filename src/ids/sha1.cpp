@@ -1,0 +1,147 @@
+#include "ids/sha1.h"
+
+#include <bit>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hcube {
+namespace {
+
+std::uint32_t rotl32(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+struct Sha1State {
+  std::uint32_t h[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u,
+                        0xC3D2E1F0u};
+
+  void process_block(const std::uint8_t* block) {
+    std::uint32_t w[80];
+    for (int t = 0; t < 16; ++t) {
+      w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
+             (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
+             (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
+             static_cast<std::uint32_t>(block[t * 4 + 3]);
+    }
+    for (int t = 16; t < 80; ++t)
+      w[t] = rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int t = 0; t < 80; ++t) {
+      std::uint32_t f, k;
+      if (t < 20) {
+        f = (b & c) | ((~b) & d);
+        k = 0x5A827999u;
+      } else if (t < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1u;
+      } else if (t < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDCu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6u;
+      }
+      const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[t];
+      e = d;
+      d = c;
+      c = rotl32(b, 30);
+      b = a;
+      a = temp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+};
+
+}  // namespace
+
+Sha1Digest sha1(std::string_view data) {
+  Sha1State state;
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(data.data());
+  std::size_t len = data.size();
+
+  std::size_t full_blocks = len / 64;
+  for (std::size_t i = 0; i < full_blocks; ++i)
+    state.process_block(bytes + i * 64);
+
+  // Padding: 0x80, zeros, 64-bit big-endian bit length.
+  std::uint8_t tail[128] = {0};
+  const std::size_t rem = len - full_blocks * 64;
+  std::memcpy(tail, bytes + full_blocks * 64, rem);
+  tail[rem] = 0x80;
+  const std::size_t tail_len = (rem + 9 <= 64) ? 64 : 128;
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(len) * 8;
+  for (int i = 0; i < 8; ++i)
+    tail[tail_len - 1 - i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+  state.process_block(tail);
+  if (tail_len == 128) state.process_block(tail + 64);
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<std::uint8_t>(state.h[i] >> 24);
+    digest[i * 4 + 1] = static_cast<std::uint8_t>(state.h[i] >> 16);
+    digest[i * 4 + 2] = static_cast<std::uint8_t>(state.h[i] >> 8);
+    digest[i * 4 + 3] = static_cast<std::uint8_t>(state.h[i]);
+  }
+  return digest;
+}
+
+std::string sha1_hex(std::string_view data) {
+  static const char* kHex = "0123456789abcdef";
+  const Sha1Digest d = sha1(data);
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t byte : d) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+  }
+  return out;
+}
+
+NodeId id_from_name(std::string_view name, const IdParams& params) {
+  params.validate();
+  std::vector<Digit> digits;
+  digits.reserve(params.num_digits);
+
+  // Bit stream drawn from SHA-1(name), SHA-1(name || "#1"), ... as needed.
+  std::string base_input(name);
+  std::uint32_t counter = 0;
+  Sha1Digest digest = sha1(base_input);
+  std::size_t byte_pos = 0;
+  int bit_pos = 0;
+
+  const int bits_per_digit = std::bit_width(params.base - 1);
+  auto next_bits = [&](int nbits) -> std::uint32_t {
+    std::uint32_t v = 0;
+    for (int i = 0; i < nbits; ++i) {
+      if (byte_pos == digest.size()) {
+        ++counter;
+        digest = sha1(base_input + "#" + std::to_string(counter));
+        byte_pos = 0;
+        bit_pos = 0;
+      }
+      const int bit = (digest[byte_pos] >> (7 - bit_pos)) & 1;
+      v = (v << 1) | static_cast<std::uint32_t>(bit);
+      if (++bit_pos == 8) {
+        bit_pos = 0;
+        ++byte_pos;
+      }
+    }
+    return v;
+  };
+
+  while (digits.size() < params.num_digits) {
+    const std::uint32_t v = next_bits(bits_per_digit);
+    if (v < params.base) digits.push_back(static_cast<Digit>(v));
+    // else: rejection sampling for non-power-of-two bases
+  }
+  return NodeId(std::move(digits), params);
+}
+
+}  // namespace hcube

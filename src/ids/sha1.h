@@ -1,0 +1,28 @@
+// Minimal SHA-1 (FIPS 180-1).
+//
+// The paper notes that node and object IDs "are typically generated using a
+// hash function, such as MD5 or SHA-1". We implement SHA-1 from scratch so
+// applications can derive IDs from names (see ids/sha1 id_from_name) without
+// external dependencies. This is for ID derivation, not for security.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "ids/node_id.h"
+
+namespace hcube {
+
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+Sha1Digest sha1(std::string_view data);
+
+std::string sha1_hex(std::string_view data);
+
+// Derives a d-digit base-b ID from a name by drawing digits from the SHA-1
+// bitstream (rejection-sampling digits >= b for non-power-of-two bases;
+// the stream is extended by re-hashing with a counter when exhausted).
+NodeId id_from_name(std::string_view name, const IdParams& params);
+
+}  // namespace hcube

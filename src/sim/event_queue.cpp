@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include "util/check.h"
+
+namespace hcube {
+
+void EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
+  HCUBE_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_after(SimTime delay, std::function<void()> fn) {
+  HCUBE_CHECK(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the function handle out of a popped element instead.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && run_next()) ++n;
+  return n;
+}
+
+std::uint64_t EventQueue::run_until(SimTime t_end) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().time <= t_end && run_next()) ++n;
+  if (t_end > now_) now_ = t_end;
+  return n;
+}
+
+}  // namespace hcube

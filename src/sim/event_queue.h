@@ -1,0 +1,60 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event queue with a simulated clock. Events scheduled for
+// the same instant execute in scheduling order (monotonic sequence-number
+// tie-break), which makes every simulation run bit-reproducible for a given
+// seed — essential for the protocol tests, which assert properties of
+// specific interleavings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hcube {
+
+using SimTime = double;  // milliseconds of simulated time
+
+class EventQueue {
+ public:
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+  // Schedules fn at absolute simulated time t (>= now).
+  void schedule_at(SimTime t, std::function<void()> fn);
+  // Schedules fn after the given delay (>= 0).
+  void schedule_after(SimTime delay, std::function<void()> fn);
+
+  // Executes the earliest pending event. Returns false if none.
+  bool run_next();
+
+  // Runs until the queue drains or max_events have executed; returns the
+  // number executed.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  // Runs events with time <= t_end, then advances the clock to t_end.
+  std::uint64_t run_until(SimTime t_end);
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace hcube

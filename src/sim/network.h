@@ -1,0 +1,85 @@
+// Simulated message network.
+//
+// Delivers messages between endpoints (end hosts) through an EventQueue with
+// per-pair latencies from a LatencyModel. Latency per ordered pair is
+// constant within a run and ties break by send order, so per-pair delivery
+// is FIFO — a stronger guarantee than the paper needs (it only assumes
+// reliable delivery).
+//
+// Templated on the message payload so the simulator core stays independent
+// of the protocol message definitions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "topology/latency.h"
+#include "util/check.h"
+
+namespace hcube {
+
+template <typename Msg>
+class SimNetwork {
+ public:
+  using Handler = std::function<void(HostId from, const Msg& msg)>;
+
+  SimNetwork(EventQueue& queue, LatencyModel& latency)
+      : queue_(queue), latency_(latency) {}
+
+  // Registers an endpoint; returns its host id (also its index in the
+  // latency model). Endpoints must be registered before any send to them.
+  HostId add_endpoint(Handler handler) {
+    HCUBE_CHECK_MSG(handlers_.size() < latency_.num_hosts(),
+                    "more endpoints than hosts in the latency model");
+    handlers_.push_back(std::move(handler));
+    return static_cast<HostId>(handlers_.size() - 1);
+  }
+
+  std::uint32_t num_endpoints() const {
+    return static_cast<std::uint32_t>(handlers_.size());
+  }
+
+  // Sends msg from -> to; delivery is scheduled at now + latency(from, to).
+  // Returns false if the message was dropped by the drop filter.
+  bool send(HostId from, HostId to, Msg msg) {
+    HCUBE_CHECK(from < handlers_.size() && to < handlers_.size());
+    if (on_send) on_send(from, to, msg);
+    if (drop_filter && drop_filter(from, to, msg)) {
+      ++messages_dropped_;
+      return false;
+    }
+    ++messages_sent_;
+    const double delay = latency_.latency_ms(from, to);
+    queue_.schedule_after(delay, [this, from, to, m = std::move(msg)]() {
+      ++messages_delivered_;
+      handlers_[to](from, m);
+    });
+    return true;
+  }
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+  EventQueue& queue() { return queue_; }
+
+  // Observation hook: called for every send attempt (before drop filtering).
+  std::function<void(HostId from, HostId to, const Msg& msg)> on_send;
+  // Failure injection: return true to drop the message. The join protocol
+  // assumes reliable delivery; this hook exists for tests that verify the
+  // consistency checker *detects* the damage done by losses.
+  std::function<bool(HostId from, HostId to, const Msg& msg)> drop_filter;
+
+ private:
+  EventQueue& queue_;
+  LatencyModel& latency_;
+  std::vector<Handler> handlers_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace hcube

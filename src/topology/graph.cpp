@@ -1,0 +1,57 @@
+#include "topology/graph.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace hcube {
+
+Graph::Graph(std::uint32_t num_vertices) : adj_(num_vertices) {}
+
+void Graph::add_edge(std::uint32_t u, std::uint32_t v, float weight) {
+  HCUBE_CHECK(u < adj_.size() && v < adj_.size());
+  HCUBE_CHECK_MSG(u != v, "self-loops not allowed");
+  HCUBE_CHECK(weight >= 0.0f);
+  adj_[u].push_back({v, weight});
+  adj_[v].push_back({u, weight});
+  ++num_edges_;
+}
+
+std::span<const Graph::Edge> Graph::neighbors(std::uint32_t u) const {
+  HCUBE_CHECK(u < adj_.size());
+  return adj_[u];
+}
+
+std::vector<float> Graph::shortest_paths_from(std::uint32_t source) const {
+  HCUBE_CHECK(source < adj_.size());
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  std::vector<float> dist(adj_.size(), kInf);
+  using Item = std::pair<float, std::uint32_t>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0f;
+  heap.emplace(0.0f, source);
+  while (!heap.empty()) {
+    const auto [du, u] = heap.top();
+    heap.pop();
+    if (du > dist[u]) continue;  // stale entry
+    for (const Edge& e : adj_[u]) {
+      const float cand = du + e.weight;
+      if (cand < dist[e.to]) {
+        dist[e.to] = cand;
+        heap.emplace(cand, e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::is_connected() const {
+  if (adj_.empty()) return true;
+  const auto dist = shortest_paths_from(0);
+  for (float d : dist)
+    if (d == std::numeric_limits<float>::infinity()) return false;
+  return true;
+}
+
+}  // namespace hcube

@@ -1,0 +1,43 @@
+// Undirected weighted graph with Dijkstra shortest paths.
+//
+// Vertices model routers; edge weights are link latencies in milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hcube {
+
+class Graph {
+ public:
+  struct Edge {
+    std::uint32_t to;
+    float weight;
+  };
+
+  explicit Graph(std::uint32_t num_vertices);
+
+  std::uint32_t num_vertices() const {
+    return static_cast<std::uint32_t>(adj_.size());
+  }
+  std::size_t num_edges() const { return num_edges_; }
+
+  // Adds an undirected edge. Parallel edges are allowed (Dijkstra simply
+  // uses the cheaper one); self-loops are rejected.
+  void add_edge(std::uint32_t u, std::uint32_t v, float weight);
+
+  std::span<const Edge> neighbors(std::uint32_t u) const;
+
+  // Single-source shortest path distances; unreachable vertices get
+  // +infinity.
+  std::vector<float> shortest_paths_from(std::uint32_t source) const;
+
+  bool is_connected() const;
+
+ private:
+  std::vector<std::vector<Edge>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace hcube

@@ -1,0 +1,64 @@
+#include "topology/latency.h"
+
+#include "util/check.h"
+
+namespace hcube {
+
+double SyntheticLatency::latency_ms(HostId a, HostId b) {
+  if (a == b) return 0.0;
+  const std::uint64_t lo_id = a < b ? a : b;
+  const std::uint64_t hi_id = a < b ? b : a;
+  std::uint64_t s = seed_ ^ (lo_id * 0x9e3779b97f4a7c15ULL) ^
+                    (hi_id * 0xc2b2ae3d27d4eb4fULL);
+  const std::uint64_t h = splitmix64_next(s);
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return lo_ + (hi_ - lo_) * unit;
+}
+
+TopologyLatency::TopologyLatency(Graph graph,
+                                 const std::vector<std::uint32_t>& attach_points,
+                                 std::uint32_t num_hosts, double access_lo,
+                                 double access_hi, Rng& rng)
+    : graph_(std::move(graph)) {
+  HCUBE_CHECK(!attach_points.empty());
+  HCUBE_CHECK(access_lo >= 0 && access_hi >= access_lo);
+  host_router_.reserve(num_hosts);
+  host_access_ms_.reserve(num_hosts);
+  for (std::uint32_t h = 0; h < num_hosts; ++h) {
+    host_router_.push_back(
+        attach_points[rng.next_below(attach_points.size())]);
+    host_access_ms_.push_back(static_cast<float>(
+        access_lo + (access_hi - access_lo) * rng.next_double()));
+  }
+}
+
+const std::vector<float>& TopologyLatency::distances_from(
+    std::uint32_t router) {
+  auto it = dist_cache_.find(router);
+  if (it == dist_cache_.end())
+    it = dist_cache_.emplace(router, graph_.shortest_paths_from(router)).first;
+  return it->second;
+}
+
+double TopologyLatency::latency_ms(HostId a, HostId b) {
+  HCUBE_CHECK(a < host_router_.size() && b < host_router_.size());
+  if (a == b) return 0.0;
+  // Canonicalize the Dijkstra source so latency(a, b) == latency(b, a)
+  // bit-for-bit (float accumulation order differs per source otherwise).
+  const std::uint32_t ra = std::min(host_router_[a], host_router_[b]);
+  const std::uint32_t rb = std::max(host_router_[a], host_router_[b]);
+  const double backbone =
+      ra == rb ? 0.0 : static_cast<double>(distances_from(ra)[rb]);
+  return static_cast<double>(host_access_ms_[a]) + backbone +
+         static_cast<double>(host_access_ms_[b]);
+}
+
+std::unique_ptr<TopologyLatency> make_transit_stub_latency(
+    const TransitStubParams& params, std::uint32_t num_hosts, Rng& rng) {
+  TransitStubTopology topo = generate_transit_stub(params, rng);
+  return std::make_unique<TopologyLatency>(
+      std::move(topo.graph), topo.stub_routers, num_hosts,
+      params.access_latency_min, params.access_latency_max, rng);
+}
+
+}  // namespace hcube

@@ -1,0 +1,108 @@
+#include "topology/transit_stub.h"
+
+#include "util/check.h"
+
+namespace hcube {
+namespace {
+
+float uniform_latency(Rng& rng, double lo, double hi) {
+  return static_cast<float>(lo + (hi - lo) * rng.next_double());
+}
+
+// Connects vertices [first, first+count) as a ring (guaranteeing domain
+// connectivity) plus random chords.
+void build_domain(Graph& g, Rng& rng, std::uint32_t first, std::uint32_t count,
+                  double extra_prob, double lat_lo, double lat_hi) {
+  if (count == 1) return;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t u = first + i;
+    const std::uint32_t v = first + (i + 1) % count;
+    if (count == 2 && i == 1) break;  // avoid duplicating the single edge
+    g.add_edge(u, v, uniform_latency(rng, lat_lo, lat_hi));
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    for (std::uint32_t j = i + 2; j < count; ++j) {
+      if (i == 0 && j == count - 1) continue;  // ring edge already present
+      if (rng.next_double() < extra_prob)
+        g.add_edge(first + i, first + j, uniform_latency(rng, lat_lo, lat_hi));
+    }
+  }
+}
+
+}  // namespace
+
+TransitStubTopology generate_transit_stub(const TransitStubParams& p,
+                                          Rng& rng) {
+  HCUBE_CHECK(p.transit_domains >= 1);
+  HCUBE_CHECK(p.transit_nodes_per_domain >= 1);
+
+  const std::uint32_t n = p.total_routers();
+  TransitStubTopology topo{Graph(n), std::vector<bool>(n, false), {}};
+
+  // Vertex layout: all transit routers first (domain-major), then stub
+  // routers (grouped per stub domain).
+  const std::uint32_t num_transit =
+      p.transit_domains * p.transit_nodes_per_domain;
+  for (std::uint32_t v = 0; v < num_transit; ++v) topo.is_transit[v] = true;
+
+  // Intra-transit-domain meshes.
+  for (std::uint32_t dom = 0; dom < p.transit_domains; ++dom) {
+    build_domain(topo.graph, rng, dom * p.transit_nodes_per_domain,
+                 p.transit_nodes_per_domain, p.intra_domain_extra_edge_prob,
+                 p.transit_latency_min, p.transit_latency_max);
+  }
+
+  // Inter-domain links: ring of domains plus extra random links. Each link
+  // connects random routers of the two domains.
+  auto random_transit_router = [&](std::uint32_t dom) {
+    return dom * p.transit_nodes_per_domain +
+           static_cast<std::uint32_t>(
+               rng.next_below(p.transit_nodes_per_domain));
+  };
+  if (p.transit_domains > 1) {
+    for (std::uint32_t dom = 0; dom < p.transit_domains; ++dom) {
+      const std::uint32_t next = (dom + 1) % p.transit_domains;
+      if (p.transit_domains == 2 && dom == 1) break;
+      topo.graph.add_edge(random_transit_router(dom),
+                          random_transit_router(next),
+                          uniform_latency(rng, p.interdomain_latency_min,
+                                          p.interdomain_latency_max));
+    }
+    for (std::uint32_t i = 0; i < p.extra_interdomain_links; ++i) {
+      const auto a =
+          static_cast<std::uint32_t>(rng.next_below(p.transit_domains));
+      auto b = static_cast<std::uint32_t>(rng.next_below(p.transit_domains));
+      if (a == b) b = (b + 1) % p.transit_domains;
+      topo.graph.add_edge(random_transit_router(a), random_transit_router(b),
+                          uniform_latency(rng, p.interdomain_latency_min,
+                                          p.interdomain_latency_max));
+    }
+  }
+
+  // Stub domains: ring+chords internally; one access link from a random
+  // stub router of the domain to its parent transit router.
+  std::uint32_t next_vertex = num_transit;
+  for (std::uint32_t t = 0; t < num_transit; ++t) {
+    for (std::uint32_t s = 0; s < p.stub_domains_per_transit_node; ++s) {
+      const std::uint32_t first = next_vertex;
+      next_vertex += p.stub_nodes_per_domain;
+      build_domain(topo.graph, rng, first, p.stub_nodes_per_domain,
+                   p.intra_domain_extra_edge_prob, p.stub_latency_min,
+                   p.stub_latency_max);
+      const std::uint32_t gateway =
+          first + static_cast<std::uint32_t>(
+                      rng.next_below(p.stub_nodes_per_domain));
+      topo.graph.add_edge(t, gateway,
+                          uniform_latency(rng, p.access_latency_min,
+                                          p.access_latency_max));
+      for (std::uint32_t v = first; v < next_vertex; ++v)
+        topo.stub_routers.push_back(v);
+    }
+  }
+  HCUBE_CHECK(next_vertex == n);
+  HCUBE_CHECK_MSG(topo.graph.is_connected(),
+                  "transit-stub generator must produce a connected graph");
+  return topo;
+}
+
+}  // namespace hcube

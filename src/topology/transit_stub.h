@@ -1,0 +1,58 @@
+// Transit-stub router topology generator.
+//
+// The paper attaches simulated end hosts to router topologies produced by
+// the GT-ITM package (transit-stub model, 8320 routers). GT-ITM is not
+// available offline, so this module implements the transit-stub model
+// itself: a top-level ring-plus-chords of transit domains, transit routers
+// per domain, and stub domains hanging off transit routers. What matters for
+// the reproduced experiments is that pairwise end-host latencies are
+// heterogeneous and triangle-inequality-respecting (shortest path metric),
+// which this construction provides. See DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.h"
+#include "util/rng.h"
+
+namespace hcube {
+
+struct TransitStubParams {
+  std::uint32_t transit_domains = 4;
+  std::uint32_t transit_nodes_per_domain = 8;
+  std::uint32_t stub_domains_per_transit_node = 4;
+  std::uint32_t stub_nodes_per_domain = 16;
+
+  // Extra random chord edges (beyond the connectivity-guaranteeing rings),
+  // expressed as a probability per candidate pair within a domain.
+  double intra_domain_extra_edge_prob = 0.2;
+  // Extra transit-domain-to-transit-domain links beyond the ring.
+  std::uint32_t extra_interdomain_links = 2;
+
+  // Link latency ranges in milliseconds.
+  double interdomain_latency_min = 20.0, interdomain_latency_max = 80.0;
+  double transit_latency_min = 5.0, transit_latency_max = 20.0;
+  double access_latency_min = 2.0, access_latency_max = 10.0;  // transit-stub
+  double stub_latency_min = 1.0, stub_latency_max = 5.0;
+
+  std::uint32_t total_routers() const {
+    return transit_domains * transit_nodes_per_domain *
+               (1 + stub_domains_per_transit_node * stub_nodes_per_domain);
+  }
+};
+
+struct TransitStubTopology {
+  Graph graph;
+  // Router classification, parallel to vertex ids.
+  std::vector<bool> is_transit;
+  // Stub routers, in vertex-id order (hosts are normally attached here).
+  std::vector<std::uint32_t> stub_routers;
+};
+
+// Generates a connected transit-stub topology. Deterministic given the RNG
+// state.
+TransitStubTopology generate_transit_stub(const TransitStubParams& params,
+                                          Rng& rng);
+
+}  // namespace hcube

@@ -1,0 +1,13 @@
+#include "util/bitvec.h"
+
+#include <bit>
+
+namespace hcube {
+
+std::size_t BitVec::popcount() const {
+  std::size_t total = 0;
+  for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+}  // namespace hcube

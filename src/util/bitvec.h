@@ -1,0 +1,47 @@
+// Compact bit vector.
+//
+// Section 6.2 of the paper proposes shrinking JoinNotiMsg replies by sending
+// a bit vector with one bit per neighbor-table entry ('1' = entry already
+// filled at the sender). This is that bit vector; it also serves as the
+// presence bitmap in our wire-size model for table snapshots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hcube {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  std::size_t size() const { return nbits_; }
+  std::size_t size_bytes() const { return (nbits_ + 7) / 8; }
+
+  bool get(std::size_t i) const {
+    HCUBE_DCHECK(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(std::size_t i, bool value = true) {
+    HCUBE_DCHECK(i < nbits_);
+    if (value)
+      words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+    else
+      words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  std::size_t popcount() const;
+
+  bool operator==(const BitVec& other) const = default;
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace hcube

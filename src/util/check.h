@@ -1,0 +1,36 @@
+// Lightweight contract checks used throughout the library.
+//
+// HCUBE_CHECK is always on (protocol invariants whose violation indicates a
+// bug that would silently corrupt neighbor tables); HCUBE_DCHECK compiles out
+// in NDEBUG builds (hot-path sanity checks).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hcube {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "HCUBE_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace hcube
+
+#define HCUBE_CHECK(expr)                                        \
+  do {                                                           \
+    if (!(expr)) ::hcube::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define HCUBE_CHECK_MSG(expr, msg)                                \
+  do {                                                            \
+    if (!(expr)) ::hcube::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define HCUBE_DCHECK(expr) ((void)0)
+#else
+#define HCUBE_DCHECK(expr) HCUBE_CHECK(expr)
+#endif

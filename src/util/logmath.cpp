@@ -1,0 +1,62 @@
+#include "util/logmath.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace hcube {
+
+double log_factorial(std::uint64_t k) {
+  return std::lgamma(static_cast<double>(k) + 1.0);
+}
+
+double log_binomial(double N, std::uint64_t k) {
+  HCUBE_CHECK(N >= 0.0);
+  if (k == 0) return 0.0;
+  if (static_cast<double>(k) > N)
+    return -std::numeric_limits<double>::infinity();
+  // For N much larger than k, log(N - j) is essentially flat across
+  // j = 0..k-1; summing term by term stays exact for small N too. Kahan
+  // compensation matters here: naive accumulation of 1e5 terms of
+  // magnitude ~1e2 costs ~1e-6 absolute error in the log, which is visible
+  // after exponentiation (Theorem 4 evaluates differences of such sums).
+  double sum = 0.0, comp = 0.0;
+  for (std::uint64_t j = 0; j < k; ++j) {
+    const double term = std::log(N - static_cast<double>(j)) - comp;
+    const double next = sum + term;
+    comp = (next - sum) - term;
+    sum = next;
+  }
+  return sum - log_factorial(k);
+}
+
+double log_add_exp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double hi = a > b ? a : b;
+  const double lo = a > b ? b : a;
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double log_sum_exp(const std::vector<double>& v) {
+  double acc = -std::numeric_limits<double>::infinity();
+  for (double x : v) acc = log_add_exp(acc, x);
+  return acc;
+}
+
+unsigned __int128 binomial_exact(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  unsigned __int128 result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    // result * (n - k + i) must not overflow; check before multiplying.
+    const unsigned __int128 factor = n - k + i;
+    HCUBE_CHECK_MSG(result <= ~static_cast<unsigned __int128>(0) / factor,
+                    "binomial_exact overflow");
+    result = result * factor / i;  // divisible at each step
+  }
+  return result;
+}
+
+}  // namespace hcube

@@ -1,0 +1,37 @@
+// Log-space combinatorics.
+//
+// Theorem 4 of the paper evaluates hypergeometric-style terms such as
+//   C(B, k) * C(b^d - b^{d-i}, n - k) / C(b^d - 1, n)
+// with b = 16, d = 40, i.e. population sizes around 1.46e48. Those binomial
+// coefficients overflow any fixed-width type and lgamma differencing loses
+// all precision at that magnitude, so everything here works with
+// log C(N, k) computed as  sum_{j=0}^{k-1} log(N - j)  -  log k! ,
+// which is accurate for huge N and the moderate k (<= a few 1e5) we need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hcube {
+
+// log(k!) via lgamma. Exact enough for all k we use.
+double log_factorial(std::uint64_t k);
+
+// log C(N, k) for real-valued population size N >= 0 and integer k.
+// Returns -infinity when k > N (no way to choose). N is a double because the
+// population sizes (b^d - ...) exceed uint64 range; they are integers whose
+// double representation carries ~16 significant digits, which dominates all
+// other error terms here.
+double log_binomial(double N, std::uint64_t k);
+
+// log(exp(a) + exp(b)) without overflow.
+double log_add_exp(double a, double b);
+
+// log(sum_i exp(v_i)); -infinity for an empty vector.
+double log_sum_exp(const std::vector<double>& v);
+
+// Exact binomial coefficient for small arguments (used to validate the
+// log-space code in tests). Checks for overflow of unsigned __int128.
+unsigned __int128 binomial_exact(std::uint64_t n, std::uint64_t k);
+
+}  // namespace hcube

@@ -1,0 +1,30 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace hcube {
+
+double Rng::next_exponential(double mean) {
+  HCUBE_CHECK(mean > 0);
+  // 1 - next_double() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - next_double());
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) {
+  HCUBE_CHECK(k <= n);
+  // Floyd's algorithm: O(k) expected insertions.
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(k) * 2);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    std::uint64_t t = next_below(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  std::vector<std::uint64_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hcube

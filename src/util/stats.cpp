@@ -1,0 +1,122 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hcube {
+
+void StreamingStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double StreamingStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double EmpiricalDistribution::mean() const {
+  if (n_ == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [v, c] : counts_)
+    sum += static_cast<double>(v) * static_cast<double>(c);
+  return sum / static_cast<double>(n_);
+}
+
+std::int64_t EmpiricalDistribution::min() const {
+  HCUBE_CHECK(n_ > 0);
+  return counts_.begin()->first;
+}
+
+std::int64_t EmpiricalDistribution::max() const {
+  HCUBE_CHECK(n_ > 0);
+  return counts_.rbegin()->first;
+}
+
+double EmpiricalDistribution::cdf(std::int64_t value) const {
+  if (n_ == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (const auto& [v, c] : counts_) {
+    if (v > value) break;
+    acc += c;
+  }
+  return static_cast<double>(acc) / static_cast<double>(n_);
+}
+
+std::int64_t EmpiricalDistribution::quantile(double q) const {
+  HCUBE_CHECK(n_ > 0);
+  HCUBE_CHECK(q > 0.0 && q <= 1.0);
+  const double target = q * static_cast<double>(n_);
+  std::uint64_t acc = 0;
+  for (const auto& [v, c] : counts_) {
+    acc += c;
+    if (static_cast<double>(acc) >= target) return v;
+  }
+  return counts_.rbegin()->first;
+}
+
+std::vector<std::pair<std::int64_t, double>>
+EmpiricalDistribution::cdf_points() const {
+  std::vector<std::pair<std::int64_t, double>> out;
+  out.reserve(counts_.size());
+  std::uint64_t acc = 0;
+  for (const auto& [v, c] : counts_) {
+    acc += c;
+    out.emplace_back(v, static_cast<double>(acc) / static_cast<double>(n_));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {
+  HCUBE_CHECK(hi > lo);
+  HCUBE_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++n_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                            static_cast<double>(bins_.size()));
+  ++bins_[idx < bins_.size() ? idx : bins_.size() - 1];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(bins_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+std::string Histogram::to_string(std::size_t bar_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : bins_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") ";
+    const auto stars = static_cast<std::size_t>(
+        static_cast<double>(bins_[i]) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    os << std::string(stars, '#') << " " << bins_[i] << "\n";
+  }
+  if (underflow_) os << "underflow: " << underflow_ << "\n";
+  if (overflow_) os << "overflow: " << overflow_ << "\n";
+  return os.str();
+}
+
+}  // namespace hcube

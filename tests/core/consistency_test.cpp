@@ -1,0 +1,192 @@
+// The consistency checker and the direct builder, validated against each
+// other and against hand-broken networks.
+#include "core/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/routing.h"
+#include "test_util.h"
+
+namespace hcube {
+namespace {
+
+using testing::World;
+using testing::id_of;
+using testing::make_ids;
+
+TEST(Builder, DirectConstructionIsConsistent) {
+  for (auto [base, digits, n] :
+       {std::tuple<std::uint32_t, std::uint32_t, std::size_t>{2, 10, 100},
+        {4, 6, 200}, {16, 4, 150}, {16, 8, 64}, {8, 5, 300}}) {
+    const IdParams params{base, digits};
+    World world(params, static_cast<std::uint32_t>(n));
+    build_consistent_network(world.overlay, make_ids(params, n, 42));
+    const auto report = check_consistency(view_of(world.overlay));
+    EXPECT_TRUE(report.consistent())
+        << "b=" << base << " d=" << digits << "\n"
+        << report.summary(params);
+  }
+}
+
+TEST(Builder, SingleNodeNetwork) {
+  const IdParams params{4, 4};
+  World world(params, 2);
+  build_consistent_network(world.overlay, make_ids(params, 1, 3));
+  EXPECT_TRUE(check_consistency(view_of(world.overlay)).consistent());
+  EXPECT_TRUE(world.overlay.all_in_system());
+}
+
+TEST(Builder, ReverseNeighborSetsAreComplete) {
+  const IdParams params{4, 5};
+  World world(params, 32);
+  auto ids = make_ids(params, 30, 9);
+  build_consistent_network(world.overlay, ids);
+  // If u stores v, then v's reverse set contains u.
+  for (const auto& node : world.overlay.nodes()) {
+    node->table().for_each_filled([&](std::uint32_t, std::uint32_t,
+                                      const NodeId& v, NeighborState) {
+      if (v == node->id()) return;
+      const auto& reverse = world.overlay.at(v).table().reverse_neighbors();
+      EXPECT_TRUE(reverse.contains(node->id()));
+    });
+  }
+}
+
+TEST(Consistency, DetectsFalseNegative) {
+  // Two nodes that share nothing: each must still point at the other at
+  // level 0. A table missing that entry is a false negative.
+  const IdParams params{4, 3};
+  const NodeId a = id_of("111", params);
+  const NodeId b = id_of("222", params);
+  NeighborTable ta(params, a), tb(params, b);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ta.set(i, a.digit(i), a, NeighborState::kS);
+    tb.set(i, b.digit(i), b, NeighborState::kS);
+  }
+  ta.set(0, 2, b, NeighborState::kS);
+  // tb deliberately misses its (0, 1) entry for a.
+  NetworkView view(params);
+  view.add(&ta);
+  view.add(&tb);
+  const auto report = check_consistency(view);
+  EXPECT_FALSE(report.consistent());
+  ASSERT_EQ(report.total_violations, 1u);
+  EXPECT_EQ(report.violations[0].kind,
+            ConsistencyViolation::Kind::kFalseNegative);
+  EXPECT_EQ(report.violations[0].node, b);
+  EXPECT_EQ(report.violations[0].level, 0u);
+  EXPECT_EQ(report.violations[0].digit, 1u);
+}
+
+TEST(Consistency, DetectsUnknownNeighbor) {
+  // a's (1, 2) entry wants suffix "21". Member c has it, so the entry must
+  // be filled — but it holds `ghost`, which has the right suffix yet is not
+  // a member. That is the unknown-neighbor violation (a dangling pointer,
+  // stronger than a false positive).
+  const IdParams params{4, 3};
+  const NodeId a = id_of("111", params);
+  const NodeId c = id_of("121", params);
+  const NodeId ghost = id_of("221", params);
+  NeighborTable ta(params, a), tc(params, c);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ta.set(i, a.digit(i), a, NeighborState::kS);
+    tc.set(i, c.digit(i), c, NeighborState::kS);
+  }
+  ta.set(1, 2, ghost, NeighborState::kS);  // ghost is not a member
+  NetworkView view(params);
+  view.add(&ta);
+  view.add(&tc);
+  const auto report = check_consistency(view);
+  EXPECT_FALSE(report.consistent());
+  bool found = false;
+  for (const auto& v : report.violations) {
+    if (v.kind == ConsistencyViolation::Kind::kUnknownNeighbor) {
+      found = true;
+      EXPECT_EQ(v.present, ghost);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Consistency, DetectsStaleState) {
+  const IdParams params{4, 3};
+  const NodeId a = id_of("111", params);
+  const NodeId b = id_of("221", params);
+  NeighborTable ta(params, a), tb(params, b);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ta.set(i, a.digit(i), a, NeighborState::kS);
+    tb.set(i, b.digit(i), b, NeighborState::kS);
+  }
+  ta.set(1, 2, b, NeighborState::kT);  // stale: b is in the network
+  tb.set(1, 1, a, NeighborState::kS);
+  ta.set(0, 1, b, NeighborState::kS);
+  tb.set(0, 1, a, NeighborState::kS);
+  NetworkView view(params);
+  view.add(&ta);
+  view.add(&tb);
+  EXPECT_TRUE(check_consistency(view).consistent());  // states not checked
+  ConsistencyCheckOptions options;
+  options.check_states = true;
+  const auto report = check_consistency(view, options);
+  EXPECT_EQ(report.total_violations, 1u);
+  EXPECT_EQ(report.violations[0].kind,
+            ConsistencyViolation::Kind::kStaleState);
+}
+
+TEST(Consistency, ViolationCapKeepsCounting) {
+  const IdParams params{2, 6};
+  World world(params, 64);
+  auto ids = make_ids(params, 60, 21);
+  build_consistent_network(world.overlay, ids);
+  // Check against a view missing one member: every pointer to it becomes an
+  // unknown-neighbor violation, far more than the keep cap.
+  NetworkView view(params);
+  for (const auto& node : world.overlay.nodes())
+    if (node->id() != ids[0]) view.add(&node->table());
+  ConsistencyCheckOptions options;
+  options.max_violations_kept = 4;
+  const auto report = check_consistency(view, options);
+  EXPECT_FALSE(report.consistent());
+  EXPECT_EQ(report.violations.size(), 4u);
+  EXPECT_GT(report.total_violations, 4u);
+}
+
+TEST(Consistency, ReachabilityMatchesLemma31) {
+  // Lemma 3.1: all-pairs reachability iff condition (a). The direct builder
+  // produces (a)-satisfying tables, so reachability must be total.
+  const IdParams params{4, 5};
+  World world(params, 40);
+  build_consistent_network(world.overlay, make_ids(params, 40, 31));
+  const NetworkView net = view_of(world.overlay);
+  Rng rng(3);
+  EXPECT_EQ(check_reachability_sample(net, UINT64_MAX, rng), 0u);
+}
+
+TEST(Consistency, BrokenEntryBreaksReachability) {
+  const IdParams params{4, 3};
+  const NodeId a = id_of("111", params);
+  const NodeId b = id_of("222", params);
+  NeighborTable ta(params, a), tb(params, b);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ta.set(i, a.digit(i), a, NeighborState::kS);
+    tb.set(i, b.digit(i), b, NeighborState::kS);
+  }
+  ta.set(0, 2, b, NeighborState::kS);
+  NetworkView view(params);
+  view.add(&ta);
+  view.add(&tb);
+  EXPECT_TRUE(reachable(view, a, b));
+  EXPECT_FALSE(reachable(view, b, a));  // tb lacks the (0,1) entry
+}
+
+TEST(Consistency, SummaryMentionsVerdict) {
+  const IdParams params{4, 4};
+  World world(params, 8);
+  build_consistent_network(world.overlay, make_ids(params, 5, 2));
+  const auto report = check_consistency(view_of(world.overlay));
+  EXPECT_NE(report.summary(params).find("CONSISTENT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcube

@@ -1,0 +1,147 @@
+// Overlay runtime: registry, scheduling, metrics accounting, views.
+#include "core/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include "core/routing.h"
+#include "test_util.h"
+
+namespace hcube {
+namespace {
+
+using testing::World;
+using testing::make_ids;
+
+TEST(Overlay, RegistryLookups) {
+  const IdParams params{4, 4};
+  World world(params, 8);
+  auto ids = make_ids(params, 3, 1);
+  build_consistent_network(world.overlay, {ids[0], ids[1]});
+  EXPECT_NE(world.overlay.find(ids[0]), nullptr);
+  EXPECT_EQ(world.overlay.find(ids[2]), nullptr);
+  EXPECT_EQ(world.overlay.at(ids[1]).id(), ids[1]);
+  EXPECT_DEATH(world.overlay.at(ids[2]), "unknown");
+  EXPECT_NE(world.overlay.host_of(ids[0]), world.overlay.host_of(ids[1]));
+}
+
+TEST(Overlay, ScheduleJoinHonorsStartTime) {
+  const IdParams params{4, 4};
+  World world(params, 8);
+  auto ids = make_ids(params, 2, 2);
+  world.overlay.add_node(ids[0]).become_seed();
+  Node& joiner = world.overlay.schedule_join(ids[1], ids[0], 250.0);
+  world.queue.run_until(249.0);
+  EXPECT_EQ(joiner.status(), NodeStatus::kCopying);  // not yet started
+  const JoinStats& s = joiner.join_stats();
+  EXPECT_LT(s.t_begin, 0.0);  // unset
+  world.overlay.run_to_quiescence();
+  EXPECT_TRUE(joiner.is_s_node());
+  EXPECT_DOUBLE_EQ(joiner.join_stats().t_begin, 250.0);
+}
+
+TEST(Overlay, TotalsMatchPerNodeStats) {
+  const IdParams params{4, 5};
+  World world(params, 40);
+  auto ids = make_ids(params, 35, 3);
+  const std::vector<NodeId> v(ids.begin(), ids.begin() + 20);
+  const std::vector<NodeId> w(ids.begin() + 20, ids.end());
+  build_consistent_network(world.overlay, v);
+  Rng rng(1);
+  join_concurrently(world.overlay, w, v, rng);
+  ASSERT_TRUE(world.overlay.all_in_system());
+
+  Overlay::Totals recomputed;
+  for (const auto& node : world.overlay.nodes()) {
+    const JoinStats& s = node->join_stats();
+    for (std::size_t t = 0; t < kNumMessageTypes; ++t) {
+      recomputed.sent[t] += s.sent[t];
+      recomputed.messages += s.sent[t];
+    }
+    recomputed.bytes += s.bytes_sent;
+  }
+  EXPECT_EQ(world.overlay.totals().messages, recomputed.messages);
+  EXPECT_EQ(world.overlay.totals().bytes, recomputed.bytes);
+  for (std::size_t t = 0; t < kNumMessageTypes; ++t)
+    EXPECT_EQ(world.overlay.totals().sent[t], recomputed.sent[t]) << t;
+}
+
+TEST(Overlay, EverySentMessageIsEventuallyReceived) {
+  const IdParams params{4, 5};
+  World world(params, 30);
+  auto ids = make_ids(params, 25, 5);
+  const std::vector<NodeId> v(ids.begin(), ids.begin() + 15);
+  const std::vector<NodeId> w(ids.begin() + 15, ids.end());
+  build_consistent_network(world.overlay, v);
+  Rng rng(2);
+  join_concurrently(world.overlay, w, v, rng);
+
+  std::uint64_t received = 0;
+  for (const auto& node : world.overlay.nodes())
+    for (std::size_t t = 0; t < kNumMessageTypes; ++t)
+      received += node->join_stats().received[t];
+  EXPECT_EQ(received, world.overlay.totals().messages);
+}
+
+TEST(Overlay, OnMessageHookSeesEveryMessage) {
+  const IdParams params{4, 4};
+  World world(params, 10);
+  auto ids = make_ids(params, 8, 7);
+  const std::vector<NodeId> v(ids.begin(), ids.begin() + 7);
+  build_consistent_network(world.overlay, v);
+  std::uint64_t seen = 0;
+  world.overlay.on_message = [&](const NodeId&, const NodeId&,
+                                 const MessageBody&) { ++seen; };
+  world.overlay.schedule_join(ids[7], v[0], 0.0);
+  world.overlay.run_to_quiescence();
+  EXPECT_EQ(seen, world.overlay.totals().messages);
+}
+
+TEST(Overlay, LiveSizeTracksMembershipChanges) {
+  const IdParams params{4, 5};
+  World world(params, 20);
+  auto ids = make_ids(params, 20, 9);
+  build_consistent_network(world.overlay, ids);
+  EXPECT_EQ(world.overlay.live_size(), 20u);
+  world.overlay.at(ids[0]).start_leave();
+  world.overlay.run_to_quiescence();
+  EXPECT_EQ(world.overlay.live_size(), 19u);
+  world.overlay.crash(ids[1]);
+  EXPECT_EQ(world.overlay.live_size(), 18u);
+  EXPECT_TRUE(world.overlay.all_in_system());  // departed/crashed excluded
+  const NetworkView net = view_of(world.overlay);
+  EXPECT_EQ(net.size(), 18u);
+  EXPECT_FALSE(net.contains(ids[0]));
+  EXPECT_FALSE(net.contains(ids[1]));
+}
+
+TEST(Overlay, DropFilterCanBeCleared) {
+  const IdParams params{4, 4};
+  World world(params, 8);
+  auto ids = make_ids(params, 4, 11);
+  const std::vector<NodeId> v(ids.begin(), ids.begin() + 3);
+  build_consistent_network(world.overlay, v);
+  world.overlay.set_drop_filter(
+      [](const NodeId&, const NodeId&, const MessageBody&) { return true; });
+  world.overlay.set_drop_filter(nullptr);  // back to reliable delivery
+  world.overlay.schedule_join(ids[3], v[0], 0.0);
+  world.overlay.run_to_quiescence();
+  EXPECT_TRUE(world.overlay.all_in_system());
+}
+
+TEST(SuffixTrieSome, CapIsRespected) {
+  const IdParams params{2, 8};
+  SuffixTrie trie(params);
+  auto ids = make_ids(params, 120, 13);
+  for (const auto& id : ids) trie.insert(id);
+  const Suffix empty;
+  EXPECT_EQ(trie.some_with_suffix(empty, 0).size(), 0u);
+  EXPECT_EQ(trie.some_with_suffix(empty, 5).size(), 5u);
+  EXPECT_EQ(trie.some_with_suffix(empty, 10000).size(), 120u);
+  // Capped results are a prefix of the full digit-order enumeration.
+  const auto all = trie.all_with_suffix(empty);
+  const auto some = trie.some_with_suffix(empty, 7);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(some[i], all[i]);
+}
+
+}  // namespace
+}  // namespace hcube

@@ -1,0 +1,150 @@
+#include "ids/node_id.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hcube {
+namespace {
+
+const IdParams kHex5{16, 5};
+const IdParams kOct5{8, 5};
+
+TEST(NodeId, RoundTripString) {
+  // The paper's running example node 21233 (b = 4, d = 5).
+  const IdParams params{4, 5};
+  const auto id = NodeId::from_string("21233", params);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->to_string(params), "21233");
+  // Digit 0 is the RIGHTMOST digit.
+  EXPECT_EQ(id->digit(0), 3);
+  EXPECT_EQ(id->digit(1), 3);
+  EXPECT_EQ(id->digit(2), 2);
+  EXPECT_EQ(id->digit(3), 1);
+  EXPECT_EQ(id->digit(4), 2);
+}
+
+TEST(NodeId, FromStringRejectsBadInput) {
+  EXPECT_FALSE(NodeId::from_string("1234", kHex5).has_value());    // short
+  EXPECT_FALSE(NodeId::from_string("123456", kHex5).has_value());  // long
+  EXPECT_FALSE(NodeId::from_string("12z45", kHex5).has_value());   // digit
+  EXPECT_FALSE(NodeId::from_string("99999", kOct5).has_value());   // base
+}
+
+TEST(NodeId, HexDigitsParse) {
+  const auto id = NodeId::from_string("0afe9", kHex5);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->digit(0), 9);
+  EXPECT_EQ(id->digit(1), 14);
+  EXPECT_EQ(id->digit(2), 15);
+  EXPECT_EQ(id->digit(3), 10);
+  EXPECT_EQ(id->digit(4), 0);
+  EXPECT_EQ(id->to_string(kHex5), "0afe9");
+}
+
+TEST(NodeId, LargeBaseUsesDottedNotation) {
+  const IdParams params{100, 3};
+  std::vector<Digit> digits{7, 42, 99};  // LSB first
+  const NodeId id(digits, params);
+  EXPECT_EQ(id.to_string(params), "99.42.7");
+  const auto parsed = NodeId::from_string("99.42.7", params);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, id);
+}
+
+TEST(NodeId, CsufLen) {
+  // csuf("21233", "03233") per the paper's Figure 1 vicinity: common suffix
+  // "233" -> length 3.
+  const IdParams params{4, 5};
+  const auto a = NodeId::from_string("21233", params);
+  const auto b = NodeId::from_string("03233", params);
+  EXPECT_EQ(a->csuf_len(*b), 3u);
+  EXPECT_EQ(b->csuf_len(*a), 3u);
+  EXPECT_EQ(a->csuf_len(*a), 5u);
+}
+
+TEST(NodeId, CsufLenZero) {
+  const IdParams params{4, 5};
+  const auto a = NodeId::from_string("21233", params);
+  const auto b = NodeId::from_string("21232", params);
+  EXPECT_EQ(a->csuf_len(*b), 0u);
+}
+
+TEST(NodeId, HasSuffix) {
+  const IdParams params{8, 5};
+  const auto id = NodeId::from_string("10261", params);
+  // Suffixes are LSB-first digit vectors: "261" is {1, 6, 2}.
+  EXPECT_TRUE(id->has_suffix(Suffix{}));
+  EXPECT_TRUE(id->has_suffix(Suffix{1}));
+  EXPECT_TRUE(id->has_suffix(Suffix{1, 6}));
+  EXPECT_TRUE(id->has_suffix(Suffix{1, 6, 2}));
+  EXPECT_FALSE(id->has_suffix(Suffix{6}));
+  EXPECT_FALSE(id->has_suffix(Suffix{1, 6, 3}));
+}
+
+TEST(NodeId, SuffixOfLen) {
+  const IdParams params{8, 5};
+  const auto id = NodeId::from_string("10261", params);
+  EXPECT_EQ(id->suffix_of_len(0), Suffix{});
+  EXPECT_EQ(id->suffix_of_len(3), (Suffix{1, 6, 2}));
+  EXPECT_EQ(suffix_to_string(id->suffix_of_len(3), params), "261");
+}
+
+TEST(NodeId, OrderingAndEquality) {
+  const IdParams params{4, 3};
+  const auto a = NodeId::from_string("123", params);
+  const auto b = NodeId::from_string("123", params);
+  const auto c = NodeId::from_string("223", params);
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(*a, *c);
+  EXPECT_EQ(a->hash(), b->hash());
+}
+
+TEST(NodeId, InvalidDefaultConstructed) {
+  NodeId id;
+  EXPECT_FALSE(id.is_valid());
+}
+
+TEST(NodeId, RandomIdsRespectParams) {
+  Rng rng(3);
+  const IdParams params{5, 7};
+  for (int i = 0; i < 200; ++i) {
+    const NodeId id = random_id(rng, params);
+    ASSERT_EQ(id.num_digits(), 7u);
+    for (std::size_t j = 0; j < 7; ++j) ASSERT_LT(id.digit(j), 5);
+  }
+}
+
+TEST(UniqueIdGenerator, NeverRepeats) {
+  const IdParams params{2, 8};  // only 256 possible IDs
+  UniqueIdGenerator gen(params, 5);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE(seen.insert(gen.next()).second);
+}
+
+TEST(UniqueIdGenerator, ReserveBlocksCollision) {
+  const IdParams params{2, 4};  // 16 possible IDs
+  UniqueIdGenerator gen(params, 5);
+  std::set<NodeId> seen;
+  // Reserve half the space manually, then exhaust the rest via next().
+  for (std::uint32_t v = 0; v < 8; ++v) {
+    std::vector<Digit> digits(4);
+    for (int j = 0; j < 4; ++j) digits[j] = (v >> j) & 1;
+    NodeId id(digits, params);
+    EXPECT_TRUE(gen.reserve(id));
+    EXPECT_FALSE(gen.reserve(id));  // second reserve reports duplicate
+    seen.insert(id);
+  }
+  for (int i = 0; i < 8; ++i) {
+    const NodeId id = gen.next();
+    EXPECT_TRUE(seen.insert(id).second) << "collision with reserved ID";
+  }
+}
+
+TEST(IdParams, Log2SpaceSize) {
+  EXPECT_DOUBLE_EQ((IdParams{16, 40}).log2_space_size(), 160.0);
+  EXPECT_DOUBLE_EQ((IdParams{2, 8}).log2_space_size(), 8.0);
+}
+
+}  // namespace
+}  // namespace hcube

@@ -1,0 +1,118 @@
+#include "proto/messages.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hcube {
+namespace {
+
+using testing::id_of;
+
+const IdParams kHex8{16, 8};
+const IdParams kHex40{16, 40};
+
+TEST(Messages, TypeOfCoversAllVariants) {
+  EXPECT_EQ(type_of(CpRstMsg{}), MessageType::kCpRst);
+  EXPECT_EQ(type_of(CpRlyMsg{}), MessageType::kCpRly);
+  EXPECT_EQ(type_of(JoinWaitMsg{}), MessageType::kJoinWait);
+  EXPECT_EQ(type_of(JoinWaitRlyMsg{}), MessageType::kJoinWaitRly);
+  EXPECT_EQ(type_of(JoinNotiMsg{}), MessageType::kJoinNoti);
+  EXPECT_EQ(type_of(JoinNotiRlyMsg{}), MessageType::kJoinNotiRly);
+  EXPECT_EQ(type_of(InSysNotiMsg{}), MessageType::kInSysNoti);
+  EXPECT_EQ(type_of(SpeNotiMsg{}), MessageType::kSpeNoti);
+  EXPECT_EQ(type_of(SpeNotiRlyMsg{}), MessageType::kSpeNotiRly);
+  EXPECT_EQ(type_of(RvNghNotiMsg{}), MessageType::kRvNghNoti);
+  EXPECT_EQ(type_of(RvNghNotiRlyMsg{}), MessageType::kRvNghNotiRly);
+  EXPECT_EQ(type_of(LeaveMsg{}), MessageType::kLeave);
+  EXPECT_EQ(type_of(LeaveRlyMsg{}), MessageType::kLeaveRly);
+  EXPECT_EQ(type_of(NghDropMsg{}), MessageType::kNghDrop);
+  EXPECT_EQ(type_of(PingMsg{}), MessageType::kPing);
+  EXPECT_EQ(type_of(PongMsg{}), MessageType::kPong);
+  EXPECT_EQ(type_of(RepairQueryMsg{}), MessageType::kRepairQuery);
+  EXPECT_EQ(type_of(RepairRlyMsg{}), MessageType::kRepairRly);
+  EXPECT_EQ(type_of(AnnounceMsg{}), MessageType::kAnnounce);
+}
+
+TEST(Messages, TypeNamesMatchFigure4) {
+  EXPECT_STREQ(type_name(MessageType::kCpRst), "CpRstMsg");
+  EXPECT_STREQ(type_name(MessageType::kJoinWait), "JoinWaitMsg");
+  EXPECT_STREQ(type_name(MessageType::kJoinNoti), "JoinNotiMsg");
+  EXPECT_STREQ(type_name(MessageType::kSpeNoti), "SpeNotiMsg");
+  EXPECT_STREQ(type_name(MessageType::kRvNghNotiRly), "RvNghNotiRlyMsg");
+}
+
+TEST(Messages, BigRequestClassification) {
+  // Section 5.2: CpRstMsg, JoinWaitMsg and JoinNotiMsg (and their replies)
+  // are the "big" messages; everything else is small.
+  EXPECT_TRUE(is_big_request(MessageType::kCpRst));
+  EXPECT_TRUE(is_big_request(MessageType::kJoinWait));
+  EXPECT_TRUE(is_big_request(MessageType::kJoinNoti));
+  EXPECT_FALSE(is_big_request(MessageType::kInSysNoti));
+  EXPECT_FALSE(is_big_request(MessageType::kSpeNoti));
+  EXPECT_FALSE(is_big_request(MessageType::kRvNghNoti));
+}
+
+TEST(Messages, IdWireBytes) {
+  EXPECT_EQ(id_wire_bytes(kHex8), 4u);    // 8 * 4 bits
+  EXPECT_EQ(id_wire_bytes(kHex40), 20u);  // 40 * 4 bits = 160 bits
+  EXPECT_EQ(id_wire_bytes(IdParams{2, 8}), 1u);
+  EXPECT_EQ(id_wire_bytes(IdParams{3, 8}), 2u);  // 2 bits per digit
+  EXPECT_EQ(node_ref_wire_bytes(kHex8), 10u);    // id + IPv4:port
+}
+
+TEST(Messages, SnapshotSizeGrowsWithEntries) {
+  TableSnapshot snap;
+  const std::size_t empty_size = snapshot_wire_bytes(snap, kHex8);
+  EXPECT_EQ(empty_size, (8u * 16u + 7u) / 8u);  // presence bitmap only
+  snap.add(0, 1, id_of("00000001", kHex8), NeighborState::kS);
+  EXPECT_EQ(snapshot_wire_bytes(snap, kHex8),
+            empty_size + node_ref_wire_bytes(kHex8) + 1);
+}
+
+TEST(Messages, SmallMessagesAreSmall) {
+  const NodeId sender = id_of("00000001", kHex8);
+  const std::size_t small =
+      wire_size_bytes(Message{sender, InSysNotiMsg{}}, kHex8);
+  EXPECT_LT(small, 64u);
+  EXPECT_EQ(wire_size_bytes(Message{sender, RvNghNotiMsg{}}, kHex8),
+            small + 1);
+}
+
+TEST(Messages, BigMessageDominatedByTable) {
+  const NodeId sender = id_of("00000001", kHex8);
+  JoinNotiMsg noti;
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 16; ++j)
+      noti.table.add(static_cast<std::uint8_t>(i),
+                     static_cast<std::uint8_t>(j),
+                     id_of("00000001", kHex8), NeighborState::kS);
+  const std::size_t big = wire_size_bytes(Message{sender, noti}, kHex8);
+  const std::size_t small =
+      wire_size_bytes(Message{sender, JoinWaitMsg{}}, kHex8);
+  EXPECT_GT(big, 10 * small);
+}
+
+TEST(Messages, BitVectorAddsItsBytes) {
+  const NodeId sender = id_of("00000001", kHex8);
+  JoinNotiMsg without;
+  JoinNotiMsg with;
+  with.filled = BitVec(8 * 16);
+  EXPECT_EQ(wire_size_bytes(Message{sender, with}, kHex8),
+            wire_size_bytes(Message{sender, without}, kHex8) + 16);
+}
+
+TEST(Messages, EnvelopeScalesWithIdLength) {
+  // Same body, larger d: the envelope grows by the difference in sender
+  // reference size (the ID is longer).
+  const NodeId s8 = id_of("00000001", kHex8);
+  const NodeId s40 =
+      id_of(std::string(39, '0') + "1", kHex40);
+  const std::size_t sz8 = wire_size_bytes(Message{s8, JoinWaitMsg{}}, kHex8);
+  const std::size_t sz40 =
+      wire_size_bytes(Message{s40, JoinWaitMsg{}}, kHex40);
+  EXPECT_EQ(sz40 - sz8, id_wire_bytes(kHex40) - id_wire_bytes(kHex8));
+}
+
+}  // namespace
+}  // namespace hcube

@@ -1,0 +1,158 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.h"
+#include "topology/latency.h"
+
+namespace hcube {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TieBreaksByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(10.0, [&] {
+    q.schedule_after(5.0, [&] { fired_at = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 100) q.schedule_after(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  q.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(q.now(), 99.0);
+  EXPECT_EQ(q.events_processed(), 100u);
+}
+
+TEST(EventQueue, RunWithEventCap) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.schedule_at(i, [] {});
+  EXPECT_EQ(q.run(4), 4u);
+  EXPECT_EQ(q.pending(), 6u);
+  EXPECT_EQ(q.run(), 6u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); });
+  }
+  q.run_until(2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+  q.run_until(4.0);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, RunNextOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.run_next());
+}
+
+TEST(SimNetwork, DeliversWithLatency) {
+  EventQueue q;
+  ConstantLatency latency(2, 10.0);
+  SimNetwork<int> net(q, latency);
+  std::vector<std::pair<double, int>> received;
+  const HostId a = net.add_endpoint([](HostId, const int&) {});
+  const HostId b = net.add_endpoint(
+      [&](HostId, const int& v) { received.push_back({q.now(), v}); });
+  net.send(a, b, 7);
+  q.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_DOUBLE_EQ(received[0].first, 10.0);
+  EXPECT_EQ(received[0].second, 7);
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST(SimNetwork, PerPairFifo) {
+  EventQueue q;
+  ConstantLatency latency(2, 5.0);
+  SimNetwork<int> net(q, latency);
+  std::vector<int> received;
+  const HostId a = net.add_endpoint([](HostId, const int&) {});
+  const HostId b =
+      net.add_endpoint([&](HostId, const int& v) { received.push_back(v); });
+  for (int i = 0; i < 20; ++i) net.send(a, b, i);
+  q.run();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(SimNetwork, DropFilterDropsAndCounts) {
+  EventQueue q;
+  ConstantLatency latency(2, 1.0);
+  SimNetwork<int> net(q, latency);
+  int delivered = 0;
+  const HostId a = net.add_endpoint([](HostId, const int&) {});
+  const HostId b = net.add_endpoint([&](HostId, const int&) { ++delivered; });
+  net.drop_filter = [](HostId, HostId, const int& v) { return v % 2 == 0; };
+  for (int i = 0; i < 10; ++i) net.send(a, b, i);
+  q.run();
+  EXPECT_EQ(delivered, 5);
+  EXPECT_EQ(net.messages_dropped(), 5u);
+  EXPECT_EQ(net.messages_sent(), 5u);
+}
+
+TEST(SimNetwork, OnSendHookSeesEverything) {
+  EventQueue q;
+  ConstantLatency latency(2, 1.0);
+  SimNetwork<int> net(q, latency);
+  const HostId a = net.add_endpoint([](HostId, const int&) {});
+  const HostId b = net.add_endpoint([](HostId, const int&) {});
+  int observed = 0;
+  net.on_send = [&](HostId, HostId, const int&) { ++observed; };
+  net.drop_filter = [](HostId, HostId, const int&) { return true; };
+  for (int i = 0; i < 4; ++i) net.send(a, b, i);
+  EXPECT_EQ(observed, 4);  // hook fires before drop filtering
+}
+
+TEST(SimNetwork, SelfSendDeliversAtSameTimeLater) {
+  EventQueue q;
+  ConstantLatency latency(1, 9.0);
+  SimNetwork<int> net(q, latency);
+  bool delivered = false;
+  HostId a_id = 0;
+  SimNetwork<int>* netp = &net;
+  a_id = net.add_endpoint([&](HostId, const int&) { delivered = true; });
+  (void)netp;
+  net.send(a_id, a_id, 1);
+  q.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);  // self-latency is zero
+}
+
+}  // namespace
+}  // namespace hcube

@@ -1,0 +1,87 @@
+#include "topology/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace hcube {
+namespace {
+
+TEST(Graph, EmptyGraphIsConnected) {
+  Graph g(0);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, SingleVertex) {
+  Graph g(1);
+  EXPECT_TRUE(g.is_connected());
+  const auto dist = g.shortest_paths_from(0);
+  EXPECT_EQ(dist[0], 0.0f);
+}
+
+TEST(Graph, DisconnectedDetected) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0f);
+  EXPECT_FALSE(g.is_connected());
+  const auto dist = g.shortest_paths_from(0);
+  EXPECT_EQ(dist[2], std::numeric_limits<float>::infinity());
+}
+
+TEST(Graph, ShortestPathPicksCheaperRoute) {
+  // 0 -(10)- 1 -(10)- 2  versus  0 -(3)- 3 -(3)- 4 -(3)- 2
+  Graph g(5);
+  g.add_edge(0, 1, 10.0f);
+  g.add_edge(1, 2, 10.0f);
+  g.add_edge(0, 3, 3.0f);
+  g.add_edge(3, 4, 3.0f);
+  g.add_edge(4, 2, 3.0f);
+  const auto dist = g.shortest_paths_from(0);
+  EXPECT_FLOAT_EQ(dist[2], 9.0f);
+  EXPECT_FLOAT_EQ(dist[1], 10.0f);
+}
+
+TEST(Graph, ParallelEdgesUseCheaper) {
+  Graph g(2);
+  g.add_edge(0, 1, 5.0f);
+  g.add_edge(0, 1, 2.0f);
+  EXPECT_FLOAT_EQ(g.shortest_paths_from(0)[1], 2.0f);
+}
+
+TEST(Graph, SymmetricDistances) {
+  Graph g(6);
+  g.add_edge(0, 1, 1.0f);
+  g.add_edge(1, 2, 2.0f);
+  g.add_edge(2, 3, 3.0f);
+  g.add_edge(3, 4, 4.0f);
+  g.add_edge(4, 5, 5.0f);
+  g.add_edge(0, 5, 20.0f);
+  for (std::uint32_t u = 0; u < 6; ++u) {
+    const auto du = g.shortest_paths_from(u);
+    for (std::uint32_t v = 0; v < 6; ++v) {
+      const auto dv = g.shortest_paths_from(v);
+      EXPECT_FLOAT_EQ(du[v], dv[u]);
+    }
+  }
+}
+
+TEST(Graph, TriangleInequalityHolds) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0f);
+  g.add_edge(1, 2, 1.0f);
+  g.add_edge(2, 3, 1.0f);
+  g.add_edge(0, 3, 10.0f);  // direct edge worse than the path
+  const auto d0 = g.shortest_paths_from(0);
+  EXPECT_FLOAT_EQ(d0[3], 3.0f);
+}
+
+TEST(Graph, NeighborsSpan) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0f);
+  g.add_edge(0, 2, 2.0f);
+  EXPECT_EQ(g.neighbors(0).size(), 2u);
+  EXPECT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace hcube

@@ -1,0 +1,139 @@
+#include "topology/transit_stub.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/latency.h"
+
+namespace hcube {
+namespace {
+
+TEST(TransitStub, RouterCountMatchesParams) {
+  TransitStubParams p;
+  p.transit_domains = 2;
+  p.transit_nodes_per_domain = 3;
+  p.stub_domains_per_transit_node = 2;
+  p.stub_nodes_per_domain = 4;
+  EXPECT_EQ(p.total_routers(), 2u * 3u * (1u + 2u * 4u));
+
+  Rng rng(1);
+  const auto topo = generate_transit_stub(p, rng);
+  EXPECT_EQ(topo.graph.num_vertices(), p.total_routers());
+}
+
+TEST(TransitStub, Connected) {
+  TransitStubParams p;
+  Rng rng(2);
+  const auto topo = generate_transit_stub(p, rng);
+  EXPECT_TRUE(topo.graph.is_connected());
+}
+
+TEST(TransitStub, TransitAndStubClassification) {
+  TransitStubParams p;
+  Rng rng(3);
+  const auto topo = generate_transit_stub(p, rng);
+  const std::uint32_t num_transit =
+      p.transit_domains * p.transit_nodes_per_domain;
+  std::uint32_t transit_count = 0;
+  for (bool t : topo.is_transit)
+    if (t) ++transit_count;
+  EXPECT_EQ(transit_count, num_transit);
+  EXPECT_EQ(topo.stub_routers.size(), p.total_routers() - num_transit);
+  for (auto r : topo.stub_routers) EXPECT_FALSE(topo.is_transit[r]);
+}
+
+TEST(TransitStub, DeterministicGivenSeed) {
+  TransitStubParams p;
+  Rng rng1(7), rng2(7);
+  const auto a = generate_transit_stub(p, rng1);
+  const auto b = generate_transit_stub(p, rng2);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  const auto da = a.graph.shortest_paths_from(0);
+  const auto db = b.graph.shortest_paths_from(0);
+  EXPECT_EQ(da, db);
+}
+
+TEST(TransitStub, SingleDomainDegenerate) {
+  TransitStubParams p;
+  p.transit_domains = 1;
+  p.transit_nodes_per_domain = 1;
+  p.stub_domains_per_transit_node = 1;
+  p.stub_nodes_per_domain = 2;
+  Rng rng(9);
+  const auto topo = generate_transit_stub(p, rng);
+  EXPECT_TRUE(topo.graph.is_connected());
+  EXPECT_EQ(topo.graph.num_vertices(), 3u);
+}
+
+TEST(TransitStub, PaperScaleGenerates) {
+  // Close to the paper's 8320-router GT-ITM topology:
+  // 4 domains x 10 transit routers x (1 + 4 stubs x 51 nodes) ... we use the
+  // default bench scale here (about 2k routers) to keep the test fast, and
+  // only assert structural health.
+  TransitStubParams p;
+  p.transit_domains = 4;
+  p.transit_nodes_per_domain = 8;
+  p.stub_domains_per_transit_node = 4;
+  p.stub_nodes_per_domain = 16;
+  Rng rng(11);
+  const auto topo = generate_transit_stub(p, rng);
+  EXPECT_EQ(topo.graph.num_vertices(), 2080u);
+  EXPECT_TRUE(topo.graph.is_connected());
+}
+
+TEST(TopologyLatency, SymmetricPositiveAndZeroSelf) {
+  TransitStubParams p;
+  p.transit_domains = 2;
+  p.transit_nodes_per_domain = 2;
+  p.stub_domains_per_transit_node = 2;
+  p.stub_nodes_per_domain = 4;
+  Rng rng(5);
+  auto model = make_transit_stub_latency(p, /*num_hosts=*/50, rng);
+  ASSERT_EQ(model->num_hosts(), 50u);
+  for (HostId a = 0; a < 10; ++a) {
+    EXPECT_DOUBLE_EQ(model->latency_ms(a, a), 0.0);
+    for (HostId b = 0; b < 10; ++b) {
+      if (a == b) continue;
+      const double ab = model->latency_ms(a, b);
+      EXPECT_GT(ab, 0.0);
+      EXPECT_DOUBLE_EQ(ab, model->latency_ms(b, a));
+    }
+  }
+}
+
+TEST(TopologyLatency, HeterogeneousAcrossPairs) {
+  TransitStubParams p;
+  Rng rng(6);
+  auto model = make_transit_stub_latency(p, /*num_hosts=*/40, rng);
+  double lo = 1e18, hi = 0.0;
+  for (HostId a = 0; a < 40; ++a)
+    for (HostId b = static_cast<HostId>(a + 1); b < 40; ++b) {
+      const double l = model->latency_ms(a, b);
+      lo = std::min(lo, l);
+      hi = std::max(hi, l);
+    }
+  EXPECT_GT(hi, 2.0 * lo) << "latencies should be heterogeneous";
+}
+
+TEST(SyntheticLatency, SymmetricDeterministicBounded) {
+  SyntheticLatency model(100, 5.0, 50.0, 42);
+  for (HostId a = 0; a < 20; ++a) {
+    EXPECT_DOUBLE_EQ(model.latency_ms(a, a), 0.0);
+    for (HostId b = 0; b < 20; ++b) {
+      if (a == b) continue;
+      const double l = model.latency_ms(a, b);
+      EXPECT_GE(l, 5.0);
+      EXPECT_LE(l, 50.0);
+      EXPECT_DOUBLE_EQ(l, model.latency_ms(b, a));
+      EXPECT_DOUBLE_EQ(l, model.latency_ms(a, b));  // stable across calls
+    }
+  }
+}
+
+TEST(ConstantLatency, Constant) {
+  ConstantLatency model(4, 7.5);
+  EXPECT_DOUBLE_EQ(model.latency_ms(0, 3), 7.5);
+  EXPECT_EQ(model.num_hosts(), 4u);
+}
+
+}  // namespace
+}  // namespace hcube

@@ -1,0 +1,57 @@
+#include "util/bitvec.h"
+
+#include <gtest/gtest.h>
+
+namespace hcube {
+namespace {
+
+TEST(BitVec, StartsCleared) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.get(i));
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, SetAndClear) {
+  BitVec v(100);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(99);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.set(63, false);
+  EXPECT_FALSE(v.get(63));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVec, SizeBytesRoundsUp) {
+  EXPECT_EQ(BitVec(0).size_bytes(), 0u);
+  EXPECT_EQ(BitVec(1).size_bytes(), 1u);
+  EXPECT_EQ(BitVec(8).size_bytes(), 1u);
+  EXPECT_EQ(BitVec(9).size_bytes(), 2u);
+  EXPECT_EQ(BitVec(640).size_bytes(), 80u);  // d=40, b=16 table bitmap
+}
+
+TEST(BitVec, Equality) {
+  BitVec a(10), b(10);
+  EXPECT_EQ(a, b);
+  a.set(3);
+  EXPECT_NE(a, b);
+  b.set(3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, SetIdempotent) {
+  BitVec v(16);
+  v.set(5);
+  v.set(5);
+  EXPECT_EQ(v.popcount(), 1u);
+}
+
+}  // namespace
+}  // namespace hcube

@@ -1,0 +1,104 @@
+#include "util/logmath.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace hcube {
+namespace {
+
+TEST(LogMath, FactorialSmall) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogMath, BinomialMatchesExactSmall) {
+  for (std::uint64_t n = 0; n <= 30; ++n) {
+    for (std::uint64_t k = 0; k <= n; ++k) {
+      const double expected =
+          std::log(static_cast<double>(binomial_exact(n, k)));
+      EXPECT_NEAR(log_binomial(static_cast<double>(n), k), expected,
+                  1e-9 * std::max(1.0, std::abs(expected)))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(LogMath, BinomialMatchesExactLarge) {
+  // C(60, 30) = 118264581564861424; still exact in __int128.
+  const double expected =
+      std::log(static_cast<double>(binomial_exact(60, 30)));
+  EXPECT_NEAR(log_binomial(60.0, 30), expected, 1e-8);
+}
+
+TEST(LogMath, BinomialZeroChoose) {
+  EXPECT_DOUBLE_EQ(log_binomial(0.0, 0), 0.0);
+  EXPECT_EQ(log_binomial(0.0, 1), -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogMath, BinomialKGreaterThanN) {
+  EXPECT_EQ(log_binomial(5.0, 6), -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogMath, BinomialHugePopulation) {
+  // For N >> k, C(N, k) ~ N^k / k!: check the asymptotic form at the
+  // magnitudes Theorem 4 needs (N = 16^40 ~ 1.46e48).
+  const double N = std::pow(16.0, 40.0);
+  const std::uint64_t k = 1000;
+  const double expected =
+      static_cast<double>(k) * std::log(N) - log_factorial(k);
+  EXPECT_NEAR(log_binomial(N, k), expected, 1e-6 * std::abs(expected));
+}
+
+TEST(LogMath, BinomialPascalIdentity) {
+  // C(N, k) = C(N-1, k-1) + C(N-1, k) in log space for a mid-size N.
+  const double N = 5000.0;
+  for (std::uint64_t k : {1ull, 7ull, 100ull, 2500ull}) {
+    const double lhs = log_binomial(N, k);
+    const double rhs = log_add_exp(log_binomial(N - 1, k - 1),
+                                   log_binomial(N - 1, k));
+    EXPECT_NEAR(lhs, rhs, 1e-9 * std::abs(lhs)) << "k=" << k;
+  }
+}
+
+TEST(LogMath, LogAddExpBasics) {
+  EXPECT_NEAR(log_add_exp(std::log(2.0), std::log(3.0)), std::log(5.0),
+              1e-12);
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(log_add_exp(neg_inf, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(log_add_exp(1.5, neg_inf), 1.5);
+  EXPECT_EQ(log_add_exp(neg_inf, neg_inf), neg_inf);
+}
+
+TEST(LogMath, LogAddExpNoOverflow) {
+  // Both operands far beyond exp() range.
+  EXPECT_NEAR(log_add_exp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(log_add_exp(-1000.0, -1000.0), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogMath, LogSumExp) {
+  EXPECT_EQ(log_sum_exp({}), -std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(log_sum_exp({std::log(1.0), std::log(2.0), std::log(3.0)}),
+              std::log(6.0), 1e-12);
+}
+
+TEST(LogMath, BinomialExactSymmetry) {
+  for (std::uint64_t n = 1; n <= 40; ++n)
+    for (std::uint64_t k = 0; k <= n; ++k)
+      EXPECT_EQ(binomial_exact(n, k), binomial_exact(n, n - k));
+}
+
+TEST(LogMath, BinomialExactRowSums) {
+  // sum_k C(n, k) = 2^n.
+  for (std::uint64_t n = 0; n <= 20; ++n) {
+    unsigned __int128 sum = 0;
+    for (std::uint64_t k = 0; k <= n; ++k) sum += binomial_exact(n, k);
+    EXPECT_EQ(static_cast<std::uint64_t>(sum), 1ull << n);
+  }
+}
+
+}  // namespace
+}  // namespace hcube

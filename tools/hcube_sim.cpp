@@ -1,0 +1,265 @@
+// hcube_sim — command-line driver for the hcube library.
+//
+// Subcommands:
+//   wave    run a join wave into a consistent network and report costs
+//   bound   evaluate the analytic model (Theorems 4/5) for given n, m, b, d
+//   churn   alternate join waves and graceful leaves; audit each round
+//   trace   run a small scenario and print every protocol message
+//   table   print one node's neighbor table after a scenario
+//
+// Run `hcube_sim <subcommand> --help` equivalent: any unknown flag prints
+// usage. All randomness is seeded; identical invocations produce identical
+// output.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "analysis/join_cost.h"
+#include "core/builder.h"
+#include "core/consistency.h"
+#include "core/optimize.h"
+#include "core/routing.h"
+#include "topology/latency.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace hcube;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::strtoull(it->second.c_str(),
+                                                     nullptr, 10);
+  }
+  std::string str(const std::string& key, const std::string& fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hcube_sim <wave|bound|churn|trace|table> [--key value ...]\n"
+               "\n"
+               "common flags: --b <base=16> --d <digits=8> --seed <s=1>\n"
+               "  wave:  --n <members=1000> --m <joiners=200> --backups <K=0>\n"
+               "         --policy <full|partial|bitvec> --topology <synthetic|transit-stub>\n"
+               "         --optimize <0|1>\n"
+               "  bound: --n <members> --m <joiners>\n"
+               "  churn: --n <members=500> --batch <50> --rounds <5>\n"
+               "  trace: --n <members=4> --m <joiners=2>\n"
+               "  table: --n <members=8> --node <index=0>\n");
+  return 2;
+}
+
+IdParams params_of(const Args& a) {
+  IdParams p{static_cast<std::uint32_t>(a.u64("b", 16)),
+             static_cast<std::uint32_t>(a.u64("d", 8))};
+  p.validate();
+  return p;
+}
+
+std::unique_ptr<LatencyModel> latency_of(const Args& a, std::uint32_t hosts,
+                                         Rng& rng) {
+  if (a.str("topology", "synthetic") == "transit-stub") {
+    return make_transit_stub_latency(TransitStubParams{}, hosts, rng);
+  }
+  return std::make_unique<SyntheticLatency>(hosts, 5.0, 120.0, a.u64("seed", 1));
+}
+
+SnapshotPolicy policy_of(const Args& a) {
+  const std::string p = a.str("policy", "full");
+  if (p == "partial") return SnapshotPolicy::kPartialLevels;
+  if (p == "bitvec") return SnapshotPolicy::kBitVector;
+  return SnapshotPolicy::kFullTable;
+}
+
+std::vector<NodeId> fresh_ids(UniqueIdGenerator& gen, std::size_t n) {
+  std::vector<NodeId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(gen.next());
+  return ids;
+}
+
+int cmd_wave(const Args& a) {
+  const IdParams params = params_of(a);
+  const auto n = a.u64("n", 1000), m = a.u64("m", 200), seed = a.u64("seed", 1);
+  Rng rng(seed);
+  auto latency = latency_of(a, static_cast<std::uint32_t>(n + m), rng);
+  EventQueue queue;
+  ProtocolOptions options;
+  options.snapshot_policy = policy_of(a);
+  options.backups_per_entry =
+      static_cast<std::uint32_t>(a.u64("backups", 0));
+  Overlay overlay(params, options, queue, *latency);
+  UniqueIdGenerator gen(params, seed);
+  const auto v = fresh_ids(gen, n);
+  const auto w = fresh_ids(gen, m);
+  build_consistent_network(overlay, v, options.backups_per_entry);
+  join_concurrently(overlay, w, v, rng);
+
+  EmpiricalDistribution noti, copy_wait;
+  StreamingStats duration;
+  for (const NodeId& x : w) {
+    const JoinStats& s = overlay.at(x).join_stats();
+    noti.add(static_cast<std::int64_t>(s.sent_of(MessageType::kJoinNoti)));
+    copy_wait.add(static_cast<std::int64_t>(s.copy_plus_wait()));
+    duration.add(s.t_end - s.t_begin);
+  }
+  if (a.u64("optimize", 0) != 0) {
+    const auto opt = optimize_tables(overlay, *latency);
+    std::printf("optimizer rebound %llu of %llu entries\n",
+                static_cast<unsigned long long>(opt.entries_rebound),
+                static_cast<unsigned long long>(opt.entries_examined));
+  }
+  const auto report = check_consistency(view_of(overlay));
+
+  std::printf("join wave: n=%llu m=%llu b=%u d=%u policy=%s seed=%llu\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(m), params.base,
+              params.num_digits, to_string(options.snapshot_policy),
+              static_cast<unsigned long long>(seed));
+  std::printf("  all in system:        %s\n",
+              overlay.all_in_system() ? "yes" : "NO");
+  std::printf("  consistent:           %s\n",
+              report.consistent() ? "yes" : "NO");
+  std::printf("  JoinNotiMsg/joiner:   mean %.3f  p99 %lld  max %lld"
+              "  (Theorem 5 bound %.3f)\n",
+              noti.mean(), static_cast<long long>(noti.quantile(0.99)),
+              static_cast<long long>(noti.max()),
+              expected_join_noti_concurrent_bound(params, n, m));
+  std::printf("  CpRst+JoinWait/joiner: mean %.3f  max %lld  (bound %llu)\n",
+              copy_wait.mean(), static_cast<long long>(copy_wait.max()),
+              static_cast<unsigned long long>(theorem3_bound(params)));
+  std::printf("  join latency (sim ms): mean %.1f  max %.1f\n",
+              duration.mean(), duration.max());
+  std::printf("  total messages: %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(overlay.totals().messages),
+              static_cast<unsigned long long>(overlay.totals().bytes));
+  for (std::size_t t = 0; t < kNumMessageTypes; ++t) {
+    if (overlay.totals().sent[t] == 0) continue;
+    std::printf("    %-16s %llu\n", type_name(static_cast<MessageType>(t)),
+                static_cast<unsigned long long>(overlay.totals().sent[t]));
+  }
+  return overlay.all_in_system() && report.consistent() ? 0 : 1;
+}
+
+int cmd_bound(const Args& a) {
+  const IdParams params = params_of(a);
+  const auto n = a.u64("n", 1000), m = a.u64("m", 0);
+  std::printf("P_i(n): notification-level distribution for n=%llu, b=%u, d=%u\n",
+              static_cast<unsigned long long>(n), params.base,
+              params.num_digits);
+  const auto p = notification_level_distribution(params, n);
+  for (std::uint32_t i = 0; i < params.num_digits; ++i)
+    if (p[i] > 1e-12) std::printf("  P_%u = %.6f\n", i, p[i]);
+  std::printf("Theorem 4  E[J] single join:        %.3f\n",
+              expected_join_noti_single(params, n));
+  if (m > 0)
+    std::printf("Theorem 5  E[J] bound, m=%llu:      %.3f\n",
+                static_cast<unsigned long long>(m),
+                expected_join_noti_concurrent_bound(params, n, m));
+  std::printf("Theorem 3  CpRst+JoinWait bound:     %llu\n",
+              static_cast<unsigned long long>(theorem3_bound(params)));
+  return 0;
+}
+
+int cmd_churn(const Args& a) {
+  const IdParams params = params_of(a);
+  const auto n = a.u64("n", 500), batch = a.u64("batch", 50),
+             rounds = a.u64("rounds", 5), seed = a.u64("seed", 1);
+  Rng rng(seed);
+  auto latency = latency_of(
+      a, static_cast<std::uint32_t>(n + batch * rounds + 8), rng);
+  EventQueue queue;
+  Overlay overlay(params, {}, queue, *latency);
+  UniqueIdGenerator gen(params, seed);
+  auto live = fresh_ids(gen, n);
+  build_consistent_network(overlay, live);
+
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    const auto joiners = fresh_ids(gen, batch);
+    join_concurrently(overlay, joiners, live, rng);
+    live.insert(live.end(), joiners.begin(), joiners.end());
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      const std::size_t victim = rng.next_below(live.size());
+      overlay.at(live[victim]).start_leave();
+      overlay.run_to_quiescence();
+      live.erase(live.begin() + static_cast<long>(victim));
+    }
+    const bool ok = overlay.all_in_system() &&
+                    check_consistency(view_of(overlay)).consistent();
+    std::printf("round %llu: live=%zu consistent=%s\n",
+                static_cast<unsigned long long>(round), live.size(),
+                ok ? "yes" : "NO");
+    if (!ok) return 1;
+  }
+  return 0;
+}
+
+int cmd_trace(const Args& a) {
+  const IdParams params = params_of(a);
+  const auto n = a.u64("n", 4), m = a.u64("m", 2), seed = a.u64("seed", 1);
+  Rng rng(seed);
+  auto latency = latency_of(a, static_cast<std::uint32_t>(n + m), rng);
+  EventQueue queue;
+  Overlay overlay(params, {}, queue, *latency);
+  UniqueIdGenerator gen(params, seed);
+  const auto v = fresh_ids(gen, n);
+  const auto w = fresh_ids(gen, m);
+
+  overlay.on_message = [&](const NodeId& from, const NodeId& to,
+                           const MessageBody& body) {
+    std::printf("%10.2f  %-12s  %s -> %s\n", queue.now(),
+                type_name(type_of(body)), from.to_string(params).c_str(),
+                to.to_string(params).c_str());
+  };
+  build_consistent_network(overlay, v);
+  std::printf("# %llu-node network built; joining %llu nodes concurrently\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(m));
+  join_concurrently(overlay, w, v, rng);
+  std::printf("# done: all in system = %s, consistent = %s\n",
+              overlay.all_in_system() ? "yes" : "NO",
+              check_consistency(view_of(overlay)).consistent() ? "yes" : "NO");
+  return 0;
+}
+
+int cmd_table(const Args& a) {
+  const IdParams params = params_of(a);
+  const auto n = a.u64("n", 8), seed = a.u64("seed", 1);
+  const auto index = a.u64("node", 0);
+  Rng rng(seed);
+  auto latency = latency_of(a, static_cast<std::uint32_t>(n), rng);
+  EventQueue queue;
+  Overlay overlay(params, {}, queue, *latency);
+  UniqueIdGenerator gen(params, seed);
+  const auto ids = fresh_ids(gen, n);
+  initialize_network(overlay, ids, rng);
+  if (index >= ids.size()) return usage();
+  std::printf("%s", overlay.at(ids[index]).table().to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args args;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return usage();
+    args.kv[argv[i] + 2] = argv[i + 1];
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "wave") return cmd_wave(args);
+  if (cmd == "bound") return cmd_bound(args);
+  if (cmd == "churn") return cmd_churn(args);
+  if (cmd == "trace") return cmd_trace(args);
+  if (cmd == "table") return cmd_table(args);
+  return usage();
+}
