@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15b"
+  "../bench/bench_fig15b.pdb"
+  "CMakeFiles/bench_fig15b.dir/bench_fig15b.cpp.o"
+  "CMakeFiles/bench_fig15b.dir/bench_fig15b.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_init"
+  "../bench/bench_init.pdb"
+  "CMakeFiles/bench_init.dir/bench_init.cpp.o"
+  "CMakeFiles/bench_init.dir/bench_init.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

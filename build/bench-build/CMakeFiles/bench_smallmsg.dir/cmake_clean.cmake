@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_smallmsg"
+  "../bench/bench_smallmsg.pdb"
+  "CMakeFiles/bench_smallmsg.dir/bench_smallmsg.cpp.o"
+  "CMakeFiles/bench_smallmsg.dir/bench_smallmsg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smallmsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_stretch"
+  "../bench/bench_stretch.pdb"
+  "CMakeFiles/bench_stretch.dir/bench_stretch.cpp.o"
+  "CMakeFiles/bench_stretch.dir/bench_stretch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_survivability"
+  "../bench/bench_survivability.pdb"
+  "CMakeFiles/bench_survivability.dir/bench_survivability.cpp.o"
+  "CMakeFiles/bench_survivability.dir/bench_survivability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_survivability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootstrap_network.dir/bootstrap_network.cpp.o"
+  "CMakeFiles/bootstrap_network.dir/bootstrap_network.cpp.o.d"
+  "bootstrap_network"
+  "bootstrap_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootstrap_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_joins.dir/concurrent_joins.cpp.o"
+  "CMakeFiles/concurrent_joins.dir/concurrent_joins.cpp.o.d"
+  "concurrent_joins"
+  "concurrent_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

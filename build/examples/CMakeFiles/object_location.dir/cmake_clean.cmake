@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_location.dir/object_location.cpp.o"
+  "CMakeFiles/object_location.dir/object_location.cpp.o.d"
+  "object_location"
+  "object_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

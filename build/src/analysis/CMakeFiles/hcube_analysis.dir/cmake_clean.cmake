@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcube_analysis.dir/join_cost.cpp.o"
+  "CMakeFiles/hcube_analysis.dir/join_cost.cpp.o.d"
+  "libhcube_analysis.a"
+  "libhcube_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcube_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

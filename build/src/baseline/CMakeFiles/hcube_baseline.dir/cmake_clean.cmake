@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcube_baseline.dir/multicast_join.cpp.o"
+  "CMakeFiles/hcube_baseline.dir/multicast_join.cpp.o.d"
+  "libhcube_baseline.a"
+  "libhcube_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcube_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/builder.cpp" "src/core/CMakeFiles/hcube_core.dir/builder.cpp.o" "gcc" "src/core/CMakeFiles/hcube_core.dir/builder.cpp.o.d"
+  "/root/repo/src/core/consistency.cpp" "src/core/CMakeFiles/hcube_core.dir/consistency.cpp.o" "gcc" "src/core/CMakeFiles/hcube_core.dir/consistency.cpp.o.d"
+  "/root/repo/src/core/cset_tree.cpp" "src/core/CMakeFiles/hcube_core.dir/cset_tree.cpp.o" "gcc" "src/core/CMakeFiles/hcube_core.dir/cset_tree.cpp.o.d"
+  "/root/repo/src/core/neighbor_table.cpp" "src/core/CMakeFiles/hcube_core.dir/neighbor_table.cpp.o" "gcc" "src/core/CMakeFiles/hcube_core.dir/neighbor_table.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/hcube_core.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/hcube_core.dir/node.cpp.o.d"
+  "/root/repo/src/core/optimize.cpp" "src/core/CMakeFiles/hcube_core.dir/optimize.cpp.o" "gcc" "src/core/CMakeFiles/hcube_core.dir/optimize.cpp.o.d"
+  "/root/repo/src/core/overlay.cpp" "src/core/CMakeFiles/hcube_core.dir/overlay.cpp.o" "gcc" "src/core/CMakeFiles/hcube_core.dir/overlay.cpp.o.d"
+  "/root/repo/src/core/routing.cpp" "src/core/CMakeFiles/hcube_core.dir/routing.cpp.o" "gcc" "src/core/CMakeFiles/hcube_core.dir/routing.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/hcube_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/hcube_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/hcube_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcube_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/hcube_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hcube_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hcube_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcube_core.dir/builder.cpp.o"
+  "CMakeFiles/hcube_core.dir/builder.cpp.o.d"
+  "CMakeFiles/hcube_core.dir/consistency.cpp.o"
+  "CMakeFiles/hcube_core.dir/consistency.cpp.o.d"
+  "CMakeFiles/hcube_core.dir/cset_tree.cpp.o"
+  "CMakeFiles/hcube_core.dir/cset_tree.cpp.o.d"
+  "CMakeFiles/hcube_core.dir/neighbor_table.cpp.o"
+  "CMakeFiles/hcube_core.dir/neighbor_table.cpp.o.d"
+  "CMakeFiles/hcube_core.dir/node.cpp.o"
+  "CMakeFiles/hcube_core.dir/node.cpp.o.d"
+  "CMakeFiles/hcube_core.dir/optimize.cpp.o"
+  "CMakeFiles/hcube_core.dir/optimize.cpp.o.d"
+  "CMakeFiles/hcube_core.dir/overlay.cpp.o"
+  "CMakeFiles/hcube_core.dir/overlay.cpp.o.d"
+  "CMakeFiles/hcube_core.dir/routing.cpp.o"
+  "CMakeFiles/hcube_core.dir/routing.cpp.o.d"
+  "CMakeFiles/hcube_core.dir/trace.cpp.o"
+  "CMakeFiles/hcube_core.dir/trace.cpp.o.d"
+  "libhcube_core.a"
+  "libhcube_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcube_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

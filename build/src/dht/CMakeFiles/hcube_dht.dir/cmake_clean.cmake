@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcube_dht.dir/object_store.cpp.o"
+  "CMakeFiles/hcube_dht.dir/object_store.cpp.o.d"
+  "libhcube_dht.a"
+  "libhcube_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcube_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ids/node_id.cpp" "src/ids/CMakeFiles/hcube_ids.dir/node_id.cpp.o" "gcc" "src/ids/CMakeFiles/hcube_ids.dir/node_id.cpp.o.d"
+  "/root/repo/src/ids/sha1.cpp" "src/ids/CMakeFiles/hcube_ids.dir/sha1.cpp.o" "gcc" "src/ids/CMakeFiles/hcube_ids.dir/sha1.cpp.o.d"
+  "/root/repo/src/ids/suffix_trie.cpp" "src/ids/CMakeFiles/hcube_ids.dir/suffix_trie.cpp.o" "gcc" "src/ids/CMakeFiles/hcube_ids.dir/suffix_trie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hcube_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcube_ids.dir/node_id.cpp.o"
+  "CMakeFiles/hcube_ids.dir/node_id.cpp.o.d"
+  "CMakeFiles/hcube_ids.dir/sha1.cpp.o"
+  "CMakeFiles/hcube_ids.dir/sha1.cpp.o.d"
+  "CMakeFiles/hcube_ids.dir/suffix_trie.cpp.o"
+  "CMakeFiles/hcube_ids.dir/suffix_trie.cpp.o.d"
+  "libhcube_ids.a"
+  "libhcube_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcube_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

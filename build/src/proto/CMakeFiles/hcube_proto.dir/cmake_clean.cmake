@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcube_proto.dir/codec.cpp.o"
+  "CMakeFiles/hcube_proto.dir/codec.cpp.o.d"
+  "CMakeFiles/hcube_proto.dir/messages.cpp.o"
+  "CMakeFiles/hcube_proto.dir/messages.cpp.o.d"
+  "libhcube_proto.a"
+  "libhcube_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcube_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcube_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hcube_sim.dir/event_queue.cpp.o.d"
+  "libhcube_sim.a"
+  "libhcube_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcube_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcube_topology.dir/graph.cpp.o"
+  "CMakeFiles/hcube_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/hcube_topology.dir/latency.cpp.o"
+  "CMakeFiles/hcube_topology.dir/latency.cpp.o.d"
+  "CMakeFiles/hcube_topology.dir/transit_stub.cpp.o"
+  "CMakeFiles/hcube_topology.dir/transit_stub.cpp.o.d"
+  "libhcube_topology.a"
+  "libhcube_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcube_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcube_util.dir/bitvec.cpp.o"
+  "CMakeFiles/hcube_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/hcube_util.dir/logmath.cpp.o"
+  "CMakeFiles/hcube_util.dir/logmath.cpp.o.d"
+  "CMakeFiles/hcube_util.dir/rng.cpp.o"
+  "CMakeFiles/hcube_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hcube_util.dir/stats.cpp.o"
+  "CMakeFiles/hcube_util.dir/stats.cpp.o.d"
+  "libhcube_util.a"
+  "libhcube_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcube_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/backup_test.cpp" "tests/CMakeFiles/backup_test.dir/core/backup_test.cpp.o" "gcc" "tests/CMakeFiles/backup_test.dir/core/backup_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hcube_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hcube_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hcube_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/hcube_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/hcube_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcube_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hcube_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/hcube_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hcube_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cset_tree_test.dir/core/cset_tree_test.cpp.o"
+  "CMakeFiles/cset_tree_test.dir/core/cset_tree_test.cpp.o.d"
+  "cset_tree_test"
+  "cset_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cset_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

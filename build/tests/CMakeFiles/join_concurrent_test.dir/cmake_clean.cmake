@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_concurrent_test.dir/core/join_concurrent_test.cpp.o"
+  "CMakeFiles/join_concurrent_test.dir/core/join_concurrent_test.cpp.o.d"
+  "join_concurrent_test"
+  "join_concurrent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_cost_test.dir/analysis/join_cost_test.cpp.o"
+  "CMakeFiles/join_cost_test.dir/analysis/join_cost_test.cpp.o.d"
+  "join_cost_test"
+  "join_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

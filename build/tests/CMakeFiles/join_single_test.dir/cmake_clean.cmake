@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_single_test.dir/core/join_single_test.cpp.o"
+  "CMakeFiles/join_single_test.dir/core/join_single_test.cpp.o.d"
+  "join_single_test"
+  "join_single_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_single_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

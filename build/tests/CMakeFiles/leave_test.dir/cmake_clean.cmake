@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leave_test.dir/core/leave_test.cpp.o"
+  "CMakeFiles/leave_test.dir/core/leave_test.cpp.o.d"
+  "leave_test"
+  "leave_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logmath_test.dir/util/logmath_test.cpp.o"
+  "CMakeFiles/logmath_test.dir/util/logmath_test.cpp.o.d"
+  "logmath_test"
+  "logmath_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logmath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

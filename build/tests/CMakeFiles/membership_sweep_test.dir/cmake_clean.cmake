@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_sweep_test.dir/core/membership_sweep_test.cpp.o"
+  "CMakeFiles/membership_sweep_test.dir/core/membership_sweep_test.cpp.o.d"
+  "membership_sweep_test"
+  "membership_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

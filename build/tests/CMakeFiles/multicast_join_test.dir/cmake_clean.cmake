@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_join_test.dir/baseline/multicast_join_test.cpp.o"
+  "CMakeFiles/multicast_join_test.dir/baseline/multicast_join_test.cpp.o.d"
+  "multicast_join_test"
+  "multicast_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighbor_table_test.dir/core/neighbor_table_test.cpp.o"
+  "CMakeFiles/neighbor_table_test.dir/core/neighbor_table_test.cpp.o.d"
+  "neighbor_table_test"
+  "neighbor_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighbor_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

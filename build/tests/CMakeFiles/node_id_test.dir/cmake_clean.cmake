@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_id_test.dir/ids/node_id_test.cpp.o"
+  "CMakeFiles/node_id_test.dir/ids/node_id_test.cpp.o.d"
+  "node_id_test"
+  "node_id_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

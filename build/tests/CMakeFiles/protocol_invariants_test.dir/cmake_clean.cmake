@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_invariants_test.dir/core/protocol_invariants_test.cpp.o"
+  "CMakeFiles/protocol_invariants_test.dir/core/protocol_invariants_test.cpp.o.d"
+  "protocol_invariants_test"
+  "protocol_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

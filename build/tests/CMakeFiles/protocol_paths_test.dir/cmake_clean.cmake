@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_paths_test.dir/core/protocol_paths_test.cpp.o"
+  "CMakeFiles/protocol_paths_test.dir/core/protocol_paths_test.cpp.o.d"
+  "protocol_paths_test"
+  "protocol_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_policy_test.dir/core/snapshot_policy_test.cpp.o"
+  "CMakeFiles/snapshot_policy_test.dir/core/snapshot_policy_test.cpp.o.d"
+  "snapshot_policy_test"
+  "snapshot_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

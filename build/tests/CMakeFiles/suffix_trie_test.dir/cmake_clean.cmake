@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suffix_trie_test.dir/ids/suffix_trie_test.cpp.o"
+  "CMakeFiles/suffix_trie_test.dir/ids/suffix_trie_test.cpp.o.d"
+  "suffix_trie_test"
+  "suffix_trie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suffix_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

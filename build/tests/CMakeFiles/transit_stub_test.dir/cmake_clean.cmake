@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transit_stub_test.dir/topology/transit_stub_test.cpp.o"
+  "CMakeFiles/transit_stub_test.dir/topology/transit_stub_test.cpp.o.d"
+  "transit_stub_test"
+  "transit_stub_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transit_stub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcube_sim_cli.dir/hcube_sim.cpp.o"
+  "CMakeFiles/hcube_sim_cli.dir/hcube_sim.cpp.o.d"
+  "hcube-sim"
+  "hcube-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcube_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
