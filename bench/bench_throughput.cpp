@@ -1,0 +1,303 @@
+// Messaging-core throughput: messages/sec and allocations/message.
+//
+// Three raw messaging paths push the same two-endpoint ping-pong workload:
+//   legacy   — a faithful replay of the pre-seam send path: the closure-based
+//              event queue the pooled one replaced (std::priority_queue of
+//              {time, seq, std::function}, reproduced below from the seed
+//              implementation) plus the two NodeId registry hash lookups the
+//              old Overlay::send_message performed per message
+//   sim      — SimTransport: latency-modelled, pooled typed events, hosts
+//              pre-resolved (the new steady-state send path)
+//   loopback — LoopbackTransport: zero latency, pooled typed events
+// followed by a protocol-level join wave run over both transports.
+//
+// Allocations are counted by instrumenting global operator new, warming the
+// pools first so the steady-state figure is what is reported. Expected:
+// zero allocations/message on the pooled paths, >= 2x legacy throughput on
+// the loopback path.
+//
+// Usage: bench_throughput [--messages N] [--warmup N] [--wave-n N]
+//                         [--wave-m N]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <queue>
+#include <unordered_map>
+
+#include "bench_common.h"
+#include "net/loopback_transport.h"
+#include "net/sim_transport.h"
+
+// ---------------------------------------------------------------------------
+// Allocation instrumentation (single-threaded benches; plain counters).
+
+namespace {
+std::uint64_t g_allocs = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace hcube::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct PathResult {
+  const char* name;
+  std::uint64_t delivered = 0;
+  double wall_s = 0.0;
+  double allocs_per_msg = 0.0;
+  double msgs_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(delivered) / wall_s : 0.0;
+  }
+};
+
+std::array<NodeId, 2> make_ids(const IdParams& params) {
+  UniqueIdGenerator gen(params, 42);
+  return {gen.next(), gen.next()};
+}
+
+// The event queue as it was before the pooled refactor (verbatim from the
+// seed implementation): every event owns a std::function, so every schedule
+// allocates a closure.
+class LegacyEventQueue {
+ public:
+  SimTime now() const { return now_; }
+
+  void schedule_after(SimTime delay, std::function<void()> fn) {
+    heap_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  }
+
+  std::uint64_t run() {
+    std::uint64_t n = 0;
+    while (!heap_.empty()) {
+      Event ev = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      now_ = ev.time;
+      ev.fn();
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+// The pre-seam send path end to end: resolve both endpoints in the NodeId
+// registry (two hash lookups, as the old Overlay::send_message did on every
+// send), then park the Message in a heap-allocated closure on the legacy
+// queue.
+PathResult run_legacy(std::uint64_t warmup, std::uint64_t measured) {
+  const IdParams params{16, 8};
+  const auto ids = make_ids(params);
+  LegacyEventQueue queue;
+  SyntheticLatency latency(2, 5.0, 120.0, /*seed=*/1);
+  std::unordered_map<NodeId, HostId, NodeIdHash> registry;
+  registry.emplace(ids[0], 0);
+  registry.emplace(ids[1], 1);
+  const std::uint64_t total = warmup + measured;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t allocs_before = 0;
+  Clock::time_point t0;
+  std::function<void(HostId, const Message&)> handlers[2];
+  auto send = [&](const NodeId& from_id, const NodeId& to_id,
+                  MessageBody body) {
+    const HostId from = registry.find(from_id)->second;
+    const HostId to = registry.find(to_id)->second;
+    ++sent;
+    queue.schedule_after(latency.latency_ms(from, to),
+                         [&handlers, from, to,
+                          m = Message{from_id, std::move(body)}] {
+                           handlers[to](from, m);
+                         });
+  };
+  auto handler_for = [&](HostId self) {
+    return [&, self](HostId, const Message& msg) {
+      ++delivered;
+      // The legacy queue has no event-capped run; end the warmup in-band.
+      if (delivered == warmup) {
+        allocs_before = g_allocs;
+        t0 = Clock::now();
+      }
+      if (sent < total) send(ids[self], msg.sender, PingMsg{});
+    };
+  };
+  handlers[0] = handler_for(0);
+  handlers[1] = handler_for(1);
+
+  // With no warmup the in-band end-of-warmup check never fires.
+  allocs_before = g_allocs;
+  t0 = Clock::now();
+  send(ids[0], ids[1], PingMsg{});
+  queue.run();
+  PathResult r{"legacy (closure/event)"};
+  r.wall_s = seconds_since(t0);
+  r.delivered = delivered;
+  r.allocs_per_msg = measured > 0
+                         ? static_cast<double>(g_allocs - allocs_before) /
+                               static_cast<double>(measured)
+                         : 0.0;
+  return r;
+}
+
+PathResult run_pooled(const char* name, Transport& transport,
+                      std::uint64_t warmup, std::uint64_t measured) {
+  const IdParams params{16, 8};
+  const auto ids = make_ids(params);
+  EventQueue& queue = transport.queue();
+  const std::uint64_t total = warmup + measured;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  for (HostId self : {HostId{0}, HostId{1}}) {
+    transport.add_endpoint([&, self](HostId from, const Message&) {
+      ++delivered;
+      if (sent < total) {
+        ++sent;
+        transport.send(self, from, Message{ids[self], PingMsg{}});
+      }
+    });
+  }
+
+  ++sent;
+  transport.send(0, 1, Message{ids[0], PingMsg{}});
+  queue.run(warmup);
+  const std::uint64_t allocs_before = g_allocs;
+  const auto t0 = Clock::now();
+  queue.run();
+  PathResult r{name};
+  r.wall_s = seconds_since(t0);
+  r.delivered = delivered;
+  r.allocs_per_msg = measured > 0
+                         ? static_cast<double>(g_allocs - allocs_before) /
+                               static_cast<double>(measured)
+                         : 0.0;
+  return r;
+}
+
+void print_path(const PathResult& r) {
+  std::printf("  %-24s %12.0f msgs/sec   %8.4f allocs/msg   (%llu delivered, %.3fs)\n",
+              r.name, r.msgs_per_sec(), r.allocs_per_msg,
+              static_cast<unsigned long long>(r.delivered), r.wall_s);
+}
+
+// Protocol-level comparison: the same join wave over each transport.
+void run_wave(const char* name, Transport& transport, std::size_t n,
+              std::size_t m, std::uint64_t seed) {
+  const IdParams params{16, 8};
+  ProtocolOptions options;
+  Overlay overlay(params, options, transport);
+  Rng rng(seed);
+  UniqueIdGenerator gen(params, seed ^ 0x5eed);
+  std::vector<NodeId> v, w;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(gen.next());
+  for (std::size_t i = 0; i < m; ++i) w.push_back(gen.next());
+  build_consistent_network(overlay, v);
+
+  const std::uint64_t events_before = transport.queue().events_processed();
+  const auto t0 = Clock::now();
+  join_concurrently(overlay, w, v, rng, /*window_ms=*/0.0);
+  const double wall = seconds_since(t0);
+  const std::uint64_t events =
+      transport.queue().events_processed() - events_before;
+  const bool consistent = check_consistency(view_of(overlay)).consistent();
+  std::printf(
+      "  %-10s n=%zu m=%zu: %llu msgs in %.3fs (%.0f msgs/sec, %llu events)%s\n",
+      name, n, m, static_cast<unsigned long long>(overlay.totals().messages),
+      wall, wall > 0 ? overlay.totals().messages / wall : 0.0,
+      static_cast<unsigned long long>(events),
+      consistent && overlay.all_in_system() ? "" : "  [INCONSISTENT]");
+}
+
+int main_impl(int argc, char** argv) {
+  // Defaults sized so the measured phase runs long enough (~0.4s+) that
+  // scheduler jitter does not swamp the legacy-vs-pooled comparison.
+  const std::uint64_t measured = flag_u64(argc, argv, "--messages", 10'000'000);
+  const std::uint64_t warmup = flag_u64(argc, argv, "--warmup", 200'000);
+  const std::size_t wave_n =
+      static_cast<std::size_t>(flag_u64(argc, argv, "--wave-n", 512));
+  const std::size_t wave_m =
+      static_cast<std::size_t>(flag_u64(argc, argv, "--wave-m", 128));
+
+  std::printf("raw ping-pong (%llu warmup + %llu measured messages):\n",
+              static_cast<unsigned long long>(warmup),
+              static_cast<unsigned long long>(measured));
+  const PathResult legacy = run_legacy(warmup, measured);
+  print_path(legacy);
+
+  PathResult sim{};
+  {
+    EventQueue queue;
+    SyntheticLatency latency(2, 5.0, 120.0, /*seed=*/1);
+    SimTransport transport(queue, latency);
+    sim = run_pooled("sim (pooled)", transport, warmup, measured);
+    print_path(sim);
+  }
+  PathResult loopback{};
+  {
+    EventQueue queue;
+    LoopbackTransport transport(queue, /*max_endpoints=*/2);
+    loopback = run_pooled("loopback (pooled)", transport, warmup, measured);
+    print_path(loopback);
+  }
+  std::printf("  loopback/legacy speedup: %.2fx\n",
+              legacy.msgs_per_sec() > 0
+                  ? loopback.msgs_per_sec() / legacy.msgs_per_sec()
+                  : 0.0);
+
+  std::printf("\nprotocol join wave:\n");
+  {
+    EventQueue queue;
+    SyntheticLatency latency(static_cast<std::uint32_t>(wave_n + wave_m), 5.0,
+                             120.0, /*seed=*/7);
+    SimTransport transport(queue, latency);
+    run_wave("sim", transport, wave_n, wave_m, /*seed=*/7);
+  }
+  {
+    EventQueue queue;
+    LoopbackTransport transport(
+        queue, static_cast<std::uint32_t>(wave_n + wave_m));
+    run_wave("loopback", transport, wave_n, wave_m, /*seed=*/7);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hcube::bench
+
+int main(int argc, char** argv) {
+  return hcube::bench::main_impl(argc, argv);
+}

@@ -1,0 +1,336 @@
+#include "core/join_protocol.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hcube {
+
+// ---------------------------------------------------------------------------
+// Figure 5: status copying
+
+void JoinProtocol::start_join(const NodeId& g0) {
+  core_.status = NodeStatus::kCopying;
+  copy_level_ = 0;
+  copy_from_ = g0;
+  core_.send(g0, CpRstMsg{});
+}
+
+void JoinProtocol::on_cp_rly(const NodeId& g, const CpRlyMsg& msg) {
+  HCUBE_CHECK(core_.status == NodeStatus::kCopying);
+  HCUBE_CHECK(g == copy_from_);
+
+  // Copy level-i neighbors of g into level-i of our table.
+  for (const SnapshotEntry& e : msg.table.entries) {
+    if (e.level != copy_level_) continue;
+    if (e.node == core_.id) continue;  // cannot happen before known; guard
+    core_.copy_entry(e.level, e.digit, e.node, e.state);
+  }
+
+  // p = g; g = N_p(i, x[i]); s = N_p(i, x[i]).state; i++.
+  const SnapshotEntry* next = nullptr;
+  for (const SnapshotEntry& e : msg.table.entries) {
+    if (e.level == copy_level_ && e.digit == core_.id.digit(copy_level_)) {
+      next = &e;
+      break;
+    }
+  }
+  const NodeId prev = copy_from_;
+  ++copy_level_;
+
+  if (next == nullptr) {
+    // No node shares the rightmost (i+1) digits with us: wait on p.
+    finish_copying_and_wait(prev);
+    return;
+  }
+  HCUBE_CHECK_MSG(next->node != core_.id, "joining node found in a table");
+  if (next->state == NeighborState::kS) {
+    HCUBE_CHECK_MSG(copy_level_ < core_.params.num_digits,
+                    "copied all levels; duplicate ID in network?");
+    copy_from_ = next->node;
+    core_.send(copy_from_, CpRstMsg{});
+  } else {
+    // g_{k+1} exists but is still a T-node: wait on it.
+    finish_copying_and_wait(next->node);
+  }
+}
+
+void JoinProtocol::finish_copying_and_wait(const NodeId& target) {
+  // x adds itself into its table.
+  for (std::uint32_t i = 0; i < core_.params.num_digits; ++i)
+    core_.table.set(i, core_.id.digit(i), core_.id, NeighborState::kT,
+                    core_.self_host);
+  core_.status = NodeStatus::kWaiting;
+  core_.send(target, JoinWaitMsg{});
+  q_notified_.insert(target);
+  q_replies_.insert(target);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: receiving JoinWaitMsg
+
+void JoinProtocol::on_join_wait(const NodeId& x, HostId x_host) {
+  if (core_.status != NodeStatus::kInSystem) {
+    q_join_waiters_.insert(x);
+    return;
+  }
+  const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(x));
+  const Digit jd = x.digit(k);
+  const NodeId* cur = core_.table.neighbor(k, jd);
+  if (cur != nullptr && *cur != x) {
+    if (core_.options.backups_per_entry > 0)
+      core_.table.offer_backup(k, jd, x, core_.options.backups_per_entry);
+    core_.send(x, x_host,
+               JoinWaitRlyMsg{false, *cur, core_.table.snapshot_full()});
+  } else {
+    if (cur == nullptr)
+      core_.table.set(k, jd, x, NeighborState::kT, x_host);
+    // We now store x, so we are a reverse neighbor of x; x learns this from
+    // the positive reply (Figure 7 adds us to R_x).
+    core_.send(x, x_host,
+               JoinWaitRlyMsg{true, x, core_.table.snapshot_full()});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: receiving JoinWaitRlyMsg
+
+void JoinProtocol::on_join_wait_rly(const NodeId& y,
+                                    const JoinWaitRlyMsg& m) {
+  q_replies_.erase(y);
+  const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(y));
+  // The reply proves y is an S-node.
+  if (core_.table.holds(k, y.digit(k), y))
+    core_.table.set_state(k, y.digit(k), NeighborState::kS);
+
+  if (m.positive) {
+    HCUBE_CHECK(core_.status == NodeStatus::kWaiting);
+    core_.status = NodeStatus::kNotifying;
+    noti_level_ = k;
+    core_.stats.noti_level = k;
+    core_.table.add_reverse_neighbor(y, {k, core_.id.digit(k)});
+  } else {
+    HCUBE_CHECK_MSG(m.u != core_.id, "negative JoinWaitRly naming the joiner");
+    core_.send(m.u, JoinWaitMsg{});
+    q_notified_.insert(m.u);
+    q_replies_.insert(m.u);
+  }
+  check_ngh_table(m.table);
+  maybe_switch_to_s_node();
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: Check_Ngh_Table
+
+void JoinProtocol::check_ngh_table(const TableSnapshot& snap) {
+  for (const SnapshotEntry& e : snap.entries) {
+    if (e.node == core_.id) continue;
+    const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(e.node));
+    const Digit jd = e.node.digit(k);
+    core_.fill_if_empty(k, jd, e.node, e.state);
+    if (core_.status == NodeStatus::kNotifying && k >= noti_level_ &&
+        !q_notified_.contains(e.node)) {
+      send_join_noti(e.node);
+      q_notified_.insert(e.node);
+      q_replies_.insert(e.node);
+    }
+  }
+}
+
+void JoinProtocol::send_join_noti(const NodeId& target) {
+  JoinNotiMsg msg;
+  msg.sender_noti_level = static_cast<std::uint8_t>(noti_level_);
+  switch (core_.options.snapshot_policy) {
+    case SnapshotPolicy::kFullTable:
+      msg.table = core_.table.snapshot_full();
+      break;
+    case SnapshotPolicy::kPartialLevels:
+    case SnapshotPolicy::kBitVector: {
+      // §6.2: levels noti_level .. |csuf(x, y)| suffice.
+      const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(target));
+      msg.table = core_.table.snapshot(std::min(noti_level_, k), k);
+      if (core_.options.snapshot_policy == SnapshotPolicy::kBitVector)
+        msg.filled = core_.table.filled_bitvec();
+      break;
+    }
+  }
+  core_.send(target, std::move(msg));
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: receiving JoinNotiMsg
+
+JoinNotiRlyMsg JoinProtocol::build_join_noti_rly(
+    bool positive, bool flag, const JoinNotiMsg& request) const {
+  JoinNotiRlyMsg reply;
+  reply.positive = positive;
+  reply.flag = flag;
+  if (core_.options.snapshot_policy == SnapshotPolicy::kBitVector &&
+      request.filled.has_value()) {
+    // §6.2: below the requester's notification level include only entries
+    // it lacks; at and above it include everything (the requester must
+    // discover nodes to notify there even where its entries are filled).
+    const BitVec& filled = *request.filled;
+    core_.table.for_each_filled([&](std::uint32_t i, std::uint32_t j,
+                                    const NodeId& node, NeighborState state) {
+      const std::size_t bit =
+          static_cast<std::size_t>(i) * core_.params.base + j;
+      if (i >= request.sender_noti_level ||
+          bit >= filled.size() || !filled.get(bit)) {
+        reply.table.add(static_cast<std::uint8_t>(i),
+                        static_cast<std::uint8_t>(j), node, state);
+      }
+    });
+  } else {
+    reply.table = core_.table.snapshot_full();
+  }
+  return reply;
+}
+
+void JoinProtocol::on_join_noti(const NodeId& x, HostId x_host,
+                                const JoinNotiMsg& m) {
+  const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(x));
+  const Digit jd = x.digit(k);
+  bool flag = false;
+  core_.fill_if_empty(k, jd, x, NeighborState::kT);
+  // Does x's table (as sent) hold us at (k, y[k])? If not and we are an
+  // S-node, set the flag so x announces us to the occupant (Figure 10).
+  const Digit our_digit = core_.id.digit(k);
+  bool x_has_us = false;
+  for (const SnapshotEntry& e : m.table.entries) {
+    if (e.level == k && e.digit == our_digit && e.node == core_.id) {
+      x_has_us = true;
+      break;
+    }
+  }
+  if (!x_has_us && core_.status == NodeStatus::kInSystem) flag = true;
+
+  const bool positive = core_.table.holds(k, jd, x);
+  core_.send(x, x_host, build_join_noti_rly(positive, flag, m));
+  check_ngh_table(m.table);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: receiving JoinNotiRlyMsg
+
+void JoinProtocol::on_join_noti_rly(const NodeId& y,
+                                    const JoinNotiRlyMsg& m) {
+  q_replies_.erase(y);
+  const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(y));
+  if (m.positive) core_.table.add_reverse_neighbor(y, {k, core_.id.digit(k)});
+  if (m.flag && k > noti_level_ && !q_spe_notified_.contains(y)) {
+    const NodeId* u1 = core_.table.neighbor(k, y.digit(k));
+    HCUBE_CHECK_MSG(u1 != nullptr && *u1 != y,
+                    "flagged entry must hold a competitor node");
+    core_.send(*u1, core_.entry_host(k, y.digit(k)), SpeNotiMsg{core_.id, y});
+    q_spe_notified_.insert(y);
+    q_spe_replies_.insert(y);
+  }
+  check_ngh_table(m.table);
+  maybe_switch_to_s_node();
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11: receiving SpeNotiMsg
+
+void JoinProtocol::on_spe_noti(const SpeNotiMsg& m) {
+  HCUBE_CHECK(m.y != core_.id);  // the forwarding chain never reaches y
+  const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(m.y));
+  const Digit jd = m.y.digit(k);
+  core_.fill_if_empty(k, jd, m.y, NeighborState::kS);
+  if (!core_.table.holds(k, jd, m.y)) {
+    core_.send(*core_.table.neighbor(k, jd), core_.entry_host(k, jd),
+               SpeNotiMsg{m.x, m.y});
+  } else {
+    core_.send(m.x, SpeNotiRlyMsg{m.x, m.y});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12: receiving SpeNotiRlyMsg
+
+void JoinProtocol::on_spe_noti_rly(const SpeNotiRlyMsg& m) {
+  q_spe_replies_.erase(m.y);
+  maybe_switch_to_s_node();
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13: Switch_To_S_Node
+
+void JoinProtocol::maybe_switch_to_s_node() {
+  if (core_.status == NodeStatus::kNotifying && q_replies_.empty() &&
+      q_spe_replies_.empty()) {
+    switch_to_s_node();
+  }
+}
+
+void JoinProtocol::switch_to_s_node() {
+  HCUBE_CHECK(core_.status == NodeStatus::kNotifying);
+  core_.status = NodeStatus::kInSystem;
+  core_.stats.t_end = core_.env.now();
+  for (std::uint32_t i = 0; i < core_.params.num_digits; ++i)
+    core_.table.set_state(i, core_.id.digit(i), NeighborState::kS);
+  for (const auto& [v, where] : core_.table.reverse_neighbors()) {
+    (void)where;
+    core_.send(v, InSysNotiMsg{});
+  }
+  // Answer the deferred JoinWaitMsg senders.
+  for (const NodeId& u : q_join_waiters_) {
+    const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(u));
+    const Digit jd = u.digit(k);
+    const NodeId* cur = core_.table.neighbor(k, jd);
+    if (cur == nullptr) {
+      const HostId host = core_.env.host_of(u);
+      core_.table.set(k, jd, u, NeighborState::kT, host);
+      core_.send(u, host,
+                 JoinWaitRlyMsg{true, u, core_.table.snapshot_full()});
+    } else if (*cur == u) {
+      // Deviation from Figure 13 (see header comment): already storing u is
+      // a positive outcome, as in Figure 6.
+      core_.send(u, core_.entry_host(k, jd),
+                 JoinWaitRlyMsg{true, u, core_.table.snapshot_full()});
+    } else {
+      if (core_.options.backups_per_entry > 0)
+        core_.table.offer_backup(k, jd, u, core_.options.backups_per_entry);
+      core_.send(u, JoinWaitRlyMsg{false, *cur, core_.table.snapshot_full()});
+    }
+  }
+  q_join_waiters_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 and reverse-neighbor bookkeeping
+
+void JoinProtocol::on_in_sys_noti(const NodeId& x) {
+  const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(x));
+  if (core_.table.holds(k, x.digit(k), x))
+    core_.table.set_state(k, x.digit(k), NeighborState::kS);
+}
+
+void JoinProtocol::on_rv_ngh_noti(const NodeId& x, HostId x_host,
+                                  const RvNghNotiMsg& m) {
+  const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(x));
+  core_.table.add_reverse_neighbor(x, {k, core_.id.digit(k)});
+  if (core_.status == NodeStatus::kLeaving) {
+    // x started storing us while we are leaving (e.g. another node handed
+    // us out as a leave-repair replacement). Tell it to repair too, so our
+    // departure does not strand a dangling pointer.
+    if (!leave_.has_notified(x)) leave_.send_leave_to(x);
+    return;
+  }
+  const bool am_s = (core_.status == NodeStatus::kInSystem);
+  const bool recorded_s = (m.recorded_state == NeighborState::kS);
+  if (recorded_s != am_s) {
+    core_.send(x, x_host,
+               RvNghNotiRlyMsg{am_s ? NeighborState::kS : NeighborState::kT});
+  }
+}
+
+void JoinProtocol::on_rv_ngh_noti_rly(const NodeId& y,
+                                      const RvNghNotiRlyMsg& m) {
+  const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(y));
+  if (core_.table.holds(k, y.digit(k), y))
+    core_.table.set_state(k, y.digit(k), m.actual_state);
+}
+
+}  // namespace hcube

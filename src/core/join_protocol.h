@@ -1,0 +1,79 @@
+// The join-protocol state machine of Section 4 (Figures 5 through 14).
+//
+// The pseudo-code in the paper reads neighbor tables of remote nodes
+// directly; here every remote read is an explicit message exchange over the
+// simulated network (CpRstMsg/CpRlyMsg for the copying loop of Figure 5).
+// The RvNghNotiMsg bookkeeping that the paper's figures elide "for clarity
+// of presentation" is implemented in full: whenever a node fills a non-self
+// neighbor into an entry it notifies that neighbor, so reverse-neighbor sets
+// are complete and InSysNotiMsg (Figure 13) reaches every node that stored a
+// joiner while it was still a T-node.
+//
+// Documented deviation: in Switch_To_S_Node (Figure 13) the paper replies
+// negative when N_x(k, u[k]) is non-null, even if the entry already holds u
+// itself; a negative reply naming u would make u send a JoinWaitMsg to
+// itself. We treat "entry already holds u" as positive, mirroring the
+// receiving-side logic of Figure 6 (whose negative branch explicitly
+// excludes N_y(k, x[k]) == x).
+#pragma once
+
+#include <cstdint>
+
+#include "core/leave_protocol.h"
+#include "core/node_core.h"
+
+namespace hcube {
+
+class JoinProtocol {
+ public:
+  // Needs the leave module for one cross-protocol edge: a RvNghNotiMsg
+  // arriving while this node is leaving must trigger a LeaveMsg to the new
+  // reverse neighbor (otherwise our departure strands a dangling pointer).
+  JoinProtocol(NodeCore& core, LeaveProtocol& leave)
+      : core_(core), leave_(leave) {}
+
+  // Figure 5: begin joining via gateway g0 (assumed to be an S-node of V).
+  void start_join(const NodeId& g0);
+
+  std::uint32_t noti_level() const { return noti_level_; }
+
+  // ---- message handlers ----
+  void on_cp_rly(const NodeId& g, const CpRlyMsg& msg);   // copying loop body
+  void on_join_wait(const NodeId& x, HostId x_host);      // Figure 6
+  void on_join_wait_rly(const NodeId& y, const JoinWaitRlyMsg& m);  // Fig. 7
+  void on_join_noti(const NodeId& x, HostId x_host,
+                    const JoinNotiMsg& m);                // Figure 9
+  void on_join_noti_rly(const NodeId& y, const JoinNotiRlyMsg& m);  // Fig. 10
+  void on_spe_noti(const SpeNotiMsg& m);                  // Figure 11
+  void on_spe_noti_rly(const SpeNotiRlyMsg& m);           // Figure 12
+  void on_in_sys_noti(const NodeId& x);                   // Figure 14
+  void on_rv_ngh_noti(const NodeId& x, HostId x_host, const RvNghNotiMsg& m);
+  void on_rv_ngh_noti_rly(const NodeId& y, const RvNghNotiRlyMsg& m);
+
+ private:
+  void finish_copying_and_wait(const NodeId& target);     // tail of Figure 5
+  void check_ngh_table(const TableSnapshot& snap);        // Figure 8
+  void send_join_noti(const NodeId& target);
+  JoinNotiRlyMsg build_join_noti_rly(bool positive, bool flag,
+                                     const JoinNotiMsg& request) const;
+  void maybe_switch_to_s_node();
+  void switch_to_s_node();                                // Figure 13
+
+  NodeCore& core_;
+  LeaveProtocol& leave_;
+
+  std::uint32_t noti_level_ = 0;
+
+  // Copying-phase cursor (Figure 5's i, g, p).
+  std::uint32_t copy_level_ = 0;
+  NodeId copy_from_;
+
+  // Figure 3 state variables.
+  NodeIdSet q_replies_;        // Q_r: nodes we await replies from
+  NodeIdSet q_notified_;       // Q_n: nodes we sent notifications to
+  NodeIdSet q_join_waiters_;   // Q_j: deferred JoinWaitMsg senders
+  NodeIdSet q_spe_replies_;    // Q_sr: SpeNoti replies outstanding (key: y)
+  NodeIdSet q_spe_notified_;   // Q_sn: nodes announced via SpeNotiMsg
+};
+
+}  // namespace hcube

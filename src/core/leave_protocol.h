@@ -1,0 +1,44 @@
+// Graceful-departure protocol (extension; the paper defers leaving to
+// future work, Section 7).
+//
+// The leaver sends each reverse neighbor v a LeaveMsg carrying its table
+// rows at levels >= k+1 (k = |csuf|), which by consistency of the leaver's
+// table contain a replacement for v's entry whenever one exists anywhere in
+// the network; v repairs (or nulls) the entry locally and acks. The
+// leaver's own neighbors get an NghDropMsg so their reverse-neighbor sets
+// stay exact. Departure completes (status kDeparted) when every ack
+// arrived. Supported under the same regime the paper assumes for joins: no
+// concurrent membership change touching the same suffix classes.
+#pragma once
+
+#include <cstddef>
+
+#include "core/node_core.h"
+
+namespace hcube {
+
+class LeaveProtocol {
+ public:
+  explicit LeaveProtocol(NodeCore& core) : core_(core) {}
+
+  void start_leave();
+
+  // Sends a LeaveMsg to one reverse neighbor (also used by the join module
+  // when a node registers as a reverse neighbor mid-leave).
+  void send_leave_to(const NodeId& v);
+  bool has_notified(const NodeId& v) const {
+    return leave_notified_.contains(v);
+  }
+
+  // ---- message handlers ----
+  void on_leave(const NodeId& x, HostId x_host, const LeaveMsg& m);
+  void on_leave_rly(const NodeId& v);
+  void on_ngh_drop(const NodeId& x);
+
+ private:
+  NodeCore& core_;
+  NodeIdSet leave_notified_;  // reverse neighbors sent a LeaveMsg
+  std::size_t leave_acks_pending_ = 0;
+};
+
+}  // namespace hcube

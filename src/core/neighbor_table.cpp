@@ -44,7 +44,8 @@ bool NeighborTable::holds(std::uint32_t level, std::uint32_t digit,
 }
 
 void NeighborTable::set(std::uint32_t level, std::uint32_t digit,
-                        const NodeId& node, NeighborState state) {
+                        const NodeId& node, NeighborState state,
+                        HostId host) {
   HCUBE_CHECK(node.is_valid());
   // Suffix invariant of Section 2.1: the entry's desired suffix is
   // digit · owner[level-1 .. 0].
@@ -56,6 +57,18 @@ void NeighborTable::set(std::uint32_t level, std::uint32_t digit,
   if (!e.node.is_valid()) ++filled_;
   e.node = node;
   e.state = state;
+  e.host = host;
+}
+
+HostId NeighborTable::host(std::uint32_t level, std::uint32_t digit) const {
+  return entries_[index(level, digit)].host;
+}
+
+void NeighborTable::memo_host(std::uint32_t level, std::uint32_t digit,
+                              HostId host) {
+  Entry& e = entries_[index(level, digit)];
+  HCUBE_CHECK_MSG(e.node.is_valid(), "memo_host() of an empty entry");
+  e.host = host;
 }
 
 void NeighborTable::set_state(std::uint32_t level, std::uint32_t digit,
@@ -70,6 +83,7 @@ void NeighborTable::clear(std::uint32_t level, std::uint32_t digit) {
   if (!e.node.is_valid()) return;
   e.node = NodeId();
   e.state = NeighborState::kT;
+  e.host = kNoHost;
   --filled_;
 }
 

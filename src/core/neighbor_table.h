@@ -20,6 +20,7 @@
 
 #include "ids/node_id.h"
 #include "proto/messages.h"
+#include "util/host.h"
 
 namespace hcube {
 
@@ -48,8 +49,16 @@ class NeighborTable {
 
   // Sets N_x(level, digit) = node with the given state. Checks the suffix
   // invariant: csuf(node, owner) >= level and node[level] == digit.
+  // `host` is the neighbor's transport endpoint when the writer has already
+  // resolved it (kNoHost = not resolved yet; memo_host fills it in lazily).
   void set(std::uint32_t level, std::uint32_t digit, const NodeId& node,
-           NeighborState state);
+           NeighborState state, HostId host = kNoHost);
+
+  // Cached transport endpoint of the entry's neighbor (the envelope a
+  // deployment would store alongside the ID); kNoHost when never resolved.
+  HostId host(std::uint32_t level, std::uint32_t digit) const;
+  // Memoizes the host of a filled entry after a lazy resolve.
+  void memo_host(std::uint32_t level, std::uint32_t digit, HostId host);
 
   // Updates only the recorded state; entry must hold `node`.
   void set_state(std::uint32_t level, std::uint32_t digit,
@@ -127,6 +136,7 @@ class NeighborTable {
   struct Entry {
     NodeId node;  // invalid (default) = empty
     NeighborState state = NeighborState::kT;
+    HostId host = kNoHost;  // resolved transport endpoint of `node`
   };
 
   std::size_t index(std::uint32_t level, std::uint32_t digit) const;

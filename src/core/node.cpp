@@ -1,7 +1,5 @@
 #include "core/node.h"
 
-#include <algorithm>
-
 #include "util/check.h"
 
 namespace hcube {
@@ -16,656 +14,83 @@ Overloaded(Ts...) -> Overloaded<Ts...>;
 
 }  // namespace
 
-const char* to_string(NodeStatus s) {
-  switch (s) {
-    case NodeStatus::kCopying: return "copying";
-    case NodeStatus::kWaiting: return "waiting";
-    case NodeStatus::kNotifying: return "notifying";
-    case NodeStatus::kInSystem: return "in_system";
-    case NodeStatus::kLeaving: return "leaving";
-    case NodeStatus::kDeparted: return "departed";
-    case NodeStatus::kCrashed: return "crashed";
-  }
-  return "?";
-}
-
-const char* to_string(SnapshotPolicy p) {
-  switch (p) {
-    case SnapshotPolicy::kFullTable: return "full-table";
-    case SnapshotPolicy::kPartialLevels: return "partial-levels";
-    case SnapshotPolicy::kBitVector: return "bit-vector";
-  }
-  return "?";
-}
-
 Node::Node(NodeId id, const IdParams& params, const ProtocolOptions& options,
            NodeEnv& env)
-    : id_(std::move(id)),
-      params_(params),
-      options_(options),
-      env_(env),
-      table_(params, id_) {}
-
-void Node::send(const NodeId& to, MessageBody body) {
-  ++stats_.sent[static_cast<std::size_t>(type_of(body))];
-  stats_.bytes_sent += wire_size_bytes(body, params_);
-  env_.send_message(id_, to, std::move(body));
-}
+    : core_(std::move(id), params, options, env),
+      leave_(core_),
+      repair_(core_),
+      join_(core_, leave_) {}
 
 // ---------------------------------------------------------------------------
 // Construction paths for members of the initial network V
 
 void Node::become_seed() {
-  HCUBE_CHECK_MSG(!started_, "node already started");
-  started_ = true;
+  HCUBE_CHECK_MSG(!core_.started, "node already started");
+  core_.started = true;
   // Section 6.1: N_x(i, x[i]) = x with state S for all i; everything else
   // null (the network has exactly one node, so all other suffix sets are
   // empty and Definition 3.8(b) demands null).
-  for (std::uint32_t i = 0; i < params_.num_digits; ++i)
-    table_.set(i, id_.digit(i), id_, NeighborState::kS);
-  status_ = NodeStatus::kInSystem;
-  stats_.t_begin = stats_.t_end = env_.now();
+  for (std::uint32_t i = 0; i < core_.params.num_digits; ++i)
+    core_.table.set(i, core_.id.digit(i), core_.id, NeighborState::kS,
+                    core_.self_host);
+  core_.status = NodeStatus::kInSystem;
+  core_.stats.t_begin = core_.stats.t_end = core_.env.now();
 }
 
 void Node::install_entry(std::uint32_t level, std::uint32_t digit,
                          const NodeId& neighbor) {
-  HCUBE_CHECK_MSG(!started_, "cannot install entries after start");
-  table_.set(level, digit, neighbor, NeighborState::kS);
+  HCUBE_CHECK_MSG(!core_.started, "cannot install entries after start");
+  core_.table.set(level, digit, neighbor, NeighborState::kS);
 }
 
 void Node::finish_install() {
-  HCUBE_CHECK_MSG(!started_, "node already started");
-  started_ = true;
-  for (std::uint32_t i = 0; i < params_.num_digits; ++i)
-    table_.set(i, id_.digit(i), id_, NeighborState::kS);
-  status_ = NodeStatus::kInSystem;
-  stats_.t_begin = stats_.t_end = env_.now();
+  HCUBE_CHECK_MSG(!core_.started, "node already started");
+  core_.started = true;
+  for (std::uint32_t i = 0; i < core_.params.num_digits; ++i)
+    core_.table.set(i, core_.id.digit(i), core_.id, NeighborState::kS,
+                    core_.self_host);
+  core_.status = NodeStatus::kInSystem;
+  core_.stats.t_begin = core_.stats.t_end = core_.env.now();
 }
 
 void Node::install_reverse_neighbor(const NodeId& v, EntryRef where) {
-  table_.add_reverse_neighbor(v, where);
+  core_.table.add_reverse_neighbor(v, where);
 }
 
 void Node::rebind_entry(std::uint32_t level, std::uint32_t digit,
                         const NodeId& node) {
-  HCUBE_CHECK_MSG(status_ == NodeStatus::kInSystem,
+  HCUBE_CHECK_MSG(core_.status == NodeStatus::kInSystem,
                   "optimization only applies to S-nodes");
-  HCUBE_CHECK_MSG(!table_.is_empty(level, digit),
+  HCUBE_CHECK_MSG(!core_.table.is_empty(level, digit),
                   "optimization must not fill empty entries");
-  table_.set(level, digit, node, NeighborState::kS);
+  core_.table.set(level, digit, node, NeighborState::kS);
 }
 
 void Node::drop_reverse_neighbor(const NodeId& v) {
-  table_.remove_reverse_neighbor(v);
+  core_.table.remove_reverse_neighbor(v);
 }
-
-// ---------------------------------------------------------------------------
-// Table write helpers
-
-bool Node::fill_if_empty(std::uint32_t level, std::uint32_t digit,
-                         const NodeId& node, NeighborState state) {
-  if (!table_.is_empty(level, digit)) {
-    // Occupied: remember the node as a redundant neighbor if configured.
-    if (options_.backups_per_entry > 0 && node != id_)
-      table_.offer_backup(level, digit, node, options_.backups_per_entry);
-    return false;
-  }
-  table_.set(level, digit, node, state);
-  // "When any node x sets N_x(i, j) = y, y != x, x needs to send a
-  // RvNghNotiMsg(y, N_x(i, j).state) to y" (Section 4).
-  if (node != id_) send(node, RvNghNotiMsg{state});
-  return true;
-}
-
-void Node::copy_entry(std::uint32_t level, std::uint32_t digit,
-                      const NodeId& node, NeighborState state) {
-  // During copying nobody else writes our table (no other node knows us
-  // yet), and each level is copied exactly once, so the entry is empty.
-  HCUBE_CHECK_MSG(table_.is_empty(level, digit),
-                  "copy-phase entry unexpectedly filled");
-  table_.set(level, digit, node, state);
-  if (node != id_) send(node, RvNghNotiMsg{state});
-}
-
-// ---------------------------------------------------------------------------
-// Figure 5: status copying
 
 void Node::start_join(const NodeId& g0) {
-  HCUBE_CHECK_MSG(!started_, "node already started");
-  HCUBE_CHECK_MSG(g0 != id_, "cannot join via self");
-  started_ = true;
-  stats_.t_begin = env_.now();
-  status_ = NodeStatus::kCopying;
-  copy_level_ = 0;
-  copy_from_ = g0;
-  send(g0, CpRstMsg{});
-}
-
-void Node::on_cp_rly(const NodeId& g, const CpRlyMsg& msg) {
-  HCUBE_CHECK(status_ == NodeStatus::kCopying);
-  HCUBE_CHECK(g == copy_from_);
-
-  // Copy level-i neighbors of g into level-i of our table.
-  for (const SnapshotEntry& e : msg.table.entries) {
-    if (e.level != copy_level_) continue;
-    if (e.node == id_) continue;  // cannot happen before we are known; guard
-    copy_entry(e.level, e.digit, e.node, e.state);
-  }
-
-  // p = g; g = N_p(i, x[i]); s = N_p(i, x[i]).state; i++.
-  const SnapshotEntry* next = nullptr;
-  for (const SnapshotEntry& e : msg.table.entries) {
-    if (e.level == copy_level_ && e.digit == id_.digit(copy_level_)) {
-      next = &e;
-      break;
-    }
-  }
-  const NodeId prev = copy_from_;
-  ++copy_level_;
-
-  if (next == nullptr) {
-    // No node shares the rightmost (i+1) digits with us: wait on p.
-    finish_copying_and_wait(prev);
-    return;
-  }
-  HCUBE_CHECK_MSG(next->node != id_, "joining node found in a table");
-  if (next->state == NeighborState::kS) {
-    HCUBE_CHECK_MSG(copy_level_ < params_.num_digits,
-                    "copied all levels; duplicate ID in network?");
-    copy_from_ = next->node;
-    send(copy_from_, CpRstMsg{});
-  } else {
-    // g_{k+1} exists but is still a T-node: wait on it.
-    finish_copying_and_wait(next->node);
-  }
-}
-
-void Node::finish_copying_and_wait(const NodeId& target) {
-  // x adds itself into its table.
-  for (std::uint32_t i = 0; i < params_.num_digits; ++i)
-    table_.set(i, id_.digit(i), id_, NeighborState::kT);
-  status_ = NodeStatus::kWaiting;
-  send(target, JoinWaitMsg{});
-  q_notified_.insert(target);
-  q_replies_.insert(target);
-}
-
-// ---------------------------------------------------------------------------
-// Figure 6: receiving JoinWaitMsg
-
-void Node::on_join_wait(const NodeId& x) {
-  if (status_ != NodeStatus::kInSystem) {
-    q_join_waiters_.insert(x);
-    return;
-  }
-  const auto k = static_cast<std::uint32_t>(id_.csuf_len(x));
-  const Digit jd = x.digit(k);
-  const NodeId* cur = table_.neighbor(k, jd);
-  if (cur != nullptr && *cur != x) {
-    if (options_.backups_per_entry > 0)
-      table_.offer_backup(k, jd, x, options_.backups_per_entry);
-    send(x, JoinWaitRlyMsg{false, *cur, table_.snapshot_full()});
-  } else {
-    if (cur == nullptr) table_.set(k, jd, x, NeighborState::kT);
-    // We now store x, so we are a reverse neighbor of x; x learns this from
-    // the positive reply (Figure 7 adds us to R_x).
-    send(x, JoinWaitRlyMsg{true, x, table_.snapshot_full()});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Figure 7: receiving JoinWaitRlyMsg
-
-void Node::on_join_wait_rly(const NodeId& y, const JoinWaitRlyMsg& m) {
-  q_replies_.erase(y);
-  const auto k = static_cast<std::uint32_t>(id_.csuf_len(y));
-  // The reply proves y is an S-node.
-  if (table_.holds(k, y.digit(k), y))
-    table_.set_state(k, y.digit(k), NeighborState::kS);
-
-  if (m.positive) {
-    HCUBE_CHECK(status_ == NodeStatus::kWaiting);
-    status_ = NodeStatus::kNotifying;
-    noti_level_ = k;
-    stats_.noti_level = k;
-    table_.add_reverse_neighbor(y, {k, id_.digit(k)});
-  } else {
-    HCUBE_CHECK_MSG(m.u != id_, "negative JoinWaitRly naming the joiner");
-    send(m.u, JoinWaitMsg{});
-    q_notified_.insert(m.u);
-    q_replies_.insert(m.u);
-  }
-  check_ngh_table(m.table);
-  maybe_switch_to_s_node();
-}
-
-// ---------------------------------------------------------------------------
-// Figure 8: Check_Ngh_Table
-
-void Node::check_ngh_table(const TableSnapshot& snap) {
-  for (const SnapshotEntry& e : snap.entries) {
-    if (e.node == id_) continue;
-    const auto k = static_cast<std::uint32_t>(id_.csuf_len(e.node));
-    const Digit jd = e.node.digit(k);
-    fill_if_empty(k, jd, e.node, e.state);
-    if (status_ == NodeStatus::kNotifying && k >= noti_level_ &&
-        !q_notified_.contains(e.node)) {
-      send_join_noti(e.node);
-      q_notified_.insert(e.node);
-      q_replies_.insert(e.node);
-    }
-  }
-}
-
-void Node::send_join_noti(const NodeId& target) {
-  JoinNotiMsg msg;
-  msg.sender_noti_level = static_cast<std::uint8_t>(noti_level_);
-  switch (options_.snapshot_policy) {
-    case SnapshotPolicy::kFullTable:
-      msg.table = table_.snapshot_full();
-      break;
-    case SnapshotPolicy::kPartialLevels:
-    case SnapshotPolicy::kBitVector: {
-      // §6.2: levels noti_level .. |csuf(x, y)| suffice.
-      const auto k = static_cast<std::uint32_t>(id_.csuf_len(target));
-      msg.table = table_.snapshot(std::min(noti_level_, k), k);
-      if (options_.snapshot_policy == SnapshotPolicy::kBitVector)
-        msg.filled = table_.filled_bitvec();
-      break;
-    }
-  }
-  send(target, std::move(msg));
-}
-
-// ---------------------------------------------------------------------------
-// Figure 9: receiving JoinNotiMsg
-
-JoinNotiRlyMsg Node::build_join_noti_rly(bool positive, bool flag,
-                                         const JoinNotiMsg& request) const {
-  JoinNotiRlyMsg reply;
-  reply.positive = positive;
-  reply.flag = flag;
-  if (options_.snapshot_policy == SnapshotPolicy::kBitVector &&
-      request.filled.has_value()) {
-    // §6.2: below the requester's notification level include only entries
-    // it lacks; at and above it include everything (the requester must
-    // discover nodes to notify there even where its entries are filled).
-    const BitVec& filled = *request.filled;
-    table_.for_each_filled([&](std::uint32_t i, std::uint32_t j,
-                               const NodeId& node, NeighborState state) {
-      const std::size_t bit = static_cast<std::size_t>(i) * params_.base + j;
-      if (i >= request.sender_noti_level ||
-          bit >= filled.size() || !filled.get(bit)) {
-        reply.table.add(static_cast<std::uint8_t>(i),
-                        static_cast<std::uint8_t>(j), node, state);
-      }
-    });
-  } else {
-    reply.table = table_.snapshot_full();
-  }
-  return reply;
-}
-
-void Node::on_join_noti(const NodeId& x, const JoinNotiMsg& m) {
-  const auto k = static_cast<std::uint32_t>(id_.csuf_len(x));
-  const Digit jd = x.digit(k);
-  bool flag = false;
-  fill_if_empty(k, jd, x, NeighborState::kT);
-  // Does x's table (as sent) hold us at (k, y[k])? If not and we are an
-  // S-node, set the flag so x announces us to the occupant (Figure 10).
-  const Digit our_digit = id_.digit(k);
-  bool x_has_us = false;
-  for (const SnapshotEntry& e : m.table.entries) {
-    if (e.level == k && e.digit == our_digit && e.node == id_) {
-      x_has_us = true;
-      break;
-    }
-  }
-  if (!x_has_us && status_ == NodeStatus::kInSystem) flag = true;
-
-  const bool positive = table_.holds(k, jd, x);
-  send(x, build_join_noti_rly(positive, flag, m));
-  check_ngh_table(m.table);
-}
-
-// ---------------------------------------------------------------------------
-// Figure 10: receiving JoinNotiRlyMsg
-
-void Node::on_join_noti_rly(const NodeId& y, const JoinNotiRlyMsg& m) {
-  q_replies_.erase(y);
-  const auto k = static_cast<std::uint32_t>(id_.csuf_len(y));
-  if (m.positive) table_.add_reverse_neighbor(y, {k, id_.digit(k)});
-  if (m.flag && k > noti_level_ && !q_spe_notified_.contains(y)) {
-    const NodeId* u1 = table_.neighbor(k, y.digit(k));
-    HCUBE_CHECK_MSG(u1 != nullptr && *u1 != y,
-                    "flagged entry must hold a competitor node");
-    send(*u1, SpeNotiMsg{id_, y});
-    q_spe_notified_.insert(y);
-    q_spe_replies_.insert(y);
-  }
-  check_ngh_table(m.table);
-  maybe_switch_to_s_node();
-}
-
-// ---------------------------------------------------------------------------
-// Figure 11: receiving SpeNotiMsg
-
-void Node::on_spe_noti(const SpeNotiMsg& m) {
-  HCUBE_CHECK(m.y != id_);  // the forwarding chain never reaches y itself
-  const auto k = static_cast<std::uint32_t>(id_.csuf_len(m.y));
-  const Digit jd = m.y.digit(k);
-  fill_if_empty(k, jd, m.y, NeighborState::kS);
-  if (!table_.holds(k, jd, m.y)) {
-    send(*table_.neighbor(k, jd), SpeNotiMsg{m.x, m.y});
-  } else {
-    send(m.x, SpeNotiRlyMsg{m.x, m.y});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Figure 12: receiving SpeNotiRlyMsg
-
-void Node::on_spe_noti_rly(const SpeNotiRlyMsg& m) {
-  q_spe_replies_.erase(m.y);
-  maybe_switch_to_s_node();
-}
-
-// ---------------------------------------------------------------------------
-// Figure 13: Switch_To_S_Node
-
-void Node::maybe_switch_to_s_node() {
-  if (status_ == NodeStatus::kNotifying && q_replies_.empty() &&
-      q_spe_replies_.empty()) {
-    switch_to_s_node();
-  }
-}
-
-void Node::switch_to_s_node() {
-  HCUBE_CHECK(status_ == NodeStatus::kNotifying);
-  status_ = NodeStatus::kInSystem;
-  stats_.t_end = env_.now();
-  for (std::uint32_t i = 0; i < params_.num_digits; ++i)
-    table_.set_state(i, id_.digit(i), NeighborState::kS);
-  for (const auto& [v, where] : table_.reverse_neighbors()) {
-    (void)where;
-    send(v, InSysNotiMsg{});
-  }
-  // Answer the deferred JoinWaitMsg senders.
-  for (const NodeId& u : q_join_waiters_) {
-    const auto k = static_cast<std::uint32_t>(id_.csuf_len(u));
-    const Digit jd = u.digit(k);
-    const NodeId* cur = table_.neighbor(k, jd);
-    if (cur == nullptr) {
-      table_.set(k, jd, u, NeighborState::kT);
-      send(u, JoinWaitRlyMsg{true, u, table_.snapshot_full()});
-    } else if (*cur == u) {
-      // Deviation from Figure 13 (see header comment): already storing u is
-      // a positive outcome, as in Figure 6.
-      send(u, JoinWaitRlyMsg{true, u, table_.snapshot_full()});
-    } else {
-      if (options_.backups_per_entry > 0)
-        table_.offer_backup(k, jd, u, options_.backups_per_entry);
-      send(u, JoinWaitRlyMsg{false, *cur, table_.snapshot_full()});
-    }
-  }
-  q_join_waiters_.clear();
-}
-
-// ---------------------------------------------------------------------------
-// Figure 14 and reverse-neighbor bookkeeping
-
-void Node::on_in_sys_noti(const NodeId& x) {
-  const auto k = static_cast<std::uint32_t>(id_.csuf_len(x));
-  if (table_.holds(k, x.digit(k), x))
-    table_.set_state(k, x.digit(k), NeighborState::kS);
-}
-
-void Node::on_rv_ngh_noti(const NodeId& x, const RvNghNotiMsg& m) {
-  const auto k = static_cast<std::uint32_t>(id_.csuf_len(x));
-  table_.add_reverse_neighbor(x, {k, id_.digit(k)});
-  if (status_ == NodeStatus::kLeaving) {
-    // x started storing us while we are leaving (e.g. another node handed
-    // us out as a leave-repair replacement). Tell it to repair too, so our
-    // departure does not strand a dangling pointer.
-    if (!leave_notified_.contains(x)) send_leave_to(x);
-    return;
-  }
-  const bool am_s = (status_ == NodeStatus::kInSystem);
-  const bool recorded_s = (m.recorded_state == NeighborState::kS);
-  if (recorded_s != am_s) {
-    send(x, RvNghNotiRlyMsg{am_s ? NeighborState::kS : NeighborState::kT});
-  }
-}
-
-void Node::on_rv_ngh_noti_rly(const NodeId& y, const RvNghNotiRlyMsg& m) {
-  const auto k = static_cast<std::uint32_t>(id_.csuf_len(y));
-  if (table_.holds(k, y.digit(k), y))
-    table_.set_state(k, y.digit(k), m.actual_state);
-}
-
-// ---------------------------------------------------------------------------
-// Leave protocol (extension)
-
-void Node::send_leave_to(const NodeId& v) {
-  // v stores us at entry (k, id_[k]), whose class is our (k+1)-digit
-  // suffix. Candidates are ALL our table rows at levels >= k+1: every such
-  // entry shares >= k+1 digits with us, and if any other member y of the
-  // class exists, our entry (|csuf(us, y)|, y-digit) is non-null and != us
-  // by consistency (a). The level-(k+1) row alone is NOT enough — members
-  // hiding behind our own level-(k+1) digit only appear in deeper rows.
-  const auto k = static_cast<std::uint32_t>(id_.csuf_len(v));
-  LeaveMsg msg;
-  if (k + 1 < params_.num_digits)
-    msg.candidates = table_.snapshot(k + 1, params_.num_digits - 1);
-  send(v, std::move(msg));
-  leave_notified_.insert(v);
-  ++leave_acks_pending_;
-}
-
-void Node::start_leave() {
-  HCUBE_CHECK_MSG(status_ == NodeStatus::kInSystem,
-                  "only an S-node may leave gracefully");
-  status_ = NodeStatus::kLeaving;
-  for (const auto& [v, where] : table_.reverse_neighbors()) {
-    (void)where;
-    send_leave_to(v);
-  }
-  for (const NodeId& y : table_.distinct_neighbors()) send(y, NghDropMsg{});
-  if (leave_acks_pending_ == 0) status_ = NodeStatus::kDeparted;
-}
-
-void Node::on_leave(const NodeId& x, const LeaveMsg& m) {
-  // x no longer stores us.
-  table_.remove_reverse_neighbor(x);
-  const auto k = static_cast<std::uint32_t>(id_.csuf_len(x));
-  const Digit jd = x.digit(k);
-  if (status_ == NodeStatus::kLeaving) {
-    // We are on the way out ourselves: our table will never be read again,
-    // and repairing it would register us as a fresh reverse neighbor of the
-    // replacement — a pointer that would dangle the moment we depart.
-    send(x, LeaveRlyMsg{});
-    return;
-  }
-  // The leaver is no longer a valid redundant neighbor either. (Backups
-  // are repaired from the LeaveMsg candidates, not promoted: a remembered
-  // backup may itself have left since — backups are not reverse-tracked.)
-  table_.purge_backup(k, jd, x);
-  if (table_.holds(k, jd, x)) {
-    const SnapshotEntry* replacement = nullptr;
-    for (const SnapshotEntry& e : m.candidates.entries) {
-      if (e.node == x) continue;  // the leaver itself
-      // Candidates all share the leaver's (k+1)-digit suffix, which equals
-      // our entry's desired suffix; double-check defensively.
-      if (e.node.csuf_len(id_) >= k && e.node.digit(k) == jd) {
-        replacement = &e;
-        if (e.state == NeighborState::kS) break;  // prefer a settled node
-      }
-    }
-    if (replacement != nullptr) {
-      table_.set(k, jd, replacement->node, replacement->state);
-      send(replacement->node, RvNghNotiMsg{replacement->state});
-    } else {
-      // The leaver was the last member of the entry's class: null is now
-      // the consistent value (Definition 3.8(b)).
-      table_.clear(k, jd);
-    }
-  }
-  send(x, LeaveRlyMsg{});
-}
-
-void Node::on_leave_rly(const NodeId& v) {
-  HCUBE_CHECK(status_ == NodeStatus::kLeaving);
-  HCUBE_CHECK(leave_acks_pending_ > 0);
-  (void)v;
-  if (--leave_acks_pending_ == 0) status_ = NodeStatus::kDeparted;
-}
-
-void Node::on_ngh_drop(const NodeId& x) {
-  table_.remove_reverse_neighbor(x);
-}
-
-// ---------------------------------------------------------------------------
-// Failure recovery (extension)
-
-void Node::start_repair(SimTime ping_timeout_ms) {
-  HCUBE_CHECK_MSG(status_ == NodeStatus::kInSystem,
-                  "repair runs on settled S-nodes");
-  HCUBE_CHECK(ping_timeout_ms > 0.0);
-  repair_timeout_ms_ = ping_timeout_ms;
-  ++ping_generation_;
-  const std::uint64_t generation = ping_generation_;
-  // Probe both stored neighbors (their death leaves a hole in our table)
-  // and reverse neighbors (their death leaves a stale registration that a
-  // later leave would wait on forever).
-  IdSet probe_set;
-  for (const NodeId& u : table_.distinct_neighbors()) probe_set.insert(u);
-  for (const auto& [v, where] : table_.reverse_neighbors()) {
-    (void)where;
-    probe_set.insert(v);
-  }
-  for (const NodeId& u : probe_set) {
-    pending_pings_[u] = generation;
-    send(u, PingMsg{});
-    env_.schedule(ping_timeout_ms,
-                  [this, u, generation] { on_ping_timeout(u, generation); });
-  }
-}
-
-void Node::on_ping_timeout(const NodeId& u, std::uint64_t generation) {
-  auto it = pending_pings_.find(u);
-  if (it == pending_pings_.end() || it->second != generation)
-    return;  // answered, or a newer probe superseded this one
-  pending_pings_.erase(it);
-  // u is presumed dead. It occupies exactly one entry of our table:
-  // (k, u[k]) with k = |csuf|.
-  table_.remove_reverse_neighbor(u);
-  const auto k = static_cast<std::uint32_t>(id_.csuf_len(u));
-  const Digit jd = u.digit(k);
-  table_.purge_backup(k, jd, u);
-  if (table_.holds(k, jd, u)) begin_entry_repair(k, jd, u);
-}
-
-void Node::begin_entry_repair(std::uint32_t level, std::uint32_t digit,
-                              const NodeId& dead) {
-  table_.clear(level, digit);
-  table_.purge_backup(level, digit, dead);
-  // A remembered redundant neighbor is the fastest repair — promote it and
-  // probe it immediately (backups are not reverse-tracked, so it may be
-  // dead itself; the probe's timeout re-enters this repair if so).
-  const NodeId promoted = table_.take_first_backup(level, digit);
-  if (promoted.is_valid()) {
-    fill_if_empty(level, digit, promoted, NeighborState::kS);
-    const std::uint64_t generation = ++ping_generation_;
-    pending_pings_[promoted] = generation;
-    send(promoted, PingMsg{});
-    env_.schedule(repair_timeout_ms_, [this, promoted, generation] {
-      on_ping_timeout(promoted, generation);
-    });
-    return;
-  }
-  // Query every other table neighbor sharing >= level suffix digits: their
-  // (level, digit) entries cover the same suffix class as ours.
-  std::vector<NodeId> peers;
-  for (const NodeId& z : table_.distinct_neighbors()) {
-    if (z == dead) continue;
-    if (id_.csuf_len(z) >= level) peers.push_back(z);
-  }
-  if (peers.empty()) return;  // nobody to ask; entry stays empty
-  const std::uint64_t key =
-      static_cast<std::uint64_t>(level) << 32 | digit;
-  pending_repairs_[key] = RepairState{peers.size(), dead};
-  for (const NodeId& z : peers) {
-    send(z, RepairQueryMsg{static_cast<std::uint8_t>(level),
-                           static_cast<std::uint8_t>(digit)});
-  }
-}
-
-void Node::on_pong(const NodeId& u) { pending_pings_.erase(u); }
-
-void Node::announce_table() {
-  HCUBE_CHECK_MSG(status_ == NodeStatus::kInSystem,
-                  "announce runs on settled S-nodes");
-  IdSet targets;
-  for (const NodeId& u : table_.distinct_neighbors()) targets.insert(u);
-  for (const auto& [v, where] : table_.reverse_neighbors()) {
-    (void)where;
-    targets.insert(v);
-  }
-  const TableSnapshot snap = table_.snapshot_full();
-  for (const NodeId& u : targets) send(u, AnnounceMsg{snap});
-}
-
-void Node::on_announce(const AnnounceMsg& m) {
-  for (const SnapshotEntry& e : m.table.entries) {
-    if (e.node == id_) continue;
-    const auto k = static_cast<std::uint32_t>(id_.csuf_len(e.node));
-    fill_if_empty(k, e.node.digit(k), e.node, e.state);
-  }
-}
-
-void Node::on_repair_query(const NodeId& x, const RepairQueryMsg& m) {
-  RepairRlyMsg reply;
-  reply.level = m.level;
-  reply.digit = m.digit;
-  // Only meaningful if we share at least `level` digits with the asker —
-  // then our (level, digit) entry covers the asker's class too.
-  if (id_.csuf_len(x) >= m.level) {
-    const NodeId* entry = table_.neighbor(m.level, m.digit);
-    if (entry != nullptr) reply.candidate = *entry;
-  }
-  send(x, reply);
-}
-
-void Node::on_repair_rly(const NodeId& z, const RepairRlyMsg& m) {
-  (void)z;
-  const std::uint64_t key =
-      static_cast<std::uint64_t>(m.level) << 32 | m.digit;
-  auto it = pending_repairs_.find(key);
-  if (it == pending_repairs_.end()) return;  // already repaired / stale
-  HCUBE_CHECK(it->second.replies_expected > 0);
-  --it->second.replies_expected;
-  const bool exhausted = (it->second.replies_expected == 0);
-  if (m.candidate.is_valid() && m.candidate != id_ &&
-      m.candidate != it->second.dead && table_.is_empty(m.level, m.digit)) {
-    fill_if_empty(m.level, m.digit, m.candidate, NeighborState::kS);
-    pending_repairs_.erase(it);
-    return;
-  }
-  if (exhausted) pending_repairs_.erase(it);
+  HCUBE_CHECK_MSG(!core_.started, "node already started");
+  HCUBE_CHECK_MSG(g0 != core_.id, "cannot join via self");
+  core_.started = true;
+  core_.stats.t_begin = core_.env.now();
+  join_.start_join(g0);
 }
 
 // ---------------------------------------------------------------------------
 // Dispatch
 
-void Node::handle(const Message& msg) {
-  if (status_ == NodeStatus::kCrashed) return;  // fail-stop: total silence
-  ++stats_.received[static_cast<std::size_t>(type_of(msg.body))];
-  if (status_ == NodeStatus::kDeparted) {
+void Node::handle(HostId from_host, const Message& msg) {
+  if (core_.status == NodeStatus::kCrashed)
+    return;  // fail-stop: total silence
+  ++core_.stats.received[static_cast<std::size_t>(type_of(msg.body))];
+  if (core_.status == NodeStatus::kDeparted) {
     const MessageType t = type_of(msg.body);
     if (t == MessageType::kLeave) {
       // Another leaver racing our departure still needs its ack; we have
       // nothing to repair anymore.
-      send(msg.sender, LeaveRlyMsg{});
+      core_.send(msg.sender, from_host, LeaveRlyMsg{});
       return;
     }
     // Other stragglers that need no reply are tolerated (e.g. an
@@ -689,26 +114,32 @@ void Node::handle(const Message& msg) {
       Overloaded{
           [&](const CpRstMsg&) {
             // Only S-nodes are ever asked (copy targets carry state S).
-            send(from, CpRlyMsg{table_.snapshot_full()});
+            core_.send(from, from_host, CpRlyMsg{core_.table.snapshot_full()});
           },
-          [&](const CpRlyMsg& m) { on_cp_rly(from, m); },
-          [&](const JoinWaitMsg&) { on_join_wait(from); },
-          [&](const JoinWaitRlyMsg& m) { on_join_wait_rly(from, m); },
-          [&](const JoinNotiMsg& m) { on_join_noti(from, m); },
-          [&](const JoinNotiRlyMsg& m) { on_join_noti_rly(from, m); },
-          [&](const InSysNotiMsg&) { on_in_sys_noti(from); },
-          [&](const SpeNotiMsg& m) { on_spe_noti(m); },
-          [&](const SpeNotiRlyMsg& m) { on_spe_noti_rly(m); },
-          [&](const RvNghNotiMsg& m) { on_rv_ngh_noti(from, m); },
-          [&](const RvNghNotiRlyMsg& m) { on_rv_ngh_noti_rly(from, m); },
-          [&](const LeaveMsg& m) { on_leave(from, m); },
-          [&](const LeaveRlyMsg&) { on_leave_rly(from); },
-          [&](const NghDropMsg&) { on_ngh_drop(from); },
-          [&](const PingMsg&) { send(from, PongMsg{}); },
-          [&](const PongMsg&) { on_pong(from); },
-          [&](const RepairQueryMsg& m) { on_repair_query(from, m); },
-          [&](const RepairRlyMsg& m) { on_repair_rly(from, m); },
-          [&](const AnnounceMsg& m) { on_announce(m); },
+          [&](const CpRlyMsg& m) { join_.on_cp_rly(from, m); },
+          [&](const JoinWaitMsg&) { join_.on_join_wait(from, from_host); },
+          [&](const JoinWaitRlyMsg& m) { join_.on_join_wait_rly(from, m); },
+          [&](const JoinNotiMsg& m) {
+            join_.on_join_noti(from, from_host, m);
+          },
+          [&](const JoinNotiRlyMsg& m) { join_.on_join_noti_rly(from, m); },
+          [&](const InSysNotiMsg&) { join_.on_in_sys_noti(from); },
+          [&](const SpeNotiMsg& m) { join_.on_spe_noti(m); },
+          [&](const SpeNotiRlyMsg& m) { join_.on_spe_noti_rly(m); },
+          [&](const RvNghNotiMsg& m) {
+            join_.on_rv_ngh_noti(from, from_host, m);
+          },
+          [&](const RvNghNotiRlyMsg& m) { join_.on_rv_ngh_noti_rly(from, m); },
+          [&](const LeaveMsg& m) { leave_.on_leave(from, from_host, m); },
+          [&](const LeaveRlyMsg&) { leave_.on_leave_rly(from); },
+          [&](const NghDropMsg&) { leave_.on_ngh_drop(from); },
+          [&](const PingMsg&) { core_.send(from, from_host, PongMsg{}); },
+          [&](const PongMsg&) { repair_.on_pong(from); },
+          [&](const RepairQueryMsg& m) {
+            repair_.on_repair_query(from, from_host, m);
+          },
+          [&](const RepairRlyMsg& m) { repair_.on_repair_rly(from, m); },
+          [&](const AnnounceMsg& m) { repair_.on_announce(m); },
       },
       msg.body);
 }

@@ -1,83 +1,24 @@
-// A protocol node: the join-protocol state machine of Section 4
-// (Figures 5 through 14), plus S-node message handling.
+// A protocol node: one NodeCore (identity, table, stats) plus the three
+// protocol modules that animate it —
 //
-// The pseudo-code in the paper reads neighbor tables of remote nodes
-// directly; here every remote read is an explicit message exchange over the
-// simulated network (CpRstMsg/CpRlyMsg for the copying loop of Figure 5).
-// The RvNghNotiMsg bookkeeping that the paper's figures elide "for clarity
-// of presentation" is implemented in full: whenever a node fills a non-self
-// neighbor into an entry it notifies that neighbor, so reverse-neighbor sets
-// are complete and InSysNotiMsg (Figure 13) reaches every node that stored a
-// joiner while it was still a T-node.
+//   JoinProtocol   (join_protocol.h)   Section 4, Figures 5-14
+//   LeaveProtocol  (leave_protocol.h)  graceful departure (extension)
+//   RepairProtocol (repair_protocol.h) fail-stop recovery (extension)
 //
-// Documented deviation: in Switch_To_S_Node (Figure 13) the paper replies
-// negative when N_x(k, u[k]) is non-null, even if the entry already holds u
-// itself; a negative reply naming u would make u send a JoinWaitMsg to
-// itself. We treat "entry already holds u" as positive, mirroring the
-// receiving-side logic of Figure 6 (whose negative branch explicitly
-// excludes N_y(k, x[k]) == x).
+// Node owns the pieces, exposes the construction paths used by
+// NetworkBuilder and the offline optimizer, and routes every incoming
+// message to the right module in handle(). Protocol semantics live in the
+// modules; this file is wiring.
 #pragma once
 
-#include <array>
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
-#include <unordered_set>
 
-#include "core/neighbor_table.h"
-#include "core/options.h"
-#include "ids/node_id.h"
-#include "proto/messages.h"
-#include "sim/event_queue.h"
+#include "core/join_protocol.h"
+#include "core/leave_protocol.h"
+#include "core/node_core.h"
+#include "core/repair_protocol.h"
 
 namespace hcube {
-
-// Node status (Section 4), extended with the leave states of this
-// library's leave protocol (the paper defers leaving to future work). A
-// node is an S-node iff status is kInSystem; kLeaving/kDeparted are
-// extension states outside the paper's model.
-enum class NodeStatus : std::uint8_t {
-  kCopying,
-  kWaiting,
-  kNotifying,
-  kInSystem,
-  kLeaving,
-  kDeparted,
-  kCrashed,  // fail-stop (extension): the node silently stops responding
-};
-
-const char* to_string(NodeStatus s);
-
-// Per-join bookkeeping the benchmarks read out (Section 5.2 quantities).
-struct JoinStats {
-  std::array<std::uint64_t, kNumMessageTypes> sent{};
-  std::array<std::uint64_t, kNumMessageTypes> received{};
-  std::uint64_t bytes_sent = 0;
-  SimTime t_begin = -1.0;  // t^b_x: when the node began joining
-  SimTime t_end = -1.0;    // t^e_x: when it became an S-node
-  std::uint32_t noti_level = 0;
-
-  std::uint64_t sent_of(MessageType t) const {
-    return sent[static_cast<std::size_t>(t)];
-  }
-  // Theorem 3 counts CpRstMsg + JoinWaitMsg; Theorems 4/5 count JoinNotiMsg.
-  std::uint64_t copy_plus_wait() const {
-    return sent_of(MessageType::kCpRst) + sent_of(MessageType::kJoinWait);
-  }
-};
-
-// Environment a node runs in; implemented by Overlay. Decouples the state
-// machine from transport and metrics plumbing.
-class NodeEnv {
- public:
-  virtual ~NodeEnv() = default;
-  // Delivers body from `from` to `to` (both overlay node IDs).
-  virtual void send_message(const NodeId& from, const NodeId& to,
-                            MessageBody body) = 0;
-  virtual SimTime now() const = 0;
-  // Local timer (failure-recovery ping timeouts).
-  virtual void schedule(SimTime delay_ms, std::function<void()> fn) = 0;
-};
 
 class Node {
  public:
@@ -87,12 +28,16 @@ class Node {
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
-  const NodeId& id() const { return id_; }
-  NodeStatus status() const { return status_; }
-  bool is_s_node() const { return status_ == NodeStatus::kInSystem; }
-  std::uint32_t noti_level() const { return noti_level_; }
-  const NeighborTable& table() const { return table_; }
-  const JoinStats& join_stats() const { return stats_; }
+  const NodeId& id() const { return core_.id; }
+  NodeStatus status() const { return core_.status; }
+  bool is_s_node() const { return core_.is_s_node(); }
+  std::uint32_t noti_level() const { return join_.noti_level(); }
+  const NeighborTable& table() const { return core_.table; }
+  const JoinStats& join_stats() const { return core_.stats; }
+
+  // Records the node's own transport endpoint; called by Overlay at
+  // registration, before any message flows.
+  void bind_host(HostId host) { core_.self_host = host; }
 
   // ---- Construction paths for members of the initial network V ----
 
@@ -102,13 +47,15 @@ class Node {
 
   // Direct installation of a (consistent) table entry by NetworkBuilder;
   // node must not have started joining. State is S (builder-made networks
-  // contain only S-nodes).
+  // contain only S-nodes). The neighbor's endpoint is resolved lazily on
+  // first send — the builder may install entries naming nodes it has not
+  // registered yet.
   void install_entry(std::uint32_t level, std::uint32_t digit,
                      const NodeId& neighbor);
   // Installs a redundant neighbor (direct construction only).
   void install_backup(std::uint32_t level, std::uint32_t digit,
                       const NodeId& neighbor, std::uint32_t max_backups) {
-    table_.offer_backup(level, digit, neighbor, max_backups);
+    core_.table.offer_backup(level, digit, neighbor, max_backups);
   }
 
   // Marks the node in_system after install_entry calls; fills own entries.
@@ -131,138 +78,29 @@ class Node {
   // Figure 5: begin joining via gateway g0 (assumed to be an S-node of V).
   void start_join(const NodeId& g0);
 
-  // ---- The leave protocol (extension; see leave-protocol notes below) ----
-  //
-  // Graceful departure of an S-node. The leaver sends each reverse neighbor
-  // v a LeaveMsg carrying its level-(k+1) table row (k = |csuf|), which by
-  // consistency of the leaver's table contains a replacement for v's entry
-  // whenever one exists anywhere in the network; v repairs (or nulls) the
-  // entry locally and acks. The leaver's own neighbors get an NghDropMsg so
-  // their reverse-neighbor sets stay exact. Departure completes (status
-  // kDeparted) when every ack arrived. Supported under the same regime the
-  // paper assumes for joins: no concurrent membership change touching the
-  // same suffix classes (sequential leaves are always safe).
-  void start_leave();
-  bool has_departed() const { return status_ == NodeStatus::kDeparted; }
+  // ---- The leave protocol (extension; see leave_protocol.h) ----
+  void start_leave() { leave_.start_leave(); }
+  bool has_departed() const { return core_.status == NodeStatus::kDeparted; }
 
-  // ---- Failure recovery (extension) ----
-  //
-  // Fail-stop model: a crashed node silently drops everything. Recovery is
-  // pull-based and round-oriented: start_repair() pings every stored
-  // neighbor; a neighbor that does not answer within ping_timeout_ms is
-  // presumed dead, its entry is vacated, and the node queries every other
-  // table neighbor sharing at least `level` suffix digits for a
-  // replacement (their (level, digit) entries cover the same suffix class).
-  // One round repairs every entry whose class has a live member known to
-  // the query set; clustered failures may need further rounds
-  // (Overlay::repair_all drives them). Not concurrent-safe with joins or
-  // leaves, matching the regime split the paper uses.
-  void mark_crashed() { status_ = NodeStatus::kCrashed; }
-  bool is_crashed() const { return status_ == NodeStatus::kCrashed; }
-  void start_repair(SimTime ping_timeout_ms);
-  // True while pings or repair queries are outstanding.
-  bool repair_in_progress() const {
-    return !pending_pings_.empty() || !pending_repairs_.empty();
+  // ---- Failure recovery (extension; see repair_protocol.h) ----
+  void mark_crashed() { core_.status = NodeStatus::kCrashed; }
+  bool is_crashed() const { return core_.status == NodeStatus::kCrashed; }
+  void start_repair(SimTime ping_timeout_ms) {
+    repair_.start_repair(ping_timeout_ms);
   }
-  // Push phase of a repair round: sends AnnounceMsg(table) to every
-  // neighbor and reverse neighbor so they can fill entries whose class
-  // lost its only inbound pointer. Run after the ping phase quiesces.
-  void announce_table();
+  bool repair_in_progress() const { return repair_.in_progress(); }
+  void announce_table() { repair_.announce_table(); }
 
-  // Message dispatch; `from` is the sender's overlay ID (the envelope).
-  void handle(const Message& msg);
+  // Message dispatch; `msg.sender` is the sender's overlay ID (the
+  // envelope) and `from_host` its transport endpoint, handed through from
+  // the delivery so replies need no hash lookup.
+  void handle(HostId from_host, const Message& msg);
 
  private:
-  using IdSet = std::unordered_set<NodeId, NodeIdHash>;
-
-  // --- transport helpers ---
-  void send(const NodeId& to, MessageBody body);
-
-  // --- table write helpers ---
-  // Fills (level, digit) := node if empty; sends RvNghNotiMsg to the node.
-  // Returns true if the entry was filled by this call.
-  bool fill_if_empty(std::uint32_t level, std::uint32_t digit,
-                     const NodeId& node, NeighborState state);
-  // Copy-phase assignment (Figure 5): entries at a level being copied are
-  // empty by construction; checks that and fills.
-  void copy_entry(std::uint32_t level, std::uint32_t digit,
-                  const NodeId& node, NeighborState state);
-
-  // --- join-phase steps ---
-  void on_cp_rly(const NodeId& g, const CpRlyMsg& msg);   // copying loop body
-  void finish_copying_and_wait(const NodeId& target);     // tail of Figure 5
-  void on_join_wait(const NodeId& x);                     // Figure 6
-  void on_join_wait_rly(const NodeId& y, const JoinWaitRlyMsg& m);  // Fig. 7
-  void check_ngh_table(const TableSnapshot& snap);        // Figure 8
-  void on_join_noti(const NodeId& x, const JoinNotiMsg& m);         // Fig. 9
-  void on_join_noti_rly(const NodeId& y, const JoinNotiRlyMsg& m);  // Fig. 10
-  void on_spe_noti(const SpeNotiMsg& m);                  // Figure 11
-  void on_spe_noti_rly(const SpeNotiRlyMsg& m);           // Figure 12
-  void switch_to_s_node();                                // Figure 13
-  void on_in_sys_noti(const NodeId& x);                   // Figure 14
-  void on_rv_ngh_noti(const NodeId& x, const RvNghNotiMsg& m);
-  void on_rv_ngh_noti_rly(const NodeId& y, const RvNghNotiRlyMsg& m);
-
-  // --- leave protocol ---
-  void send_leave_to(const NodeId& v);
-  void on_leave(const NodeId& x, const LeaveMsg& m);
-  void on_leave_rly(const NodeId& v);
-  void on_ngh_drop(const NodeId& x);
-
-  // --- failure recovery ---
-  void on_ping_timeout(const NodeId& u, std::uint64_t generation);
-  void begin_entry_repair(std::uint32_t level, std::uint32_t digit,
-                          const NodeId& dead);
-  void on_pong(const NodeId& u);
-  void on_repair_query(const NodeId& x, const RepairQueryMsg& m);
-  void on_repair_rly(const NodeId& z, const RepairRlyMsg& m);
-  void on_announce(const AnnounceMsg& m);
-
-  void maybe_switch_to_s_node();
-  void send_join_noti(const NodeId& target);
-  JoinNotiRlyMsg build_join_noti_rly(bool positive, bool flag,
-                                     const JoinNotiMsg& request) const;
-
-  NodeId id_;
-  IdParams params_;
-  ProtocolOptions options_;
-  NodeEnv& env_;
-
-  NodeStatus status_ = NodeStatus::kCopying;
-  NeighborTable table_;
-  std::uint32_t noti_level_ = 0;
-
-  // Copying-phase cursor (Figure 5's i, g, p).
-  std::uint32_t copy_level_ = 0;
-  NodeId copy_from_;
-
-  // Figure 3 state variables.
-  IdSet q_replies_;        // Q_r: nodes we await replies from
-  IdSet q_notified_;       // Q_n: nodes we sent notifications to
-  IdSet q_join_waiters_;   // Q_j: deferred JoinWaitMsg senders
-  IdSet q_spe_replies_;    // Q_sr: SpeNoti replies outstanding (keyed by y)
-  IdSet q_spe_notified_;   // Q_sn: nodes announced via SpeNotiMsg
-
-  // Leave-protocol state (extension).
-  IdSet leave_notified_;            // reverse neighbors sent a LeaveMsg
-  std::size_t leave_acks_pending_ = 0;
-
-  // Failure-recovery state (extension). pending_pings_ maps a probed
-  // neighbor to the generation of the outstanding probe (stale timeouts
-  // compare generations); pending_repairs_ maps a vacated entry to the
-  // number of repair replies still expected plus the node presumed dead
-  // (candidates naming it are rejected).
-  struct RepairState {
-    std::size_t replies_expected;
-    NodeId dead;
-  };
-  std::unordered_map<NodeId, std::uint64_t, NodeIdHash> pending_pings_;
-  std::unordered_map<std::uint64_t, RepairState> pending_repairs_;
-  std::uint64_t ping_generation_ = 0;
-  SimTime repair_timeout_ms_ = 500.0;  // last start_repair's ping timeout
-
-  JoinStats stats_;
-  bool started_ = false;  // join or install started
+  NodeCore core_;
+  LeaveProtocol leave_;    // before join_: JoinProtocol holds a reference
+  RepairProtocol repair_;
+  JoinProtocol join_;
 };
 
 }  // namespace hcube

@@ -1,0 +1,96 @@
+#include "core/node_core.h"
+
+#include "util/check.h"
+
+namespace hcube {
+
+const char* to_string(NodeStatus s) {
+  switch (s) {
+    case NodeStatus::kCopying: return "copying";
+    case NodeStatus::kWaiting: return "waiting";
+    case NodeStatus::kNotifying: return "notifying";
+    case NodeStatus::kInSystem: return "in_system";
+    case NodeStatus::kLeaving: return "leaving";
+    case NodeStatus::kDeparted: return "departed";
+    case NodeStatus::kCrashed: return "crashed";
+  }
+  return "?";
+}
+
+const char* to_string(SnapshotPolicy p) {
+  switch (p) {
+    case SnapshotPolicy::kFullTable: return "full-table";
+    case SnapshotPolicy::kPartialLevels: return "partial-levels";
+    case SnapshotPolicy::kBitVector: return "bit-vector";
+  }
+  return "?";
+}
+
+NodeCore::NodeCore(NodeId id_arg, const IdParams& params_arg,
+                   const ProtocolOptions& options_arg, NodeEnv& env_arg)
+    : id(std::move(id_arg)),
+      params(params_arg),
+      options(options_arg),
+      env(env_arg),
+      table(params, id) {}
+
+void NodeCore::send(const NodeId& to, MessageBody body) {
+  ++stats.sent[static_cast<std::size_t>(type_of(body))];
+  stats.bytes_sent += wire_size_bytes(body, params);
+  env.send_message(id, to, std::move(body), self_host, kNoHost);
+}
+
+void NodeCore::send(const NodeId& to, HostId to_host, MessageBody body) {
+  ++stats.sent[static_cast<std::size_t>(type_of(body))];
+  stats.bytes_sent += wire_size_bytes(body, params);
+  env.send_message(id, to, std::move(body), self_host, to_host);
+}
+
+bool NodeCore::fill_if_empty(std::uint32_t level, std::uint32_t digit,
+                             const NodeId& node, NeighborState state) {
+  if (!table.is_empty(level, digit)) {
+    // Occupied: remember the node as a redundant neighbor if configured.
+    if (options.backups_per_entry > 0 && node != id)
+      table.offer_backup(level, digit, node, options.backups_per_entry);
+    return false;
+  }
+  if (node == id) {
+    table.set(level, digit, node, state, self_host);
+    return true;
+  }
+  // Resolve the neighbor's endpoint once at fill time; every later send to
+  // this entry reads the cached host instead of hashing the ID.
+  const HostId host = env.host_of(node);
+  table.set(level, digit, node, state, host);
+  // "When any node x sets N_x(i, j) = y, y != x, x needs to send a
+  // RvNghNotiMsg(y, N_x(i, j).state) to y" (Section 4).
+  send(node, host, RvNghNotiMsg{state});
+  return true;
+}
+
+void NodeCore::copy_entry(std::uint32_t level, std::uint32_t digit,
+                          const NodeId& node, NeighborState state) {
+  // During copying nobody else writes our table (no other node knows us
+  // yet), and each level is copied exactly once, so the entry is empty.
+  HCUBE_CHECK_MSG(table.is_empty(level, digit),
+                  "copy-phase entry unexpectedly filled");
+  if (node == id) {
+    table.set(level, digit, node, state, self_host);
+    return;
+  }
+  const HostId host = env.host_of(node);
+  table.set(level, digit, node, state, host);
+  send(node, host, RvNghNotiMsg{state});
+}
+
+HostId NodeCore::entry_host(std::uint32_t level, std::uint32_t digit) {
+  const HostId cached = table.host(level, digit);
+  if (cached != kNoHost) return cached;
+  const NodeId* node = table.neighbor(level, digit);
+  HCUBE_CHECK_MSG(node != nullptr, "entry_host() of an empty entry");
+  const HostId host = env.host_of(*node);
+  table.memo_host(level, digit, host);
+  return host;
+}
+
+}  // namespace hcube

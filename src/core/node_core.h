@@ -1,0 +1,122 @@
+// Shared state and plumbing of a protocol node.
+//
+// The join, leave and repair protocol modules all operate on one NodeCore:
+// the node's identity, neighbor table, environment handle, status and
+// per-join statistics, plus the table-write and send helpers whose behavior
+// every module must share exactly (fill_if_empty's RvNghNotiMsg
+// notification, wire-size accounting). Node (core/node.h) owns the core and
+// the modules and routes incoming messages to them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "core/neighbor_table.h"
+#include "core/options.h"
+#include "ids/node_id.h"
+#include "proto/messages.h"
+#include "sim/event_queue.h"
+#include "util/host.h"
+
+namespace hcube {
+
+// Node status (Section 4), extended with the leave states of this
+// library's leave protocol (the paper defers leaving to future work). A
+// node is an S-node iff status is kInSystem; kLeaving/kDeparted are
+// extension states outside the paper's model.
+enum class NodeStatus : std::uint8_t {
+  kCopying,
+  kWaiting,
+  kNotifying,
+  kInSystem,
+  kLeaving,
+  kDeparted,
+  kCrashed,  // fail-stop (extension): the node silently stops responding
+};
+
+const char* to_string(NodeStatus s);
+
+// Per-join bookkeeping the benchmarks read out (Section 5.2 quantities).
+struct JoinStats {
+  std::array<std::uint64_t, kNumMessageTypes> sent{};
+  std::array<std::uint64_t, kNumMessageTypes> received{};
+  std::uint64_t bytes_sent = 0;
+  SimTime t_begin = -1.0;  // t^b_x: when the node began joining
+  SimTime t_end = -1.0;    // t^e_x: when it became an S-node
+  std::uint32_t noti_level = 0;
+
+  std::uint64_t sent_of(MessageType t) const {
+    return sent[static_cast<std::size_t>(t)];
+  }
+  // Theorem 3 counts CpRstMsg + JoinWaitMsg; Theorems 4/5 count JoinNotiMsg.
+  std::uint64_t copy_plus_wait() const {
+    return sent_of(MessageType::kCpRst) + sent_of(MessageType::kJoinWait);
+  }
+};
+
+// Environment a node runs in; implemented by Overlay. Decouples the state
+// machine from transport and metrics plumbing.
+class NodeEnv {
+ public:
+  virtual ~NodeEnv() = default;
+  // Delivers body from `from` to `to` (both overlay node IDs). The host
+  // arguments are pre-resolved transport endpoints when the sender has them
+  // cached (kNoHost = resolve in the environment); passing them keeps the
+  // steady-state send path free of NodeId hash lookups.
+  virtual void send_message(const NodeId& from, const NodeId& to,
+                            MessageBody body, HostId from_host = kNoHost,
+                            HostId to_host = kNoHost) = 0;
+  // Transport endpoint of a registered node (resolved once, then cached by
+  // callers in table entries / the node's own envelope).
+  virtual HostId host_of(const NodeId& id) const = 0;
+  virtual SimTime now() const = 0;
+  // Local timer (failure-recovery ping timeouts).
+  virtual void schedule(SimTime delay_ms, std::function<void()> fn) = 0;
+};
+
+using NodeIdSet = std::unordered_set<NodeId, NodeIdHash>;
+
+// The state every protocol module shares. Plain struct by design: the
+// modules are the behavior, this is the data they agree on.
+struct NodeCore {
+  NodeCore(NodeId id_arg, const IdParams& params_arg,
+           const ProtocolOptions& options_arg, NodeEnv& env_arg);
+
+  NodeId id;
+  IdParams params;
+  ProtocolOptions options;
+  NodeEnv& env;
+
+  NodeStatus status = NodeStatus::kCopying;
+  NeighborTable table;
+  HostId self_host = kNoHost;  // bound by Overlay at registration
+  JoinStats stats;
+  bool started = false;  // join or install started
+
+  bool is_s_node() const { return status == NodeStatus::kInSystem; }
+
+  // ---- transport helpers ----
+  // Counts the message in stats and hands it to the environment. The
+  // three-argument form resolves the destination in the environment (one
+  // hash); the four-argument form uses a pre-resolved endpoint (none).
+  void send(const NodeId& to, MessageBody body);
+  void send(const NodeId& to, HostId to_host, MessageBody body);
+
+  // ---- table write helpers ----
+  // Fills (level, digit) := node if empty; sends RvNghNotiMsg to the node.
+  // Returns true if the entry was filled by this call.
+  bool fill_if_empty(std::uint32_t level, std::uint32_t digit,
+                     const NodeId& node, NeighborState state);
+  // Copy-phase assignment (Figure 5): entries at a level being copied are
+  // empty by construction; checks that and fills.
+  void copy_entry(std::uint32_t level, std::uint32_t digit,
+                  const NodeId& node, NeighborState state);
+
+  // Cached endpoint of the (level, digit) neighbor, resolving and memoizing
+  // on first use (entries installed by the direct builder start unresolved).
+  HostId entry_host(std::uint32_t level, std::uint32_t digit);
+};
+
+}  // namespace hcube

@@ -1,12 +1,22 @@
 #include "core/overlay.h"
 
+#include "net/sim_transport.h"
 #include "util/check.h"
 
 namespace hcube {
 
 Overlay::Overlay(const IdParams& params, const ProtocolOptions& options,
                  EventQueue& queue, LatencyModel& latency)
-    : params_(params), options_(options), queue_(queue), net_(queue, latency) {
+    : params_(params),
+      options_(options),
+      owned_transport_(std::make_unique<SimTransport>(queue, latency)),
+      transport_(*owned_transport_) {
+  params_.validate();
+}
+
+Overlay::Overlay(const IdParams& params, const ProtocolOptions& options,
+                 Transport& transport)
+    : params_(params), options_(options), transport_(transport) {
   params_.validate();
 }
 
@@ -14,27 +24,30 @@ Node& Overlay::add_node(const NodeId& id) {
   HCUBE_CHECK_MSG(!registry_.contains(id), "duplicate node ID");
   auto node = std::make_unique<Node>(id, params_, options_, *this);
   Node* raw = node.get();
-  const HostId host = net_.add_endpoint(
-      [raw](HostId /*from*/, const Message& msg) { raw->handle(msg); });
+  const HostId host = transport_.add_endpoint(
+      [raw](HostId from, const Message& msg) { raw->handle(from, msg); });
+  HCUBE_CHECK_MSG(host == nodes_.size(),
+                  "overlay must be the transport's only endpoint registrant");
+  raw->bind_host(host);
   nodes_.push_back(std::move(node));
-  registry_.emplace(id, std::make_pair(raw, host));
+  registry_.emplace(id, host);
   return *raw;
 }
 
 HostId Overlay::host_of(const NodeId& id) const {
   auto it = registry_.find(id);
   HCUBE_CHECK_MSG(it != registry_.end(), "unknown node ID");
-  return it->second.second;
+  return it->second;
 }
 
 Node* Overlay::find(const NodeId& id) {
   auto it = registry_.find(id);
-  return it == registry_.end() ? nullptr : it->second.first;
+  return it == registry_.end() ? nullptr : nodes_[it->second].get();
 }
 
 const Node* Overlay::find(const NodeId& id) const {
   auto it = registry_.find(id);
-  return it == registry_.end() ? nullptr : it->second.first;
+  return it == registry_.end() ? nullptr : nodes_[it->second].get();
 }
 
 Node& Overlay::at(const NodeId& id) {
@@ -54,12 +67,12 @@ Node& Overlay::schedule_join(const NodeId& id, const NodeId& gateway,
   Node& node = add_node(id);
   Node* raw = &node;
   NodeId gw = gateway;
-  queue_.schedule_at(at, [raw, gw]() { raw->start_join(gw); });
+  transport_.queue().schedule_at(at, [raw, gw]() { raw->start_join(gw); });
   return node;
 }
 
 std::uint64_t Overlay::run_to_quiescence(std::uint64_t max_events) {
-  return queue_.run(max_events);
+  return transport_.queue().run(max_events);
 }
 
 bool Overlay::all_in_system() const {
@@ -103,30 +116,29 @@ void Overlay::set_drop_filter(
     std::function<bool(const NodeId&, const NodeId&, const MessageBody&)>
         filter) {
   if (!filter) {
-    net_.drop_filter = nullptr;
+    transport_.drop_filter = nullptr;
     return;
   }
-  net_.drop_filter = [this, filter = std::move(filter)](
-                         HostId /*from*/, HostId to, const Message& msg) {
+  transport_.drop_filter = [this, filter = std::move(filter)](
+                               HostId /*from*/, HostId to, const Message& msg) {
     // Recover the recipient's overlay ID from the endpoint index.
     return filter(msg.sender, nodes_[to]->id(), msg.body);
   };
 }
 
 void Overlay::send_message(const NodeId& from, const NodeId& to,
-                           MessageBody body) {
-  auto from_it = registry_.find(from);
-  auto to_it = registry_.find(to);
-  HCUBE_CHECK_MSG(from_it != registry_.end(), "send from unknown node");
-  HCUBE_CHECK_MSG(to_it != registry_.end(), "send to unknown node");
+                           MessageBody body, HostId from_host,
+                           HostId to_host) {
+  // Hot path: both hosts pre-resolved by the caller — no hashing below.
+  if (from_host == kNoHost) from_host = host_of(from);
+  if (to_host == kNoHost) to_host = host_of(to);
 
   ++totals_.messages;
   ++totals_.sent[static_cast<std::size_t>(type_of(body))];
   totals_.bytes += wire_size_bytes(body, params_);
   if (on_message) on_message(from, to, body);
 
-  net_.send(from_it->second.second, to_it->second.second,
-            Message{from, std::move(body)});
+  transport_.send(from_host, to_host, Message{from, std::move(body)});
 }
 
 }  // namespace hcube

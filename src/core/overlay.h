@@ -1,9 +1,18 @@
-// The overlay: a set of protocol nodes bound to the simulated network.
+// The overlay: a set of protocol nodes bound to a message transport.
 //
-// Owns the Node objects, maps overlay IDs to simulator endpoints (in a
-// deployment the IP address rides with every ID; here the registry plays
-// that role), schedules joins, and aggregates message metrics. This is the
-// top-level object examples and benchmarks drive.
+// Owns the Node objects, maps overlay IDs to transport endpoints exactly
+// once — at registration (in a deployment the IP address rides with every
+// ID; here the registry plays that role) — schedules joins, and aggregates
+// message metrics. Steady-state sends carry pre-resolved endpoints (the
+// sender's own host and the cached host in its table entry), so the hot
+// path does no NodeId hashing; the registry is consulted only for cold
+// lookups (kNoHost hints, lazy resolution of builder-installed entries,
+// tooling queries).
+//
+// The transport is a seam (net/transport.h): the convenience constructor
+// builds the latency-modelled SimTransport, and any other implementation —
+// e.g. the zero-latency LoopbackTransport — can be injected instead. This
+// is the top-level object examples and benchmarks drive.
 #pragma once
 
 #include <array>
@@ -15,20 +24,27 @@
 
 #include "core/node.h"
 #include "core/options.h"
+#include "net/transport.h"
 #include "proto/messages.h"
 #include "sim/event_queue.h"
-#include "sim/network.h"
+#include "topology/latency.h"
 
 namespace hcube {
 
 class Overlay : public NodeEnv {
  public:
+  // Convenience: builds and owns a SimTransport over queue + latency.
   Overlay(const IdParams& params, const ProtocolOptions& options,
           EventQueue& queue, LatencyModel& latency);
+  // Runs over a caller-provided transport (not owned). The overlay must be
+  // the transport's only endpoint registrant.
+  Overlay(const IdParams& params, const ProtocolOptions& options,
+          Transport& transport);
 
   const IdParams& params() const { return params_; }
   const ProtocolOptions& options() const { return options_; }
-  EventQueue& queue() { return queue_; }
+  EventQueue& queue() { return transport_.queue(); }
+  Transport& transport() { return transport_; }
 
   // ---- membership ----
 
@@ -36,8 +52,8 @@ class Overlay : public NodeEnv {
   // NetworkBuilder installation, or start_join / schedule_join next).
   Node& add_node(const NodeId& id);
 
-  // Simulator endpoint of a node (for latency queries by tooling).
-  HostId host_of(const NodeId& id) const;
+  // Transport endpoint of a node (for latency queries by tooling).
+  HostId host_of(const NodeId& id) const override;
 
   Node* find(const NodeId& id);
   const Node* find(const NodeId& id) const;
@@ -87,14 +103,17 @@ class Overlay : public NodeEnv {
   std::uint64_t repair_all(SimTime ping_timeout_ms, std::uint32_t rounds = 2);
 
   // ---- NodeEnv ----
-  void send_message(const NodeId& from, const NodeId& to,
-                    MessageBody body) override;
-  SimTime now() const override { return queue_.now(); }
+  void send_message(const NodeId& from, const NodeId& to, MessageBody body,
+                    HostId from_host = kNoHost,
+                    HostId to_host = kNoHost) override;
+  SimTime now() const override { return transport_.queue().now(); }
   void schedule(SimTime delay_ms, std::function<void()> fn) override {
-    queue_.schedule_after(delay_ms, std::move(fn));
+    transport_.queue().schedule_after(delay_ms, std::move(fn));
   }
 
   // Observation hook for tests (called for every protocol message sent).
+  // Chain rather than replace when attaching a second observer
+  // (MessageTrace::attach does this).
   std::function<void(const NodeId& from, const NodeId& to,
                      const MessageBody& body)>
       on_message;
@@ -112,10 +131,12 @@ class Overlay : public NodeEnv {
  private:
   IdParams params_;
   ProtocolOptions options_;
-  EventQueue& queue_;
-  SimNetwork<Message> net_;
+  std::unique_ptr<Transport> owned_transport_;  // convenience ctor only
+  Transport& transport_;
+  // nodes_ is dense, indexed by HostId; registry_ resolves NodeId -> host
+  // once at registration (and on cold kNoHost sends).
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::unordered_map<NodeId, std::pair<Node*, HostId>, NodeIdHash> registry_;
+  std::unordered_map<NodeId, HostId, NodeIdHash> registry_;
   Totals totals_;
 };
 

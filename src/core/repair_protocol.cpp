@@ -1,0 +1,142 @@
+#include "core/repair_protocol.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace hcube {
+
+void RepairProtocol::start_repair(SimTime ping_timeout_ms) {
+  HCUBE_CHECK_MSG(core_.status == NodeStatus::kInSystem,
+                  "repair runs on settled S-nodes");
+  HCUBE_CHECK(ping_timeout_ms > 0.0);
+  repair_timeout_ms_ = ping_timeout_ms;
+  ++ping_generation_;
+  const std::uint64_t generation = ping_generation_;
+  // Probe both stored neighbors (their death leaves a hole in our table)
+  // and reverse neighbors (their death leaves a stale registration that a
+  // later leave would wait on forever).
+  NodeIdSet probe_set;
+  for (const NodeId& u : core_.table.distinct_neighbors())
+    probe_set.insert(u);
+  for (const auto& [v, where] : core_.table.reverse_neighbors()) {
+    (void)where;
+    probe_set.insert(v);
+  }
+  for (const NodeId& u : probe_set) {
+    pending_pings_[u] = generation;
+    core_.send(u, PingMsg{});
+    core_.env.schedule(ping_timeout_ms, [this, u, generation] {
+      on_ping_timeout(u, generation);
+    });
+  }
+}
+
+void RepairProtocol::on_ping_timeout(const NodeId& u,
+                                     std::uint64_t generation) {
+  auto it = pending_pings_.find(u);
+  if (it == pending_pings_.end() || it->second != generation)
+    return;  // answered, or a newer probe superseded this one
+  pending_pings_.erase(it);
+  // u is presumed dead. It occupies exactly one entry of our table:
+  // (k, u[k]) with k = |csuf|.
+  core_.table.remove_reverse_neighbor(u);
+  const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(u));
+  const Digit jd = u.digit(k);
+  core_.table.purge_backup(k, jd, u);
+  if (core_.table.holds(k, jd, u)) begin_entry_repair(k, jd, u);
+}
+
+void RepairProtocol::begin_entry_repair(std::uint32_t level,
+                                        std::uint32_t digit,
+                                        const NodeId& dead) {
+  core_.table.clear(level, digit);
+  core_.table.purge_backup(level, digit, dead);
+  // A remembered redundant neighbor is the fastest repair — promote it and
+  // probe it immediately (backups are not reverse-tracked, so it may be
+  // dead itself; the probe's timeout re-enters this repair if so).
+  const NodeId promoted = core_.table.take_first_backup(level, digit);
+  if (promoted.is_valid()) {
+    core_.fill_if_empty(level, digit, promoted, NeighborState::kS);
+    const std::uint64_t generation = ++ping_generation_;
+    pending_pings_[promoted] = generation;
+    core_.send(promoted, PingMsg{});
+    core_.env.schedule(repair_timeout_ms_, [this, promoted, generation] {
+      on_ping_timeout(promoted, generation);
+    });
+    return;
+  }
+  // Query every other table neighbor sharing >= level suffix digits: their
+  // (level, digit) entries cover the same suffix class as ours.
+  std::vector<NodeId> peers;
+  for (const NodeId& z : core_.table.distinct_neighbors()) {
+    if (z == dead) continue;
+    if (core_.id.csuf_len(z) >= level) peers.push_back(z);
+  }
+  if (peers.empty()) return;  // nobody to ask; entry stays empty
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(level) << 32 | digit;
+  pending_repairs_[key] = RepairState{peers.size(), dead};
+  for (const NodeId& z : peers) {
+    core_.send(z, RepairQueryMsg{static_cast<std::uint8_t>(level),
+                                 static_cast<std::uint8_t>(digit)});
+  }
+}
+
+void RepairProtocol::on_pong(const NodeId& u) { pending_pings_.erase(u); }
+
+void RepairProtocol::announce_table() {
+  HCUBE_CHECK_MSG(core_.status == NodeStatus::kInSystem,
+                  "announce runs on settled S-nodes");
+  NodeIdSet targets;
+  for (const NodeId& u : core_.table.distinct_neighbors()) targets.insert(u);
+  for (const auto& [v, where] : core_.table.reverse_neighbors()) {
+    (void)where;
+    targets.insert(v);
+  }
+  const TableSnapshot snap = core_.table.snapshot_full();
+  for (const NodeId& u : targets) core_.send(u, AnnounceMsg{snap});
+}
+
+void RepairProtocol::on_announce(const AnnounceMsg& m) {
+  for (const SnapshotEntry& e : m.table.entries) {
+    if (e.node == core_.id) continue;
+    const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(e.node));
+    core_.fill_if_empty(k, e.node.digit(k), e.node, e.state);
+  }
+}
+
+void RepairProtocol::on_repair_query(const NodeId& x, HostId x_host,
+                                     const RepairQueryMsg& m) {
+  RepairRlyMsg reply;
+  reply.level = m.level;
+  reply.digit = m.digit;
+  // Only meaningful if we share at least `level` digits with the asker —
+  // then our (level, digit) entry covers the asker's class too.
+  if (core_.id.csuf_len(x) >= m.level) {
+    const NodeId* entry = core_.table.neighbor(m.level, m.digit);
+    if (entry != nullptr) reply.candidate = *entry;
+  }
+  core_.send(x, x_host, reply);
+}
+
+void RepairProtocol::on_repair_rly(const NodeId& z, const RepairRlyMsg& m) {
+  (void)z;
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(m.level) << 32 | m.digit;
+  auto it = pending_repairs_.find(key);
+  if (it == pending_repairs_.end()) return;  // already repaired / stale
+  HCUBE_CHECK(it->second.replies_expected > 0);
+  --it->second.replies_expected;
+  const bool exhausted = (it->second.replies_expected == 0);
+  if (m.candidate.is_valid() && m.candidate != core_.id &&
+      m.candidate != it->second.dead &&
+      core_.table.is_empty(m.level, m.digit)) {
+    core_.fill_if_empty(m.level, m.digit, m.candidate, NeighborState::kS);
+    pending_repairs_.erase(it);
+    return;
+  }
+  if (exhausted) pending_repairs_.erase(it);
+}
+
+}  // namespace hcube

@@ -1,0 +1,66 @@
+// Failure-recovery protocol (extension; the paper defers failure recovery
+// alongside leaving, Section 7).
+//
+// Fail-stop model: a crashed node silently drops everything. Recovery is
+// pull-based and round-oriented: start_repair() pings every stored neighbor
+// and reverse neighbor; a neighbor that does not answer within
+// ping_timeout_ms is presumed dead, its entry is vacated, and the node
+// queries every other table neighbor sharing at least `level` suffix digits
+// for a replacement (their (level, digit) entries cover the same suffix
+// class). One round repairs every entry whose class has a live member known
+// to the query set; clustered failures may need further rounds
+// (Overlay::repair_all drives them, alternating with the announce_table
+// push phase). Not concurrent-safe with joins or leaves, matching the
+// regime split the paper uses.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/node_core.h"
+
+namespace hcube {
+
+class RepairProtocol {
+ public:
+  explicit RepairProtocol(NodeCore& core) : core_(core) {}
+
+  void start_repair(SimTime ping_timeout_ms);
+  // True while pings or repair queries are outstanding.
+  bool in_progress() const {
+    return !pending_pings_.empty() || !pending_repairs_.empty();
+  }
+  // Push phase of a repair round: sends AnnounceMsg(table) to every
+  // neighbor and reverse neighbor so they can fill entries whose class
+  // lost its only inbound pointer. Run after the ping phase quiesces.
+  void announce_table();
+
+  // ---- message handlers ----
+  void on_pong(const NodeId& u);
+  void on_repair_query(const NodeId& x, HostId x_host,
+                       const RepairQueryMsg& m);
+  void on_repair_rly(const NodeId& z, const RepairRlyMsg& m);
+  void on_announce(const AnnounceMsg& m);
+
+ private:
+  void on_ping_timeout(const NodeId& u, std::uint64_t generation);
+  void begin_entry_repair(std::uint32_t level, std::uint32_t digit,
+                          const NodeId& dead);
+
+  NodeCore& core_;
+  // pending_pings_ maps a probed neighbor to the generation of the
+  // outstanding probe (stale timeouts compare generations);
+  // pending_repairs_ maps a vacated entry to the number of repair replies
+  // still expected plus the node presumed dead (candidates naming it are
+  // rejected).
+  struct RepairState {
+    std::size_t replies_expected;
+    NodeId dead;
+  };
+  std::unordered_map<NodeId, std::uint64_t, NodeIdHash> pending_pings_;
+  std::unordered_map<std::uint64_t, RepairState> pending_repairs_;
+  std::uint64_t ping_generation_ = 0;
+  SimTime repair_timeout_ms_ = 500.0;  // last start_repair's ping timeout
+};
+
+}  // namespace hcube

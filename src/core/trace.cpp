@@ -12,12 +12,14 @@ MessageTrace::MessageTrace(std::size_t capacity) : capacity_(capacity) {
 
 void MessageTrace::attach(Overlay& overlay) {
   // The hook fires synchronously inside send_message, so overlay.now() is
-  // the send time.
+  // the send time. Chain rather than replace: an observer installed before
+  // us (another trace, a test probe) keeps firing.
   const IdParams params = overlay.params();
   Overlay* ov = &overlay;
-  overlay.on_message = [this, params, ov](const NodeId& from,
-                                          const NodeId& to,
-                                          const MessageBody& body) {
+  overlay.on_message = [this, params, ov, prev = std::move(overlay.on_message)](
+                           const NodeId& from, const NodeId& to,
+                           const MessageBody& body) {
+    if (prev) prev(from, to, body);
     record(ov->now(), from, to, type_of(body), wire_size_bytes(body, params));
   };
 }

@@ -32,8 +32,9 @@ class MessageTrace {
  public:
   explicit MessageTrace(std::size_t capacity = 1 << 16);
 
-  // Subscribes to the overlay's on_message hook (replacing any previous
-  // subscriber). The trace must outlive the overlay's use of the hook.
+  // Subscribes to the overlay's on_message hook, chaining any previously
+  // installed observer (it keeps firing, before the trace records). The
+  // trace must outlive the overlay's use of the hook.
   void attach(Overlay& overlay);
 
   void record(SimTime time, const NodeId& from, const NodeId& to,

@@ -20,31 +20,32 @@ int char_to_digit(char c) {
 }  // namespace
 
 std::size_t NodeId::csuf_len(const NodeId& other) const {
-  HCUBE_DCHECK(digits_.size() == other.digits_.size());
+  HCUBE_DCHECK(size_ == other.size_);
   std::size_t k = 0;
-  while (k < digits_.size() && digits_[k] == other.digits_[k]) ++k;
+  while (k < size_ && digits_[k] == other.digits_[k]) ++k;
   return k;
 }
 
 bool NodeId::has_suffix(std::span<const Digit> suffix) const {
-  if (suffix.size() > digits_.size()) return false;
+  if (suffix.size() > size_) return false;
   return std::equal(suffix.begin(), suffix.end(), digits_.begin());
 }
 
 Suffix NodeId::suffix_of_len(std::size_t len) const {
-  HCUBE_DCHECK(len <= digits_.size());
+  HCUBE_DCHECK(len <= size_);
   return Suffix(digits_.begin(),
                 digits_.begin() + static_cast<std::ptrdiff_t>(len));
 }
 
 std::string NodeId::to_string(const IdParams& params) const {
   std::ostringstream os;
+  const auto ds = digits();
   if (params.base <= 36) {
-    for (auto it = digits_.rbegin(); it != digits_.rend(); ++it)
+    for (auto it = ds.rbegin(); it != ds.rend(); ++it)
       os << digit_to_char(*it);
   } else {
-    for (auto it = digits_.rbegin(); it != digits_.rend(); ++it) {
-      if (it != digits_.rbegin()) os << '.';
+    for (auto it = ds.rbegin(); it != ds.rend(); ++it) {
+      if (it != ds.rbegin()) os << '.';
       os << static_cast<int>(*it);
     }
   }
@@ -88,7 +89,7 @@ std::optional<NodeId> NodeId::from_string(const std::string& text,
 std::size_t NodeId::hash() const {
   // FNV-1a over the digit bytes.
   std::size_t h = 1469598103934665603ULL;
-  for (Digit d : digits_) {
+  for (Digit d : digits()) {
     h ^= d;
     h *= 1099511628211ULL;
   }

@@ -6,6 +6,8 @@
 // first: digits_[i] == the paper's x[i].
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <compare>
 #include <cstdint>
@@ -32,7 +34,7 @@ struct IdParams {
   void validate() const {
     HCUBE_CHECK_MSG(base >= 2 && base <= 256, "base must be in [2,256]");
     HCUBE_CHECK_MSG(num_digits >= 1 && num_digits <= 64,
-                    "num_digits must be in [1,64]");
+                    "num_digits must be in [1,64]");  // <= NodeId::kMaxDigits
   }
 
   // log2(number of possible IDs); the ID space size b^d itself may exceed
@@ -52,24 +54,35 @@ using Suffix = std::vector<Digit>;
 
 class NodeId {
  public:
+  // Upper bound of IdParams::num_digits; lets IDs live inline (no heap).
+  // Copying a NodeId is a fixed-size memcpy, which keeps message envelopes
+  // and table writes allocation-free on the simulator's hot path.
+  static constexpr std::size_t kMaxDigits = 64;
+
   NodeId() = default;  // empty/invalid; use is_valid() to test
 
-  NodeId(std::vector<Digit> digits_lsb_first, const IdParams& params)
-      : digits_(std::move(digits_lsb_first)) {
-    HCUBE_CHECK(digits_.size() == params.num_digits);
-    for (Digit dg : digits_) HCUBE_CHECK(dg < params.base);
+  NodeId(std::span<const Digit> digits_lsb_first, const IdParams& params)
+      : size_(static_cast<std::uint8_t>(digits_lsb_first.size())) {
+    HCUBE_CHECK(digits_lsb_first.size() == params.num_digits);
+    for (std::size_t i = 0; i < digits_lsb_first.size(); ++i) {
+      HCUBE_CHECK(digits_lsb_first[i] < params.base);
+      digits_[i] = digits_lsb_first[i];
+    }
   }
 
-  bool is_valid() const { return !digits_.empty(); }
-  std::size_t num_digits() const { return digits_.size(); }
+  NodeId(const std::vector<Digit>& digits_lsb_first, const IdParams& params)
+      : NodeId(std::span<const Digit>(digits_lsb_first), params) {}
+
+  bool is_valid() const { return size_ != 0; }
+  std::size_t num_digits() const { return size_; }
 
   // The paper's x[i]: the i-th digit counted from the right.
   Digit digit(std::size_t i) const {
-    HCUBE_DCHECK(i < digits_.size());
+    HCUBE_DCHECK(i < size_);
     return digits_[i];
   }
 
-  std::span<const Digit> digits() const { return digits_; }
+  std::span<const Digit> digits() const { return {digits_.data(), size_}; }
 
   // Length of the longest common suffix with another ID: the paper's
   // |csuf(x.ID, y.ID)|.
@@ -86,13 +99,24 @@ class NodeId {
   static std::optional<NodeId> from_string(const std::string& text,
                                            const IdParams& params);
 
-  bool operator==(const NodeId&) const = default;
-  std::strong_ordering operator<=>(const NodeId&) const = default;
+  // Same ordering/equality semantics as the previous std::vector storage:
+  // lexicographic over the LSB-first digit sequences.
+  bool operator==(const NodeId& o) const {
+    return size_ == o.size_ &&
+           std::equal(digits_.begin(), digits_.begin() + size_,
+                      o.digits_.begin());
+  }
+  std::strong_ordering operator<=>(const NodeId& o) const {
+    return std::lexicographical_compare_three_way(
+        digits_.begin(), digits_.begin() + size_, o.digits_.begin(),
+        o.digits_.begin() + o.size_);
+  }
 
   std::size_t hash() const;
 
  private:
-  std::vector<Digit> digits_;
+  std::array<Digit, kMaxDigits> digits_{};
+  std::uint8_t size_ = 0;
 };
 
 // Uniform random ID.

@@ -1,0 +1,24 @@
+// Zero-latency transport for protocol-logic tests and micro-benchmarks.
+//
+// Every message is delivered at the send instant (through the event queue,
+// so causality and per-pair FIFO order are preserved via the sequence-number
+// tie-break — delivery is *asynchronous*, just not delayed). Protocol runs
+// over loopback exercise exactly the same state machines with none of the
+// latency-model cost, which is what makes it the fast path for logic tests
+// and the upper-bound path for throughput benchmarks.
+#pragma once
+
+#include "net/pooled_transport.h"
+
+namespace hcube {
+
+class LoopbackTransport final : public PooledTransport {
+ public:
+  LoopbackTransport(EventQueue& queue, std::uint32_t max_endpoints)
+      : PooledTransport(queue, max_endpoints) {}
+
+ protected:
+  SimTime delay_ms(HostId /*from*/, HostId /*to*/) override { return 0.0; }
+};
+
+}  // namespace hcube

@@ -1,0 +1,53 @@
+#include "net/pooled_transport.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace hcube {
+
+PooledTransport::PooledTransport(EventQueue& queue,
+                                 std::uint32_t max_endpoints)
+    : queue_(queue), max_endpoints_(max_endpoints) {
+  handlers_.reserve(max_endpoints_);
+}
+
+HostId PooledTransport::add_endpoint(Handler handler) {
+  HCUBE_CHECK_MSG(handlers_.size() < max_endpoints_,
+                  "more endpoints than the transport was sized for");
+  handlers_.push_back(std::move(handler));
+  return static_cast<HostId>(handlers_.size() - 1);
+}
+
+bool PooledTransport::send(HostId from, HostId to, Message msg) {
+  HCUBE_CHECK(from < handlers_.size() && to < handlers_.size());
+  if (on_send) on_send(from, to, msg);
+  if (drop_filter && drop_filter(from, to, msg)) {
+    ++messages_dropped_;
+    return false;
+  }
+  ++messages_sent_;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(msg);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(msg));
+  }
+  queue_.schedule_delivery_after(delay_ms(from, to), this, from, to, slot);
+  return true;
+}
+
+void PooledTransport::deliver(HostId from, HostId to,
+                              std::uint32_t payload_slot) {
+  // The payload is handed to the handler in place — the slab is a deque, so
+  // a handler that sends (growing the slab or recycling other slots) cannot
+  // invalidate this reference, and the slot is released only afterwards.
+  ++messages_delivered_;
+  handlers_[to](from, slots_[payload_slot]);
+  free_slots_.push_back(payload_slot);
+}
+
+}  // namespace hcube

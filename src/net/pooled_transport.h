@@ -1,0 +1,67 @@
+// Shared machinery of the in-process transports: a payload slab plus the
+// event queue's typed delivery events.
+//
+// send() parks the Message in a recycled slab slot and schedules a
+// {sink, from, to, slot} event — no closure, no per-message heap traffic.
+// Once the slab and the queue's heap have grown to the workload's
+// high-water mark, a steady-state send+delivery does zero allocations
+// (payloads that carry table snapshots still own their vectors, but that
+// memory belongs to the protocol layer, not to the transport).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace hcube {
+
+class PooledTransport : public Transport, private DeliverySink {
+ public:
+  HostId add_endpoint(Handler handler) override;
+  std::uint32_t num_endpoints() const override {
+    return static_cast<std::uint32_t>(handlers_.size());
+  }
+
+  bool send(HostId from, HostId to, Message msg) override;
+
+  EventQueue& queue() override { return queue_; }
+
+  std::uint64_t messages_sent() const override { return messages_sent_; }
+  std::uint64_t messages_delivered() const override {
+    return messages_delivered_;
+  }
+  std::uint64_t messages_dropped() const override {
+    return messages_dropped_;
+  }
+
+  // Slab introspection (tests and benches assert steady-state reuse).
+  std::size_t payload_pool_size() const { return slots_.size(); }
+  std::size_t payload_pool_free() const { return free_slots_.size(); }
+
+ protected:
+  // max_endpoints bounds add_endpoint calls; the handler table is reserved
+  // up front so registration never reallocates it mid-run.
+  PooledTransport(EventQueue& queue, std::uint32_t max_endpoints);
+
+  // One-way delivery delay for an ordered pair; must be deterministic
+  // within a run (per-pair FIFO relies on it being constant per pair).
+  virtual SimTime delay_ms(HostId from, HostId to) = 0;
+
+ private:
+  void deliver(HostId from, HostId to, std::uint32_t payload_slot) override;
+
+  EventQueue& queue_;
+  std::uint32_t max_endpoints_;
+  std::vector<Handler> handlers_;
+  // Deque, not vector: growing the slab mid-delivery (a handler that sends)
+  // must not invalidate the reference the in-flight delivery handed out.
+  std::deque<Message> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace hcube

@@ -1,0 +1,25 @@
+// Latency-modelled transport: the semantics the templated SimNetwork
+// established (per-pair latencies from a LatencyModel, per-pair FIFO, ties
+// by send order), on the pooled allocation-free delivery path.
+#pragma once
+
+#include "net/pooled_transport.h"
+#include "topology/latency.h"
+
+namespace hcube {
+
+class SimTransport final : public PooledTransport {
+ public:
+  SimTransport(EventQueue& queue, LatencyModel& latency)
+      : PooledTransport(queue, latency.num_hosts()), latency_(latency) {}
+
+ protected:
+  SimTime delay_ms(HostId from, HostId to) override {
+    return latency_.latency_ms(from, to);
+  }
+
+ private:
+  LatencyModel& latency_;
+};
+
+}  // namespace hcube

@@ -1,0 +1,53 @@
+// Transport seam between the overlay and whatever moves its messages.
+//
+// Overlay (and through it the protocol modules) depends only on this
+// interface: register an endpoint with a delivery handler, send a Message
+// from one endpoint to another. What "sending" means — latency-modelled
+// simulation, zero-latency loopback, eventually a real network backend — is
+// the implementation's business. Two implementations ship today:
+//   - SimTransport (net/sim_transport.h): per-pair latencies from a
+//     LatencyModel, the semantics the templated SimNetwork established.
+//   - LoopbackTransport (net/loopback_transport.h): zero latency, for
+//     protocol-logic tests and micro-benchmarks.
+// Both guarantee reliable, per-pair FIFO delivery (delivery time is
+// constant per ordered pair within a run and ties break by send order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "proto/messages.h"
+#include "sim/event_queue.h"
+
+namespace hcube {
+
+class Transport {
+ public:
+  using Handler = std::function<void(HostId from, const Message& msg)>;
+
+  virtual ~Transport() = default;
+
+  // Registers an endpoint; returns its host id (a dense index). Endpoints
+  // must be registered before any send to them.
+  virtual HostId add_endpoint(Handler handler) = 0;
+  virtual std::uint32_t num_endpoints() const = 0;
+
+  // Sends msg from -> to. Returns false if the message was dropped by the
+  // drop filter.
+  virtual bool send(HostId from, HostId to, Message msg) = 0;
+
+  virtual EventQueue& queue() = 0;
+
+  virtual std::uint64_t messages_sent() const = 0;
+  virtual std::uint64_t messages_delivered() const = 0;
+  virtual std::uint64_t messages_dropped() const = 0;
+
+  // Observation hook: called for every send attempt (before drop filtering).
+  std::function<void(HostId from, HostId to, const Message& msg)> on_send;
+  // Failure injection: return true to drop the message. The join protocol
+  // assumes reliable delivery; this hook exists for tests that verify the
+  // consistency checker *detects* the damage done by losses.
+  std::function<bool(HostId from, HostId to, const Message& msg)> drop_filter;
+};
+
+}  // namespace hcube

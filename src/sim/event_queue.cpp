@@ -1,12 +1,57 @@
 #include "sim/event_queue.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace hcube {
 
+void EventQueue::push_event(Event ev) {
+  heap_.push_back(ev);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+EventQueue::Event EventQueue::pop_event() {
+  HCUBE_DCHECK(!heap_.empty());
+  const Event top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = l + 1;
+    std::size_t best = i;
+    if (l < n && earlier(heap_[l], heap_[best])) best = l;
+    if (r < n && earlier(heap_[r], heap_[best])) best = r;
+    if (best == i) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  return top;
+}
+
+std::uint32_t EventQueue::acquire_timer_slot(std::function<void()> fn) {
+  if (!timer_free_.empty()) {
+    const std::uint32_t slot = timer_free_.back();
+    timer_free_.pop_back();
+    timer_pool_[slot] = std::move(fn);
+    return slot;
+  }
+  timer_pool_.push_back(std::move(fn));
+  return static_cast<std::uint32_t>(timer_pool_.size() - 1);
+}
+
 void EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
   HCUBE_CHECK_MSG(t >= now_, "cannot schedule into the past");
-  heap_.push(Event{t, next_seq_++, std::move(fn)});
+  const std::uint32_t slot = acquire_timer_slot(std::move(fn));
+  push_event(Event{t, next_seq_++, nullptr, 0, 0, slot});
 }
 
 void EventQueue::schedule_after(SimTime delay, std::function<void()> fn) {
@@ -14,15 +59,40 @@ void EventQueue::schedule_after(SimTime delay, std::function<void()> fn) {
   schedule_at(now_ + delay, std::move(fn));
 }
 
+void EventQueue::schedule_delivery_at(SimTime t, DeliverySink* sink,
+                                      HostId from, HostId to,
+                                      std::uint32_t payload_slot) {
+  HCUBE_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  HCUBE_DCHECK(sink != nullptr);
+  push_event(Event{t, next_seq_++, sink, from, to, payload_slot});
+}
+
+void EventQueue::schedule_delivery_after(SimTime delay, DeliverySink* sink,
+                                         HostId from, HostId to,
+                                         std::uint32_t payload_slot) {
+  HCUBE_CHECK(delay >= 0.0);
+  schedule_delivery_at(now_ + delay, sink, from, to, payload_slot);
+}
+
+void EventQueue::dispatch(const Event& ev) {
+  if (ev.sink != nullptr) {
+    ev.sink->deliver(ev.from, ev.to, ev.slot);
+    return;
+  }
+  // Move the closure out before running it: the callback may schedule new
+  // timers (recycling this very slot) without invalidating itself.
+  std::function<void()> fn = std::move(timer_pool_[ev.slot]);
+  timer_pool_[ev.slot] = nullptr;
+  timer_free_.push_back(ev.slot);
+  fn();
+}
+
 bool EventQueue::run_next() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the function handle out of a popped element instead.
-  Event ev = heap_.top();
-  heap_.pop();
+  const Event ev = pop_event();
   now_ = ev.time;
   ++processed_;
-  ev.fn();
+  dispatch(ev);
   return true;
 }
 
@@ -34,7 +104,7 @@ std::uint64_t EventQueue::run(std::uint64_t max_events) {
 
 std::uint64_t EventQueue::run_until(SimTime t_end) {
   std::uint64_t n = 0;
-  while (!heap_.empty() && heap_.top().time <= t_end && run_next()) ++n;
+  while (!heap_.empty() && heap_.front().time <= t_end && run_next()) ++n;
   if (t_end > now_) now_ = t_end;
   return n;
 }

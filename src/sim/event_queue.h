@@ -5,16 +5,41 @@
 // tie-break), which makes every simulation run bit-reproducible for a given
 // seed — essential for the protocol tests, which assert properties of
 // specific interleavings.
+//
+// Events come in two typed flavors so the per-message hot path is
+// allocation-free:
+//   - Message deliveries carry only {sink, from, to, payload slot} — plain
+//     data, no closure. The payload itself lives in a slab owned by the
+//     transport (see net/pooled_transport.h); the queue never touches it.
+//   - Timers keep a std::function closure, but the closures live in a pooled
+//     slab whose slots are recycled, so a steady stream of timers reuses
+//     storage instead of growing the heap.
+// Both flavors share one sequence counter, so the relative order of timers
+// and deliveries scheduled for the same instant is exactly the order in
+// which they were scheduled — the same tie-break the closure-based queue
+// had, which keeps pre-refactor event sequences intact.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
+
+#include "util/host.h"
 
 namespace hcube {
 
 using SimTime = double;  // milliseconds of simulated time
+
+// Receiver of a pooled message-delivery event. Implemented by transports:
+// the queue hands back (from, to, payload_slot) at delivery time and the
+// sink looks the payload up in its own slab.
+class DeliverySink {
+ public:
+  virtual void deliver(HostId from, HostId to, std::uint32_t payload_slot) = 0;
+
+ protected:
+  ~DeliverySink() = default;  // never deleted through this interface
+};
 
 class EventQueue {
  public:
@@ -28,6 +53,13 @@ class EventQueue {
   // Schedules fn after the given delay (>= 0).
   void schedule_after(SimTime delay, std::function<void()> fn);
 
+  // Schedules a message delivery: at time t, sink->deliver(from, to, slot)
+  // runs. Allocation-free once the heap's capacity has warmed up.
+  void schedule_delivery_at(SimTime t, DeliverySink* sink, HostId from,
+                            HostId to, std::uint32_t payload_slot);
+  void schedule_delivery_after(SimTime delay, DeliverySink* sink, HostId from,
+                               HostId to, std::uint32_t payload_slot);
+
   // Executes the earliest pending event. Returns false if none.
   bool run_next();
 
@@ -38,20 +70,37 @@ class EventQueue {
   // Runs events with time <= t_end, then advances the clock to t_end.
   std::uint64_t run_until(SimTime t_end);
 
+  // Pool introspection (tests and benches assert steady-state reuse).
+  std::size_t timer_pool_size() const { return timer_pool_.size(); }
+  std::size_t timer_pool_free() const { return timer_free_.size(); }
+
  private:
+  // Trivially copyable: sift operations move plain data, never closures.
   struct Event {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    DeliverySink* sink;  // nullptr => timer event, slot indexes timer_pool_
+    HostId from;
+    HostId to;
+    std::uint32_t slot;  // payload slot (delivery) or timer-pool slot
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  static bool earlier(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void push_event(Event ev);
+  Event pop_event();
+  void dispatch(const Event& ev);
+
+  std::uint32_t acquire_timer_slot(std::function<void()> fn);
+
+  // Manual binary min-heap over a vector: push/pop never allocate once
+  // capacity has grown to the high-water mark of pending events.
+  std::vector<Event> heap_;
+  std::vector<std::function<void()>> timer_pool_;
+  std::vector<std::uint32_t> timer_free_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

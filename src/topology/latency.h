@@ -17,11 +17,10 @@
 
 #include "topology/graph.h"
 #include "topology/transit_stub.h"
+#include "util/host.h"
 #include "util/rng.h"
 
 namespace hcube {
-
-using HostId = std::uint32_t;
 
 class LatencyModel {
  public:

@@ -1,0 +1,19 @@
+// Host (transport endpoint) identity.
+//
+// A HostId is the dense index of an end host: its slot in the latency model,
+// in the transport's endpoint table and in Overlay's node vector. In a
+// deployment this is the role an IP address plays; keeping it a dense index
+// lets every per-host lookup be an array access instead of a hash.
+#pragma once
+
+#include <cstdint>
+
+namespace hcube {
+
+using HostId = std::uint32_t;
+
+// Sentinel for "host not resolved yet" (e.g. a neighbor-table entry whose
+// owner has not needed to send to that neighbor).
+inline constexpr HostId kNoHost = 0xffffffffu;
+
+}  // namespace hcube

@@ -57,6 +57,46 @@ TEST(MessageTrace, FiltersByNodeAndType) {
   for (const auto& r : cprst) EXPECT_EQ(r.type, MessageType::kCpRst);
 }
 
+TEST(MessageTrace, AttachChainsPreviousObserver) {
+  // attach() must not silently disconnect an observer a test installed
+  // first: both the existing hook and the trace see every message.
+  const IdParams params{4, 5};
+  World world(params, 20);
+  auto ids = make_ids(params, 16, 13);
+  const std::vector<NodeId> v(ids.begin(), ids.begin() + 15);
+  build_consistent_network(world.overlay, v);
+
+  std::uint64_t observed = 0;
+  world.overlay.on_message = [&](const NodeId&, const NodeId&,
+                                 const MessageBody&) { ++observed; };
+  MessageTrace trace;
+  trace.attach(world.overlay);
+
+  world.overlay.schedule_join(ids[15], v[0], 0.0);
+  world.overlay.run_to_quiescence();
+
+  EXPECT_GT(observed, 0u);
+  EXPECT_EQ(observed, world.overlay.totals().messages);
+  EXPECT_EQ(trace.size(), world.overlay.totals().messages);
+}
+
+TEST(MessageTrace, TwoTracesBothRecord) {
+  const IdParams params{4, 5};
+  World world(params, 20);
+  auto ids = make_ids(params, 16, 17);
+  const std::vector<NodeId> v(ids.begin(), ids.begin() + 15);
+  build_consistent_network(world.overlay, v);
+
+  MessageTrace first, second;
+  first.attach(world.overlay);
+  second.attach(world.overlay);
+  world.overlay.schedule_join(ids[15], v[0], 0.0);
+  world.overlay.run_to_quiescence();
+
+  EXPECT_EQ(first.size(), world.overlay.totals().messages);
+  EXPECT_EQ(second.size(), world.overlay.totals().messages);
+}
+
 TEST(MessageTrace, RingBufferDropsOldest) {
   MessageTrace trace(/*capacity=*/4);
   const IdParams params{4, 4};

@@ -81,6 +81,82 @@ TEST(EventQueue, RunNextOnEmptyReturnsFalse) {
   EXPECT_FALSE(q.run_next());
 }
 
+TEST(EventQueue, TimersAndDeliveriesShareTheTieBreak) {
+  // Both event flavors draw from one sequence counter: at the same instant
+  // they run in exactly the order they were scheduled, however interleaved.
+  EventQueue q;
+  std::vector<int> order;
+  struct OrderSink : DeliverySink {
+    std::vector<int>* order;
+    void deliver(HostId, HostId, std::uint32_t slot) override {
+      order->push_back(static_cast<int>(slot));
+    }
+  } sink;
+  sink.order = &order;
+  q.schedule_at(5.0, [&] { order.push_back(0); });
+  q.schedule_delivery_at(5.0, &sink, 0, 0, 1);
+  q.schedule_at(5.0, [&] { order.push_back(2); });
+  q.schedule_delivery_at(5.0, &sink, 0, 0, 3);
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, DeliveryCarriesEndpointsAndSlot) {
+  EventQueue q;
+  struct CaptureSink : DeliverySink {
+    HostId from = 0, to = 0;
+    std::uint32_t slot = 0;
+    void deliver(HostId f, HostId t, std::uint32_t s) override {
+      from = f;
+      to = t;
+      slot = s;
+    }
+  } sink;
+  q.schedule_delivery_after(2.0, &sink, 7, 9, 13);
+  q.run();
+  EXPECT_EQ(sink.from, 7u);
+  EXPECT_EQ(sink.to, 9u);
+  EXPECT_EQ(sink.slot, 13u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, TimerPoolSlotsAreRecycled) {
+  EventQueue q;
+  int fired = 0;
+  // Sequential timers: each closure slot is freed at dispatch, so a single
+  // slot serves the whole stream.
+  for (int i = 0; i < 100; ++i) {
+    q.schedule_after(1.0, [&] { ++fired; });
+    q.run();
+  }
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(q.timer_pool_size(), 1u);
+  EXPECT_EQ(q.timer_pool_free(), 1u);
+  // A burst of 10 pending timers grows the pool to 10 and no further.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) q.schedule_after(1.0, [&] { ++fired; });
+    q.run();
+  }
+  EXPECT_EQ(q.timer_pool_size(), 10u);
+  EXPECT_EQ(q.timer_pool_free(), 10u);
+}
+
+TEST(EventQueue, TimerMaySafelyScheduleFromItsOwnSlot) {
+  // dispatch() moves the closure out of the pool before invoking it, so a
+  // timer that schedules another timer (possibly reusing its freed slot)
+  // must not corrupt itself.
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 50) q.schedule_after(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  q.run();
+  EXPECT_EQ(count, 50);
+  EXPECT_EQ(q.timer_pool_size(), 1u);
+}
+
 TEST(SimNetwork, DeliversWithLatency) {
   EventQueue q;
   ConstantLatency latency(2, 10.0);
