@@ -9,6 +9,9 @@
 //   sim      — SimTransport: latency-modelled, pooled typed events, hosts
 //              pre-resolved (the new steady-state send path)
 //   loopback — LoopbackTransport: zero latency, pooled typed events
+//   reliable — ReliableTransport over LoopbackTransport: the ARQ decorator
+//              on a clean network (acks flow, nothing retransmits); its
+//              clean-path overhead must stay allocation-free too
 // followed by a protocol-level join wave run over both transports.
 //
 // Allocations are counted by instrumenting global operator new, warming the
@@ -28,6 +31,7 @@
 
 #include "bench_common.h"
 #include "net/loopback_transport.h"
+#include "net/reliable_transport.h"
 #include "net/sim_transport.h"
 
 // ---------------------------------------------------------------------------
@@ -272,6 +276,23 @@ int main_impl(int argc, char** argv) {
     LoopbackTransport transport(queue, /*max_endpoints=*/2);
     loopback = run_pooled("loopback (pooled)", transport, warmup, measured);
     print_path(loopback);
+  }
+  PathResult reliable{};
+  {
+    EventQueue queue;
+    LoopbackTransport inner(queue, /*max_endpoints=*/2);
+    ReliableTransport transport(inner);
+    reliable = run_pooled("reliable (loopback)", transport, warmup, measured);
+    print_path(reliable);
+    if (transport.rstats().retransmits != 0 ||
+        transport.rstats().dup_suppressed != 0) {
+      std::printf("  [UNEXPECTED] clean loopback saw %llu retransmits, "
+                  "%llu dup-suppressed\n",
+                  static_cast<unsigned long long>(
+                      transport.rstats().retransmits),
+                  static_cast<unsigned long long>(
+                      transport.rstats().dup_suppressed));
+    }
   }
   std::printf("  loopback/legacy speedup: %.2fx\n",
               legacy.msgs_per_sec() > 0

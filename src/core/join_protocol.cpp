@@ -10,21 +10,73 @@ namespace hcube {
 // Figure 5: status copying
 
 void JoinProtocol::start_join(const NodeId& g0) {
+  gateway_ = g0;
+  core_.attempt_gen = 1;
+  begin_attempt();
+  arm_watchdog();
+}
+
+void JoinProtocol::begin_attempt() {
   core_.status = NodeStatus::kCopying;
   copy_level_ = 0;
-  copy_from_ = g0;
-  core_.send(g0, CpRstMsg{});
+  copy_from_ = gateway_;
+  core_.send(gateway_, CpRstMsg{});
+}
+
+void JoinProtocol::arm_watchdog() {
+  if (core_.options.join_watchdog_ms <= 0.0) return;
+  const std::uint32_t gen = core_.attempt_gen;
+  core_.env.schedule(core_.options.join_watchdog_ms,
+                     [this, gen] { on_watchdog(gen); });
+}
+
+void JoinProtocol::on_watchdog(std::uint32_t gen) {
+  // Only the watchdog armed for the current attempt may restart it, and
+  // only while the join is actually stuck mid-flight.
+  if (gen != core_.attempt_gen) return;
+  if (core_.status != NodeStatus::kCopying &&
+      core_.status != NodeStatus::kWaiting &&
+      core_.status != NodeStatus::kNotifying) {
+    return;
+  }
+  if (core_.stats.watchdog_restarts >= core_.options.join_max_restarts) return;
+  ++core_.stats.watchdog_restarts;
+  ++core_.attempt_gen;
+  // Forget the aborted attempt's conversation state. The table keeps what
+  // was already learned (filled entries and reverse neighbors reflect real
+  // remote state), and deferred JoinWaitMsg senders still get their replies
+  // when we eventually switch.
+  q_replies_.clear();
+  q_notified_.clear();
+  q_spe_replies_.clear();
+  q_spe_notified_.clear();
+  begin_attempt();
+  arm_watchdog();
+}
+
+bool JoinProtocol::reject_stale_reply() {
+  if (core_.handling_gen == core_.attempt_gen) return false;
+  ++core_.stats.stale_rejected;
+  return true;
 }
 
 void JoinProtocol::on_cp_rly(const NodeId& g, const CpRlyMsg& msg) {
+  if (reject_stale_reply()) return;
   HCUBE_CHECK(core_.status == NodeStatus::kCopying);
   HCUBE_CHECK(g == copy_from_);
 
-  // Copy level-i neighbors of g into level-i of our table.
+  // Copy level-i neighbors of g into level-i of our table. On a fresh join
+  // every entry at this level is provably empty (copy_entry checks); after
+  // a watchdog restart the walk revisits territory the aborted attempt
+  // already copied, so only fill gaps. g's table may also hold *us* from
+  // the aborted attempt — never copy ourselves.
   for (const SnapshotEntry& e : msg.table.entries) {
     if (e.level != copy_level_) continue;
-    if (e.node == core_.id) continue;  // cannot happen before known; guard
-    core_.copy_entry(e.level, e.digit, e.node, e.state);
+    if (e.node == core_.id) continue;
+    if (core_.attempt_gen > 1)
+      core_.fill_if_empty(e.level, e.digit, e.node, e.state);
+    else
+      core_.copy_entry(e.level, e.digit, e.node, e.state);
   }
 
   // p = g; g = N_p(i, x[i]); s = N_p(i, x[i]).state; i++.
@@ -43,7 +95,14 @@ void JoinProtocol::on_cp_rly(const NodeId& g, const CpRlyMsg& msg) {
     finish_copying_and_wait(prev);
     return;
   }
-  HCUBE_CHECK_MSG(next->node != core_.id, "joining node found in a table");
+  if (next->node == core_.id) {
+    // Only possible after a restart: p stored us during the aborted
+    // attempt, so the walk ran into ourselves. p is then the closest node
+    // sharing our suffix that is not us — wait on it.
+    HCUBE_CHECK_MSG(core_.attempt_gen > 1, "joining node found in a table");
+    finish_copying_and_wait(prev);
+    return;
+  }
   if (next->state == NeighborState::kS) {
     HCUBE_CHECK_MSG(copy_level_ < core_.params.num_digits,
                     "copied all levels; duplicate ID in network?");
@@ -71,7 +130,10 @@ void JoinProtocol::finish_copying_and_wait(const NodeId& target) {
 
 void JoinProtocol::on_join_wait(const NodeId& x, HostId x_host) {
   if (core_.status != NodeStatus::kInSystem) {
-    q_join_waiters_.insert(x);
+    // Defer; remember the request's generation so the eventual reply (sent
+    // from switch_to_s_node, outside this handler) still echoes it. A
+    // repeated JoinWaitMsg from a restarted attempt overwrites the tag.
+    q_join_waiters_[x] = core_.handling_gen;
     return;
   }
   const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(x));
@@ -97,11 +159,18 @@ void JoinProtocol::on_join_wait(const NodeId& x, HostId x_host) {
 
 void JoinProtocol::on_join_wait_rly(const NodeId& y,
                                     const JoinWaitRlyMsg& m) {
-  q_replies_.erase(y);
   const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(y));
-  // The reply proves y is an S-node.
+  // The reply proves y is an S-node (true whatever generation it carries).
   if (core_.table.holds(k, y.digit(k), y))
     core_.table.set_state(k, y.digit(k), NeighborState::kS);
+  if (reject_stale_reply()) {
+    // A stale *positive* still means y stored us: y must be in R_x so our
+    // InSysNotiMsg reaches it when the current attempt completes.
+    if (m.positive)
+      core_.table.add_reverse_neighbor(y, {k, core_.id.digit(k)});
+    return;
+  }
+  q_replies_.erase(y);
 
   if (m.positive) {
     HCUBE_CHECK(core_.status == NodeStatus::kWaiting);
@@ -215,8 +284,14 @@ void JoinProtocol::on_join_noti(const NodeId& x, HostId x_host,
 
 void JoinProtocol::on_join_noti_rly(const NodeId& y,
                                     const JoinNotiRlyMsg& m) {
-  q_replies_.erase(y);
   const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(y));
+  if (reject_stale_reply()) {
+    // As in Figure 7: a stale positive proves y stored us — keep it in R_x.
+    if (m.positive)
+      core_.table.add_reverse_neighbor(y, {k, core_.id.digit(k)});
+    return;
+  }
+  q_replies_.erase(y);
   if (m.positive) core_.table.add_reverse_neighbor(y, {k, core_.id.digit(k)});
   if (m.flag && k > noti_level_ && !q_spe_notified_.contains(y)) {
     const NodeId* u1 = core_.table.neighbor(k, y.digit(k));
@@ -250,6 +325,7 @@ void JoinProtocol::on_spe_noti(const SpeNotiMsg& m) {
 // Figure 12: receiving SpeNotiRlyMsg
 
 void JoinProtocol::on_spe_noti_rly(const SpeNotiRlyMsg& m) {
+  if (reject_stale_reply()) return;
   q_spe_replies_.erase(m.y);
   maybe_switch_to_s_node();
 }
@@ -274,25 +350,30 @@ void JoinProtocol::switch_to_s_node() {
     (void)where;
     core_.send(v, InSysNotiMsg{});
   }
-  // Answer the deferred JoinWaitMsg senders.
-  for (const NodeId& u : q_join_waiters_) {
+  // Answer the deferred JoinWaitMsg senders, echoing each request's own
+  // generation (we are outside its handler, so the automatic stamp would
+  // be wrong).
+  for (const auto& [u, wgen] : q_join_waiters_) {
     const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(u));
     const Digit jd = u.digit(k);
     const NodeId* cur = core_.table.neighbor(k, jd);
     if (cur == nullptr) {
       const HostId host = core_.env.host_of(u);
       core_.table.set(k, jd, u, NeighborState::kT, host);
-      core_.send(u, host,
-                 JoinWaitRlyMsg{true, u, core_.table.snapshot_full()});
+      core_.send_with_gen(
+          u, host, JoinWaitRlyMsg{true, u, core_.table.snapshot_full()}, wgen);
     } else if (*cur == u) {
       // Deviation from Figure 13 (see header comment): already storing u is
       // a positive outcome, as in Figure 6.
-      core_.send(u, core_.entry_host(k, jd),
-                 JoinWaitRlyMsg{true, u, core_.table.snapshot_full()});
+      core_.send_with_gen(
+          u, core_.entry_host(k, jd),
+          JoinWaitRlyMsg{true, u, core_.table.snapshot_full()}, wgen);
     } else {
       if (core_.options.backups_per_entry > 0)
         core_.table.offer_backup(k, jd, u, core_.options.backups_per_entry);
-      core_.send(u, JoinWaitRlyMsg{false, *cur, core_.table.snapshot_full()});
+      core_.send_with_gen(
+          u, kNoHost,
+          JoinWaitRlyMsg{false, *cur, core_.table.snapshot_full()}, wgen);
     }
   }
   q_join_waiters_.clear();

@@ -15,9 +15,25 @@
 // itself. We treat "entry already holds u" as positive, mirroring the
 // receiving-side logic of Figure 6 (whose negative branch explicitly
 // excludes N_y(k, x[k]) == x).
+//
+// Robustness extension (the paper assumes reliable delivery): a join-stall
+// watchdog. Each join attempt carries a generation tag (NodeCore::
+// attempt_gen, echoed by replies); if the node is still not an S-node
+// join_watchdog_ms after an attempt began — e.g. the reliable transport
+// exhausted its retry budget on some message — the watchdog aborts the
+// attempt, bumps the generation and restarts the copy walk from the
+// original gateway. Replies tagged with an aborted attempt's generation are
+// rejected (except that a stale *positive* reply still registers the
+// replier as a reverse neighbor: the peer really did store us, and must
+// get our InSysNotiMsg when we eventually switch). Restarted copying
+// tolerates the leftovers of the aborted attempt: entries already filled
+// are kept (fill_if_empty instead of the fresh-join empty-entry invariant)
+// and a copy walk that runs into ourselves — a peer stored us during the
+// aborted attempt — ends by waiting on that peer.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 
 #include "core/leave_protocol.h"
 #include "core/node_core.h"
@@ -51,6 +67,12 @@ class JoinProtocol {
   void on_rv_ngh_noti_rly(const NodeId& y, const RvNghNotiRlyMsg& m);
 
  private:
+  void begin_attempt();                                   // (re)start Figure 5
+  void arm_watchdog();
+  void on_watchdog(std::uint32_t gen);
+  // True (and counted) when the message being handled carries the
+  // generation of an aborted attempt.
+  bool reject_stale_reply();
   void finish_copying_and_wait(const NodeId& target);     // tail of Figure 5
   void check_ngh_table(const TableSnapshot& snap);        // Figure 8
   void send_join_noti(const NodeId& target);
@@ -64,14 +86,18 @@ class JoinProtocol {
 
   std::uint32_t noti_level_ = 0;
 
-  // Copying-phase cursor (Figure 5's i, g, p).
+  // Copying-phase cursor (Figure 5's i, g, p) and the original gateway the
+  // watchdog restarts from.
   std::uint32_t copy_level_ = 0;
   NodeId copy_from_;
+  NodeId gateway_;
 
   // Figure 3 state variables.
   NodeIdSet q_replies_;        // Q_r: nodes we await replies from
   NodeIdSet q_notified_;       // Q_n: nodes we sent notifications to
-  NodeIdSet q_join_waiters_;   // Q_j: deferred JoinWaitMsg senders
+  // Q_j: deferred JoinWaitMsg senders, each with the generation its request
+  // carried (the eventual reply must echo it).
+  std::unordered_map<NodeId, std::uint32_t, NodeIdHash> q_join_waiters_;
   NodeIdSet q_spe_replies_;    // Q_sr: SpeNoti replies outstanding (key: y)
   NodeIdSet q_spe_notified_;   // Q_sn: nodes announced via SpeNotiMsg
 };

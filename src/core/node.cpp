@@ -110,6 +110,10 @@ void Node::handle(HostId from_host, const Message& msg) {
     return;
   }
   const NodeId& from = msg.sender;
+  // Expose the envelope's generation tag to the handlers: replies sent while
+  // handling this message echo it (NodeCore::send_with_gen), and the join
+  // module compares it against attempt_gen to reject stale replies.
+  core_.handling_gen = msg.gen;
   std::visit(
       Overloaded{
           [&](const CpRstMsg&) {
@@ -140,6 +144,12 @@ void Node::handle(HostId from_host, const Message& msg) {
           },
           [&](const RepairRlyMsg& m) { repair_.on_repair_rly(from, m); },
           [&](const AnnounceMsg& m) { repair_.on_announce(m); },
+          [&](const RelAckMsg&) {
+            // Delivery acknowledgements belong to the reliable transport
+            // decorator; one reaching the protocol layer means the overlay
+            // was wired to a transport stack without that decorator.
+            HCUBE_CHECK_MSG(false, "RelAckMsg reached the protocol layer");
+          },
       },
       msg.body);
 }

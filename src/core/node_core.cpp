@@ -35,15 +35,20 @@ NodeCore::NodeCore(NodeId id_arg, const IdParams& params_arg,
       table(params, id) {}
 
 void NodeCore::send(const NodeId& to, MessageBody body) {
-  ++stats.sent[static_cast<std::size_t>(type_of(body))];
-  stats.bytes_sent += wire_size_bytes(body, params);
-  env.send_message(id, to, std::move(body), self_host, kNoHost);
+  send_with_gen(to, kNoHost, std::move(body), 0);
 }
 
 void NodeCore::send(const NodeId& to, HostId to_host, MessageBody body) {
-  ++stats.sent[static_cast<std::size_t>(type_of(body))];
+  send_with_gen(to, to_host, std::move(body), 0);
+}
+
+void NodeCore::send_with_gen(const NodeId& to, HostId to_host,
+                             MessageBody body, std::uint32_t gen) {
+  const MessageType t = type_of(body);
+  if (gen == 0) gen = echoes_request_gen(t) ? handling_gen : attempt_gen;
+  ++stats.sent[static_cast<std::size_t>(t)];
   stats.bytes_sent += wire_size_bytes(body, params);
-  env.send_message(id, to, std::move(body), self_host, to_host);
+  env.send_message(id, to, std::move(body), self_host, to_host, gen);
 }
 
 bool NodeCore::fill_if_empty(std::uint32_t level, std::uint32_t digit,

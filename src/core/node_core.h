@@ -38,7 +38,8 @@ enum class NodeStatus : std::uint8_t {
 
 const char* to_string(NodeStatus s);
 
-// Per-join bookkeeping the benchmarks read out (Section 5.2 quantities).
+// Per-join bookkeeping the benchmarks read out (Section 5.2 quantities),
+// plus the robustness counters of the fault-tolerance extension.
 struct JoinStats {
   std::array<std::uint64_t, kNumMessageTypes> sent{};
   std::array<std::uint64_t, kNumMessageTypes> received{};
@@ -46,6 +47,11 @@ struct JoinStats {
   SimTime t_begin = -1.0;  // t^b_x: when the node began joining
   SimTime t_end = -1.0;    // t^e_x: when it became an S-node
   std::uint32_t noti_level = 0;
+  // Robustness extension: join attempts aborted-and-restarted by the
+  // join-stall watchdog, and replies rejected because they carried the
+  // generation tag of an aborted attempt.
+  std::uint32_t watchdog_restarts = 0;
+  std::uint64_t stale_rejected = 0;
 
   std::uint64_t sent_of(MessageType t) const {
     return sent[static_cast<std::size_t>(t)];
@@ -65,9 +71,13 @@ class NodeEnv {
   // arguments are pre-resolved transport endpoints when the sender has them
   // cached (kNoHost = resolve in the environment); passing them keeps the
   // steady-state send path free of NodeId hash lookups.
+  // `gen` is the join-attempt generation stamped into the message envelope
+  // (requests carry the sender's current generation, replies echo the
+  // request's; see Message in proto/messages.h).
   virtual void send_message(const NodeId& from, const NodeId& to,
                             MessageBody body, HostId from_host = kNoHost,
-                            HostId to_host = kNoHost) = 0;
+                            HostId to_host = kNoHost,
+                            std::uint32_t gen = 0) = 0;
   // Transport endpoint of a registered node (resolved once, then cached by
   // callers in table entries / the node's own envelope).
   virtual HostId host_of(const NodeId& id) const = 0;
@@ -95,14 +105,29 @@ struct NodeCore {
   JoinStats stats;
   bool started = false;  // join or install started
 
+  // Generation tags (robustness extension). attempt_gen identifies the
+  // node's current join attempt; the join-stall watchdog bumps it when it
+  // aborts a stuck attempt, which invalidates every reply addressed to the
+  // old one. handling_gen is the generation carried by the message being
+  // handled right now (set by Node::handle before dispatch); replies echo
+  // it, so it propagates a request's generation back to the requester.
+  std::uint32_t attempt_gen = 0;
+  std::uint32_t handling_gen = 0;
+
   bool is_s_node() const { return status == NodeStatus::kInSystem; }
 
   // ---- transport helpers ----
-  // Counts the message in stats and hands it to the environment. The
-  // three-argument form resolves the destination in the environment (one
-  // hash); the four-argument form uses a pre-resolved endpoint (none).
+  // Counts the message in stats and hands it to the environment, stamping
+  // the generation: reply-like types (echoes_request_gen) carry
+  // handling_gen, everything else attempt_gen. The three-argument form
+  // resolves the destination in the environment (one hash); the
+  // four-argument form uses a pre-resolved endpoint (none). send_with_gen
+  // overrides the stamp — for replies sent outside the request's handler
+  // (the deferred JoinWaitRlyMsg of Figure 13).
   void send(const NodeId& to, MessageBody body);
   void send(const NodeId& to, HostId to_host, MessageBody body);
+  void send_with_gen(const NodeId& to, HostId to_host, MessageBody body,
+                     std::uint32_t gen);
 
   // ---- table write helpers ----
   // Fills (level, digit) := node if empty; sends RvNghNotiMsg to the node.

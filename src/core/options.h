@@ -29,6 +29,19 @@ struct ProtocolOptions {
   // many additional suffix-class members per entry; fault-tolerant routing
   // (route_fault_tolerant) and recovery use them as instant fallbacks.
   std::uint32_t backups_per_entry = 0;
+
+  // Join-stall watchdog (robustness extension): a joining node that has not
+  // become an S-node this many milliseconds after an attempt began aborts
+  // the attempt and restarts it under a fresh generation tag (stale replies
+  // from the dead attempt are rejected by their echoed generation). 0
+  // disables the watchdog — appropriate when the transport is reliable, as
+  // the paper assumes. Size it well above the reliable layer's worst-case
+  // retransmission span; the watchdog is the recovery of last resort for
+  // messages the transport gave up on.
+  double join_watchdog_ms = 0.0;
+  // Attempts abandoned before the watchdog stops restarting (so a join
+  // through a permanently dead gateway cannot loop forever).
+  std::uint32_t join_max_restarts = 8;
 };
 
 }  // namespace hcube

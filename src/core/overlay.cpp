@@ -127,8 +127,8 @@ void Overlay::set_drop_filter(
 }
 
 void Overlay::send_message(const NodeId& from, const NodeId& to,
-                           MessageBody body, HostId from_host,
-                           HostId to_host) {
+                           MessageBody body, HostId from_host, HostId to_host,
+                           std::uint32_t gen) {
   // Hot path: both hosts pre-resolved by the caller — no hashing below.
   if (from_host == kNoHost) from_host = host_of(from);
   if (to_host == kNoHost) to_host = host_of(to);
@@ -138,7 +138,8 @@ void Overlay::send_message(const NodeId& from, const NodeId& to,
   totals_.bytes += wire_size_bytes(body, params_);
   if (on_message) on_message(from, to, body);
 
-  transport_.send(from_host, to_host, Message{from, std::move(body)});
+  transport_.send(from_host, to_host,
+                  Message{from, std::move(body), /*rel_seq=*/0, gen});
 }
 
 }  // namespace hcube

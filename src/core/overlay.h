@@ -104,8 +104,8 @@ class Overlay : public NodeEnv {
 
   // ---- NodeEnv ----
   void send_message(const NodeId& from, const NodeId& to, MessageBody body,
-                    HostId from_host = kNoHost,
-                    HostId to_host = kNoHost) override;
+                    HostId from_host = kNoHost, HostId to_host = kNoHost,
+                    std::uint32_t gen = 0) override;
   SimTime now() const override { return transport_.queue().now(); }
   void schedule(SimTime delay_ms, std::function<void()> fn) override {
     transport_.queue().schedule_after(delay_ms, std::move(fn));

@@ -24,6 +24,14 @@ void MessageTrace::attach(Overlay& overlay) {
   };
 }
 
+void MessageTrace::attach_wire(Transport& transport) {
+  transport.on_send = [this, prev = std::move(transport.on_send)](
+                          HostId from, HostId to, const Message& msg) {
+    if (prev) prev(from, to, msg);
+    ++wire_counts_[static_cast<std::size_t>(type_of(msg.body))];
+  };
+}
+
 void MessageTrace::record(SimTime time, const NodeId& from, const NodeId& to,
                           MessageType type, std::size_t wire_bytes) {
   if (records_.size() == capacity_) {
@@ -39,6 +47,7 @@ void MessageTrace::clear() {
   records_.clear();
   dropped_ = 0;
   counts_.fill(0);
+  wire_counts_.fill(0);
   total_bytes_ = 0;
 }
 

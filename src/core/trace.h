@@ -6,6 +6,12 @@
 // bound under a million-message soak). Tests and debugging sessions can
 // then ask "what did node x send?", "when was the first JoinNotiMsg?", or
 // dump a readable transcript.
+//
+// Two observation points are available. attach() sees protocol-level sends
+// (one per NodeCore::send, before any transport behavior). attach_wire()
+// sees transport-level emissions; attached to the transport *below* a
+// ReliableTransport it additionally counts retransmissions and RelAckMsg
+// traffic, which never pass the protocol-level hook.
 #pragma once
 
 #include <array>
@@ -37,6 +43,13 @@ class MessageTrace {
   // trace must outlive the overlay's use of the hook.
   void attach(Overlay& overlay);
 
+  // Subscribes to a transport's on_send hook (chaining as above) and counts
+  // every wire-level emission per message type — including duplicates the
+  // reliable layer retransmits and the RelAckMsg stream, when attached to
+  // the transport underneath a ReliableTransport. Counts only; wire
+  // emissions are not recorded into the ring buffer.
+  void attach_wire(Transport& transport);
+
   void record(SimTime time, const NodeId& from, const NodeId& to,
               MessageType type, std::size_t wire_bytes);
 
@@ -52,6 +65,9 @@ class MessageTrace {
   std::uint64_t count_of(MessageType type) const {
     return counts_[static_cast<std::size_t>(type)];
   }
+  std::uint64_t wire_count_of(MessageType type) const {
+    return wire_counts_[static_cast<std::size_t>(type)];
+  }
   std::uint64_t total_bytes() const { return total_bytes_; }
 
   // Human-readable transcript of the most recent `max_lines` records.
@@ -63,6 +79,7 @@ class MessageTrace {
   std::deque<TraceRecord> records_;
   std::size_t dropped_ = 0;
   std::array<std::uint64_t, kNumMessageTypes> counts_{};
+  std::array<std::uint64_t, kNumMessageTypes> wire_counts_{};
   std::uint64_t total_bytes_ = 0;
 };
 

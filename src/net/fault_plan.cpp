@@ -1,0 +1,69 @@
+#include "net/fault_plan.h"
+
+namespace hcube {
+namespace {
+
+std::uint64_t pair_key(HostId from, HostId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+void FaultPlan::set_for_type(MessageType t, const Spec& spec) {
+  for (auto& [type, existing] : by_type_) {
+    if (type == t) {
+      existing = spec;
+      return;
+    }
+  }
+  by_type_.emplace_back(t, spec);
+}
+
+void FaultPlan::set_for_pair(HostId from, HostId to, const Spec& spec) {
+  by_pair_[pair_key(from, to)] = spec;
+}
+
+void FaultPlan::attach(Transport& transport) {
+  transport.fault_injector = [this](HostId from, HostId to,
+                                    const Message& msg) {
+    return decide(from, to, msg);
+  };
+}
+
+FaultDecision FaultPlan::decide(HostId from, HostId to, const Message& msg) {
+  if (!by_pair_.empty()) {
+    auto it = by_pair_.find(pair_key(from, to));
+    if (it != by_pair_.end()) return apply(it->second);
+  }
+  const MessageType t = type_of(msg.body);
+  for (auto& [type, spec] : by_type_) {
+    if (type == t) return apply(spec);
+  }
+  return apply(default_);
+}
+
+FaultDecision FaultPlan::apply(Spec& spec) {
+  FaultDecision d;
+  if (spec.drop > 0.0 && spec.drops_charged < spec.max_drops &&
+      rng_.next_bool(spec.drop)) {
+    ++spec.drops_charged;
+    ++drops_;
+    d.action = FaultAction::kDrop;
+    return d;
+  }
+  if (spec.duplicate > 0.0 && spec.duplicates_charged < spec.max_duplicates &&
+      rng_.next_bool(spec.duplicate)) {
+    ++spec.duplicates_charged;
+    ++duplicates_;
+    d.action = FaultAction::kDuplicate;
+  }
+  if (spec.delay > 0.0 && spec.delays_charged < spec.max_delays &&
+      rng_.next_bool(spec.delay)) {
+    ++spec.delays_charged;
+    ++delays_;
+    d.extra_delay_ms = spec.extra_delay_ms;
+  }
+  return d;
+}
+
+}  // namespace hcube

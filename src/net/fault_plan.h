@@ -1,0 +1,82 @@
+// Seeded, reproducible fault injection for transports.
+//
+// A FaultPlan decides, per message, whether the network drops it,
+// duplicates it, or delays it — drawing every decision from one seeded RNG
+// so a run is exactly reproducible from (seed, workload). Rules come in
+// three precedence tiers: a per-host-pair rule beats a per-message-type
+// rule beats the default rule. attach() installs the plan as a transport's
+// fault_injector (the FaultHooks seam, sim/fault_hooks.h); the transport
+// then consults it on every send attempt.
+//
+// With a ReliableTransport layered on top of the faulty transport, the
+// protocols survive whatever a plan injects (up to the retry budget); used
+// directly under a plain transport, a plan demonstrates what the paper's
+// reliable-delivery assumption protects against. The counters record what
+// was actually injected, so tests can assert the run was genuinely lossy.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.h"
+#include "sim/fault_hooks.h"
+#include "util/rng.h"
+
+namespace hcube {
+
+class FaultPlan {
+ public:
+  // Fault probabilities for one rule. Drop wins over duplicate; delay is
+  // decided independently and also applies to duplicated messages.
+  struct Spec {
+    double drop = 0.0;       // P(message is lost)
+    double duplicate = 0.0;  // P(message is delivered twice)
+    double delay = 0.0;      // P(message gets extra_delay_ms added)
+    double extra_delay_ms = 0.0;
+    // Budgets: at most this many faults charged to this rule (UINT64_MAX =
+    // unlimited). A budget of K with probability 1.0 hits exactly the first
+    // K matching messages — the deterministic fault-choreography tests.
+    std::uint64_t max_drops = UINT64_MAX;
+    std::uint64_t max_duplicates = UINT64_MAX;
+    std::uint64_t max_delays = UINT64_MAX;
+    std::uint64_t drops_charged = 0;       // running counts against budgets
+    std::uint64_t duplicates_charged = 0;
+    std::uint64_t delays_charged = 0;
+  };
+
+  explicit FaultPlan(std::uint64_t seed) : rng_(seed) {}
+
+  // Default rule for messages no per-pair / per-type rule matches.
+  void set_default(const Spec& spec) { default_ = spec; }
+  // Rule for one message type (matched after per-pair rules).
+  void set_for_type(MessageType t, const Spec& spec);
+  // Rule for one ordered host pair (highest precedence).
+  void set_for_pair(HostId from, HostId to, const Spec& spec);
+
+  // Installs the plan as the transport's fault_injector, replacing any
+  // previous injector. The plan must outlive the transport's use of it.
+  void attach(Transport& transport);
+
+  // Decision procedure; exposed for transports/tests that drive it
+  // directly.
+  FaultDecision decide(HostId from, HostId to, const Message& msg);
+
+  // What was actually injected.
+  std::uint64_t drops_injected() const { return drops_; }
+  std::uint64_t duplicates_injected() const { return duplicates_; }
+  std::uint64_t delays_injected() const { return delays_; }
+
+ private:
+  FaultDecision apply(Spec& spec);
+
+  Rng rng_;
+  Spec default_;
+  std::vector<std::pair<MessageType, Spec>> by_type_;
+  std::unordered_map<std::uint64_t, Spec> by_pair_;  // key: from << 32 | to
+  std::uint64_t drops_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t delays_ = 0;
+};
+
+}  // namespace hcube

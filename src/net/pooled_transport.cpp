@@ -19,24 +19,36 @@ HostId PooledTransport::add_endpoint(Handler handler) {
   return static_cast<HostId>(handlers_.size() - 1);
 }
 
+std::uint32_t PooledTransport::park(Message msg) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(msg);
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.push_back(std::move(msg));
+  return slot;
+}
+
 bool PooledTransport::send(HostId from, HostId to, Message msg) {
   HCUBE_CHECK(from < handlers_.size() && to < handlers_.size());
-  if (on_send) on_send(from, to, msg);
-  if (drop_filter && drop_filter(from, to, msg)) {
+  const FaultDecision d = admit(from, to, msg);
+  if (d.action == FaultAction::kDrop) {
     ++messages_dropped_;
     return false;
   }
-  ++messages_sent_;
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-    slots_[slot] = std::move(msg);
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.push_back(std::move(msg));
+  const SimTime delay = delay_ms(from, to) + d.extra_delay_ms;
+  if (d.action == FaultAction::kDuplicate) {
+    // The duplicate gets its own slab slot (both copies are in flight at
+    // once) and the same delivery time.
+    ++messages_sent_;
+    const std::uint32_t dup_slot = park(msg);
+    queue_.schedule_delivery_after(delay, this, from, to, dup_slot);
   }
-  queue_.schedule_delivery_after(delay_ms(from, to), this, from, to, slot);
+  ++messages_sent_;
+  const std::uint32_t slot = park(std::move(msg));
+  queue_.schedule_delivery_after(delay, this, from, to, slot);
   return true;
 }
 

@@ -51,6 +51,8 @@ class PooledTransport : public Transport, private DeliverySink {
 
  private:
   void deliver(HostId from, HostId to, std::uint32_t payload_slot) override;
+  // Parks the message in a recycled slab slot; returns the slot.
+  std::uint32_t park(Message msg);
 
   EventQueue& queue_;
   std::uint32_t max_endpoints_;

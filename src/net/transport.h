@@ -4,13 +4,24 @@
 // interface: register an endpoint with a delivery handler, send a Message
 // from one endpoint to another. What "sending" means — latency-modelled
 // simulation, zero-latency loopback, eventually a real network backend — is
-// the implementation's business. Two implementations ship today:
+// the implementation's business. Three implementations ship today:
 //   - SimTransport (net/sim_transport.h): per-pair latencies from a
 //     LatencyModel, the semantics the templated SimNetwork established.
 //   - LoopbackTransport (net/loopback_transport.h): zero latency, for
 //     protocol-logic tests and micro-benchmarks.
-// Both guarantee reliable, per-pair FIFO delivery (delivery time is
-// constant per ordered pair within a run and ties break by send order).
+//   - ReliableTransport (net/reliable_transport.h): a decorator adding
+//     acks, retransmission and dedup on top of either, so the protocols
+//     get the reliable delivery they assume even when the inner transport
+//     is lossy (FaultPlan, net/fault_plan.h).
+// The in-process transports guarantee per-pair FIFO delivery on a clean
+// network (delivery time is constant per ordered pair within a run and ties
+// break by send order); under injected faults only ReliableTransport's
+// at-least-once-then-dedup guarantee holds, and ordering may be disturbed —
+// which is all the paper assumes (reliable delivery, not FIFO).
+//
+// Every transport inherits the FaultHooks seam (sim/fault_hooks.h): tests
+// observe traffic via on_send and inject losses via drop_filter or a seeded
+// FaultPlan via fault_injector.
 #pragma once
 
 #include <cstdint>
@@ -18,10 +29,11 @@
 
 #include "proto/messages.h"
 #include "sim/event_queue.h"
+#include "sim/fault_hooks.h"
 
 namespace hcube {
 
-class Transport {
+class Transport : public FaultHooks<Message> {
  public:
   using Handler = std::function<void(HostId from, const Message& msg)>;
 
@@ -33,7 +45,7 @@ class Transport {
   virtual std::uint32_t num_endpoints() const = 0;
 
   // Sends msg from -> to. Returns false if the message was dropped by the
-  // drop filter.
+  // drop filter or the fault injector.
   virtual bool send(HostId from, HostId to, Message msg) = 0;
 
   virtual EventQueue& queue() = 0;
@@ -41,13 +53,6 @@ class Transport {
   virtual std::uint64_t messages_sent() const = 0;
   virtual std::uint64_t messages_delivered() const = 0;
   virtual std::uint64_t messages_dropped() const = 0;
-
-  // Observation hook: called for every send attempt (before drop filtering).
-  std::function<void(HostId from, HostId to, const Message& msg)> on_send;
-  // Failure injection: return true to drop the message. The join protocol
-  // assumes reliable delivery; this hook exists for tests that verify the
-  // consistency checker *detects* the damage done by losses.
-  std::function<bool(HostId from, HostId to, const Message& msg)> drop_filter;
 };
 
 }  // namespace hcube

@@ -14,7 +14,18 @@ constexpr std::size_t kHeaderBytes = 40;
 constexpr std::size_t kOffType = 5;
 constexpr std::size_t kOffAux = 6;
 constexpr std::size_t kOffFlags = 7;
+// Envelope words in the (formerly all-reserved) header tail.
+constexpr std::size_t kOffRelSeq = 8;
+constexpr std::size_t kOffGen = 12;
 constexpr std::uint8_t kFlagHasBitvec = 0x01;
+
+std::uint32_t read_u32_at(const std::vector<std::uint8_t>& bytes,
+                          std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(bytes[off + i]) << (8 * i);
+  return v;
+}
 
 class Writer {
  public:
@@ -221,7 +232,9 @@ std::vector<std::uint8_t> encode_message(const Message& msg,
   }
   w.u8(aux);
   w.u8(flags);
-  w.zeros(kHeaderBytes - 8);
+  w.u32(msg.rel_seq);
+  w.u32(msg.gen);
+  w.zeros(kHeaderBytes - 16);
 
   write_node_ref(w, msg.sender, params, sender_addr);
 
@@ -262,6 +275,8 @@ std::vector<std::uint8_t> encode_message(const Message& msg,
             write_node_ref(w, body.candidate, params, {});
         } else if constexpr (std::is_same_v<T, AnnounceMsg>) {
           write_snapshot(w, body.table, params);
+        } else if constexpr (std::is_same_v<T, RelAckMsg>) {
+          w.u32(body.acked_seq);
         }
         // CpRstMsg, JoinWaitMsg, InSysNotiMsg: empty bodies.
       },
@@ -288,6 +303,8 @@ std::optional<Message> decode_message(const std::vector<std::uint8_t>& bytes,
 
   Message msg;
   msg.sender = std::move(*sender);
+  msg.rel_seq = read_u32_at(bytes, kOffRelSeq);
+  msg.gen = read_u32_at(bytes, kOffGen);
 
   switch (static_cast<MessageType>(type)) {
     case MessageType::kCpRst:
@@ -407,6 +424,9 @@ std::optional<Message> decode_message(const std::vector<std::uint8_t>& bytes,
       msg.body = AnnounceMsg{std::move(*snap)};
       break;
     }
+    case MessageType::kRelAck:
+      msg.body = RelAckMsg{r.u32()};
+      break;
   }
   if (!r.ok()) return std::nullopt;
   if (r.pos() != bytes.size()) return std::nullopt;  // trailing garbage

@@ -9,7 +9,9 @@
 // Layout (all integers little-endian):
 //   header (40 bytes):
 //     magic "HCUB" (4) | version (1) | type (1) | aux (1) | flags (1)
-//     reserved (32)  — stands in for the IP/UDP overhead the paper's
+//     rel_seq (4) | gen (4) — reliable-delivery sequence number and
+//                      join-attempt generation (Message envelope fields)
+//     reserved (24)  — stands in for the IP/UDP overhead the paper's
 //                      size analysis includes in a "big message"
 //   sender node-ref
 //   body (per message type; see messages.h size model)

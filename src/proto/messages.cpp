@@ -40,6 +40,7 @@ MessageType type_of(const MessageBody& body) {
           [](const RepairQueryMsg&) { return MessageType::kRepairQuery; },
           [](const RepairRlyMsg&) { return MessageType::kRepairRly; },
           [](const AnnounceMsg&) { return MessageType::kAnnounce; },
+          [](const RelAckMsg&) { return MessageType::kRelAck; },
       },
       body);
 }
@@ -65,6 +66,7 @@ const char* type_name(MessageType t) {
     case MessageType::kRepairQuery: return "RepairQueryMsg";
     case MessageType::kRepairRly: return "RepairRlyMsg";
     case MessageType::kAnnounce: return "AnnounceMsg";
+    case MessageType::kRelAck: return "RelAckMsg";
   }
   return "UnknownMsg";
 }
@@ -72,6 +74,23 @@ const char* type_name(MessageType t) {
 bool is_big_request(MessageType t) {
   return t == MessageType::kCpRst || t == MessageType::kJoinWait ||
          t == MessageType::kJoinNoti;
+}
+
+bool echoes_request_gen(MessageType t) {
+  switch (t) {
+    case MessageType::kCpRly:
+    case MessageType::kJoinWaitRly:
+    case MessageType::kJoinNotiRly:
+    case MessageType::kSpeNoti:
+    case MessageType::kSpeNotiRly:
+    case MessageType::kRvNghNotiRly:
+    case MessageType::kLeaveRly:
+    case MessageType::kPong:
+    case MessageType::kRepairRly:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::size_t id_wire_bytes(const IdParams& params) {
@@ -133,6 +152,7 @@ std::size_t wire_size_bytes(const MessageBody& body, const IdParams& params) {
           [&](const AnnounceMsg& m) {
             return snapshot_wire_bytes(m.table, params);
           },
+          [&](const RelAckMsg&) -> std::size_t { return 4; },
       },
       body);
   return size;

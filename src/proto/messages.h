@@ -140,19 +140,35 @@ struct AnnounceMsg {
   TableSnapshot table;
 };
 
+// ---- Reliable-delivery message (transport-internal; see
+// ---- net/reliable_transport.h) ----
+
+struct RelAckMsg {  // acknowledges receipt of the message numbered acked_seq
+  std::uint32_t acked_seq = 0;
+};
+
 using MessageBody =
     std::variant<CpRstMsg, CpRlyMsg, JoinWaitMsg, JoinWaitRlyMsg, JoinNotiMsg,
                  JoinNotiRlyMsg, InSysNotiMsg, SpeNotiMsg, SpeNotiRlyMsg,
                  RvNghNotiMsg, RvNghNotiRlyMsg, LeaveMsg, LeaveRlyMsg,
                  NghDropMsg, PingMsg, PongMsg, RepairQueryMsg, RepairRlyMsg,
-                 AnnounceMsg>;
+                 AnnounceMsg, RelAckMsg>;
 
 // Envelope: in a deployment the sender's (ID, IP) rides in every message;
 // here the sender ID is explicit and the "IP address" is the simulator host
-// id carried by the transport.
+// id carried by the transport. Two envelope words ride in the wire header's
+// reserved bytes:
+//   rel_seq — per-(sender host, receiver host) sequence number stamped by
+//             ReliableTransport (0 = untracked, e.g. on a plain transport);
+//   gen     — the sender's join-attempt generation. Requests carry the
+//             sender's current generation; replies echo the request's, so a
+//             joiner that aborted and restarted its join (join-stall
+//             watchdog) can reject replies addressed to the dead attempt.
 struct Message {
   NodeId sender;
   MessageBody body;
+  std::uint32_t rel_seq = 0;
+  std::uint32_t gen = 0;
 };
 
 enum class MessageType : std::uint8_t {
@@ -175,8 +191,9 @@ enum class MessageType : std::uint8_t {
   kRepairQuery,
   kRepairRly,
   kAnnounce,
+  kRelAck,
 };
-inline constexpr std::size_t kNumMessageTypes = 19;
+inline constexpr std::size_t kNumMessageTypes = 20;
 
 MessageType type_of(const MessageBody& body);
 const char* type_name(MessageType t);
@@ -185,6 +202,14 @@ const char* type_name(MessageType t);
 // a table)? Their replies are big too; the paper's analysis counts requests
 // only since replies are 1:1.
 bool is_big_request(MessageType t);
+
+// Does a message of this type answer (or forward on behalf of) a specific
+// incoming message, and therefore echo that message's generation tag rather
+// than carry the sender's own? True for the six join replies, Pong,
+// LeaveRlyMsg and RepairRlyMsg — and for SpeNotiMsg, which is originated and
+// forwarded while handling a message of the announced attempt, so the echo
+// carries the originator's generation down the chain to its reply.
+bool echoes_request_gen(MessageType t);
 
 // ---- Wire-size model ----
 //

@@ -51,7 +51,7 @@ std::uint32_t EventQueue::acquire_timer_slot(std::function<void()> fn) {
 void EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
   HCUBE_CHECK_MSG(t >= now_, "cannot schedule into the past");
   const std::uint32_t slot = acquire_timer_slot(std::move(fn));
-  push_event(Event{t, next_seq_++, nullptr, 0, 0, slot});
+  push_event(Event{t, next_seq_++, nullptr, 0, 0, slot, EventKind::kClosure});
 }
 
 void EventQueue::schedule_after(SimTime delay, std::function<void()> fn) {
@@ -64,7 +64,8 @@ void EventQueue::schedule_delivery_at(SimTime t, DeliverySink* sink,
                                       std::uint32_t payload_slot) {
   HCUBE_CHECK_MSG(t >= now_, "cannot schedule into the past");
   HCUBE_DCHECK(sink != nullptr);
-  push_event(Event{t, next_seq_++, sink, from, to, payload_slot});
+  push_event(
+      Event{t, next_seq_++, sink, from, to, payload_slot, EventKind::kDelivery});
 }
 
 void EventQueue::schedule_delivery_after(SimTime delay, DeliverySink* sink,
@@ -74,17 +75,38 @@ void EventQueue::schedule_delivery_after(SimTime delay, DeliverySink* sink,
   schedule_delivery_at(now_ + delay, sink, from, to, payload_slot);
 }
 
+void EventQueue::schedule_timer_at(SimTime t, TimerSink* sink, std::uint32_t a,
+                                   std::uint32_t b, std::uint32_t c) {
+  HCUBE_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  HCUBE_DCHECK(sink != nullptr);
+  push_event(Event{t, next_seq_++, sink, a, b, c, EventKind::kTimer});
+}
+
+void EventQueue::schedule_timer_after(SimTime delay, TimerSink* sink,
+                                      std::uint32_t a, std::uint32_t b,
+                                      std::uint32_t c) {
+  HCUBE_CHECK(delay >= 0.0);
+  schedule_timer_at(now_ + delay, sink, a, b, c);
+}
+
 void EventQueue::dispatch(const Event& ev) {
-  if (ev.sink != nullptr) {
-    ev.sink->deliver(ev.from, ev.to, ev.slot);
-    return;
+  switch (ev.kind) {
+    case EventKind::kDelivery:
+      static_cast<DeliverySink*>(ev.sink)->deliver(ev.a, ev.b, ev.slot);
+      return;
+    case EventKind::kTimer:
+      static_cast<TimerSink*>(ev.sink)->on_timer(ev.a, ev.b, ev.slot);
+      return;
+    case EventKind::kClosure: {
+      // Move the closure out before running it: the callback may schedule
+      // new timers (recycling this very slot) without invalidating itself.
+      std::function<void()> fn = std::move(timer_pool_[ev.slot]);
+      timer_pool_[ev.slot] = nullptr;
+      timer_free_.push_back(ev.slot);
+      fn();
+      return;
+    }
   }
-  // Move the closure out before running it: the callback may schedule new
-  // timers (recycling this very slot) without invalidating itself.
-  std::function<void()> fn = std::move(timer_pool_[ev.slot]);
-  timer_pool_[ev.slot] = nullptr;
-  timer_free_.push_back(ev.slot);
-  fn();
 }
 
 bool EventQueue::run_next() {

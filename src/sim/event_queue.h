@@ -6,15 +6,18 @@
 // seed — essential for the protocol tests, which assert properties of
 // specific interleavings.
 //
-// Events come in two typed flavors so the per-message hot path is
-// allocation-free:
+// Events come in three flavors, two of them typed so per-message and
+// per-retransmission hot paths are allocation-free:
 //   - Message deliveries carry only {sink, from, to, payload slot} — plain
 //     data, no closure. The payload itself lives in a slab owned by the
 //     transport (see net/pooled_transport.h); the queue never touches it.
-//   - Timers keep a std::function closure, but the closures live in a pooled
+//   - Typed timers carry {sink, a, b, c} — plain data again. Components with
+//     recurring timers (the reliable transport's retransmission clock)
+//     implement TimerSink and interpret the three words themselves.
+//   - Closure timers keep a std::function, but the closures live in a pooled
 //     slab whose slots are recycled, so a steady stream of timers reuses
 //     storage instead of growing the heap.
-// Both flavors share one sequence counter, so the relative order of timers
+// All flavors share one sequence counter, so the relative order of timers
 // and deliveries scheduled for the same instant is exactly the order in
 // which they were scheduled — the same tie-break the closure-based queue
 // had, which keeps pre-refactor event sequences intact.
@@ -41,6 +44,18 @@ class DeliverySink {
   ~DeliverySink() = default;  // never deleted through this interface
 };
 
+// Receiver of a typed timer event: three plain words of payload, no closure.
+// Cancellation is the sink's business — a fired timer whose work was
+// obsoleted (e.g. the tracked message was acked) checks its own state and
+// returns.
+class TimerSink {
+ public:
+  virtual void on_timer(std::uint32_t a, std::uint32_t b, std::uint32_t c) = 0;
+
+ protected:
+  ~TimerSink() = default;  // never deleted through this interface
+};
+
 class EventQueue {
  public:
   SimTime now() const { return now_; }
@@ -60,6 +75,13 @@ class EventQueue {
   void schedule_delivery_after(SimTime delay, DeliverySink* sink, HostId from,
                                HostId to, std::uint32_t payload_slot);
 
+  // Schedules a typed timer: at time t, sink->on_timer(a, b, c) runs.
+  // Allocation-free once the heap's capacity has warmed up.
+  void schedule_timer_at(SimTime t, TimerSink* sink, std::uint32_t a,
+                         std::uint32_t b, std::uint32_t c = 0);
+  void schedule_timer_after(SimTime delay, TimerSink* sink, std::uint32_t a,
+                            std::uint32_t b, std::uint32_t c = 0);
+
   // Executes the earliest pending event. Returns false if none.
   bool run_next();
 
@@ -75,14 +97,18 @@ class EventQueue {
   std::size_t timer_pool_free() const { return timer_free_.size(); }
 
  private:
+  enum class EventKind : std::uint8_t { kClosure, kDelivery, kTimer };
+
   // Trivially copyable: sift operations move plain data, never closures.
   struct Event {
     SimTime time;
     std::uint64_t seq;
-    DeliverySink* sink;  // nullptr => timer event, slot indexes timer_pool_
-    HostId from;
-    HostId to;
-    std::uint32_t slot;  // payload slot (delivery) or timer-pool slot
+    void* sink;  // DeliverySink* / TimerSink* per kind; unused for closures
+    std::uint32_t a;     // delivery: from host   | timer: payload a
+    std::uint32_t b;     // delivery: to host     | timer: payload b
+    std::uint32_t slot;  // delivery: payload slot| timer: payload c
+                         // closure: timer_pool_ slot
+    EventKind kind;
   };
 
   static bool earlier(const Event& a, const Event& b) {

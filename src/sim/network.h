@@ -16,13 +16,14 @@
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/fault_hooks.h"
 #include "topology/latency.h"
 #include "util/check.h"
 
 namespace hcube {
 
 template <typename Msg>
-class SimNetwork {
+class SimNetwork : public FaultHooks<Msg> {
  public:
   using Handler = std::function<void(HostId from, const Msg& msg)>;
 
@@ -42,17 +43,25 @@ class SimNetwork {
     return static_cast<std::uint32_t>(handlers_.size());
   }
 
-  // Sends msg from -> to; delivery is scheduled at now + latency(from, to).
-  // Returns false if the message was dropped by the drop filter.
+  // Sends msg from -> to; delivery is scheduled at now + latency(from, to)
+  // plus whatever extra delay the fault seam decides. Returns false if the
+  // message was dropped by the drop filter or the fault injector.
   bool send(HostId from, HostId to, Msg msg) {
     HCUBE_CHECK(from < handlers_.size() && to < handlers_.size());
-    if (on_send) on_send(from, to, msg);
-    if (drop_filter && drop_filter(from, to, msg)) {
+    const FaultDecision d = this->admit(from, to, msg);
+    if (d.action == FaultAction::kDrop) {
       ++messages_dropped_;
       return false;
     }
+    const double delay = latency_.latency_ms(from, to) + d.extra_delay_ms;
+    if (d.action == FaultAction::kDuplicate) {
+      ++messages_sent_;
+      queue_.schedule_after(delay, [this, from, to, m = msg]() {
+        ++messages_delivered_;
+        handlers_[to](from, m);
+      });
+    }
     ++messages_sent_;
-    const double delay = latency_.latency_ms(from, to);
     queue_.schedule_after(delay, [this, from, to, m = std::move(msg)]() {
       ++messages_delivered_;
       handlers_[to](from, m);
@@ -65,13 +74,6 @@ class SimNetwork {
   std::uint64_t messages_dropped() const { return messages_dropped_; }
 
   EventQueue& queue() { return queue_; }
-
-  // Observation hook: called for every send attempt (before drop filtering).
-  std::function<void(HostId from, HostId to, const Msg& msg)> on_send;
-  // Failure injection: return true to drop the message. The join protocol
-  // assumes reliable delivery; this hook exists for tests that verify the
-  // consistency checker *detects* the damage done by losses.
-  std::function<bool(HostId from, HostId to, const Msg& msg)> drop_filter;
 
  private:
   EventQueue& queue_;

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "core/cset_tree.h"
+#include "net/fault_plan.h"
 #include "test_util.h"
 
 namespace hcube {
@@ -170,9 +171,11 @@ TEST(ProtocolInvariants, BigMessagesHaveMatchingReplies) {
 
 TEST(FailureInjection, DroppedRepliesStallJoins) {
   // The protocol assumes reliable delivery (assumption (iii) in Section
-  // 3.1). Drop a slice of JoinNotiRlyMsg traffic: affected joiners wait in
-  // Q_r forever and never become S-nodes — exactly the failure mode the
-  // assumption exists to exclude.
+  // 3.1). A seeded FaultPlan drops a slice of JoinNotiRlyMsg traffic on the
+  // bare transport (no ReliableTransport underneath): affected joiners wait
+  // in Q_r forever and never become S-nodes — exactly the failure mode the
+  // assumption exists to exclude, and the one reliable_join_test.cpp shows
+  // the ARQ layer healing.
   const IdParams params{2, 8};
   World world(params, 50);
   auto ids = make_ids(params, 40, 3);
@@ -180,19 +183,15 @@ TEST(FailureInjection, DroppedRepliesStallJoins) {
   const std::vector<NodeId> w(ids.begin() + 20, ids.end());
   build_consistent_network(world.overlay, v);
 
-  std::uint64_t seen = 0, dropped = 0;
-  world.overlay.set_drop_filter(
-      [&](const NodeId&, const NodeId&, const MessageBody& body) {
-        if (type_of(body) != MessageType::kJoinNotiRly) return false;
-        if (++seen % 5 != 0) return false;
-        ++dropped;
-        return true;
-      });
+  FaultPlan plan(12);
+  plan.set_for_type(MessageType::kJoinNotiRly, {.drop = 0.2});
+  plan.attach(world.overlay.transport());
 
   Rng rng(12);
   join_concurrently(world.overlay, w, v, rng);
-  ASSERT_GT(dropped, 0u);
-  // The event queue drained (quiescence) yet joins did not complete.
+  ASSERT_GT(plan.drops_injected(), 0u);
+  // The event queue drained (quiescence) yet joins did not complete: a
+  // joiner whose reply was lost waits forever.
   EXPECT_TRUE(world.queue.empty());
   EXPECT_FALSE(world.overlay.all_in_system());
 }
@@ -205,10 +204,9 @@ TEST(FailureInjection, DroppedJoinWaitStallsInWaiting) {
   const NodeId joiner = ids.back();
   build_consistent_network(world.overlay, v);
 
-  world.overlay.set_drop_filter(
-      [&](const NodeId&, const NodeId&, const MessageBody& body) {
-        return type_of(body) == MessageType::kJoinWait;
-      });
+  FaultPlan plan(9);
+  plan.set_for_type(MessageType::kJoinWait, {.drop = 1.0});
+  plan.attach(world.overlay.transport());
   world.overlay.schedule_join(joiner, v[0], 0.0);
   world.overlay.run_to_quiescence();
   EXPECT_EQ(world.overlay.at(joiner).status(), NodeStatus::kWaiting);
