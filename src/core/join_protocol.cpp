@@ -2,9 +2,42 @@
 
 #include <algorithm>
 
+#include "proto/conformance.h"
 #include "util/check.h"
 
 namespace hcube {
+
+// The handlers below lean on the conformance registry's contracts; pin the
+// assumptions at compile time so an edit to the registry that would break
+// the join protocol fails the build here, next to the code it breaks.
+//
+// reject_stale_reply() only works on messages that echo the request
+// generation — every reply type this module consumes must be declared so.
+static_assert(conformance_of(MessageType::kCpRly).echoes_gen &&
+                  conformance_of(MessageType::kJoinWaitRly).echoes_gen &&
+                  conformance_of(MessageType::kJoinNotiRly).echoes_gen &&
+                  conformance_of(MessageType::kSpeNotiRly).echoes_gen,
+              "join replies must echo the request generation");
+// SpeNotiMsg is forwarded while handling a message of the announced attempt
+// and must carry that attempt's generation down the chain (Figure 11).
+static_assert(conformance_of(MessageType::kSpeNoti).echoes_gen,
+              "SpeNotiMsg must propagate the originator's generation");
+// The three requests this module sends each prescribe the reply type the
+// corresponding on_* handler consumes.
+static_assert(conformance_of(MessageType::kCpRst).reply == MessageType::kCpRly &&
+                  conformance_of(MessageType::kJoinWait).reply ==
+                      MessageType::kJoinWaitRly &&
+                  conformance_of(MessageType::kJoinNoti).reply ==
+                      MessageType::kJoinNotiRly,
+              "join request/reply pairing must match the registry");
+// A joining node can be driven back to kCopying by the watchdog while peers
+// still talk to it: every join-phase type must stay legal there.
+static_assert(conformance_allows(NodeStatus::kCopying, MessageType::kCpRly) &&
+                  conformance_allows(NodeStatus::kCopying,
+                                     MessageType::kJoinWaitRly) &&
+                  conformance_allows(NodeStatus::kCopying,
+                                     MessageType::kJoinNotiRly),
+              "stale replies must remain deliverable after a watchdog restart");
 
 // ---------------------------------------------------------------------------
 // Figure 5: status copying

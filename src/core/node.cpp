@@ -84,29 +84,28 @@ void Node::start_join(const NodeId& g0) {
 void Node::handle(HostId from_host, const Message& msg) {
   if (core_.status == NodeStatus::kCrashed)
     return;  // fail-stop: total silence
-  ++core_.stats.received[static_cast<std::size_t>(type_of(msg.body))];
+  const MessageType type = type_of(msg.body);
+  ++core_.stats.received[static_cast<std::size_t>(type)];
+  // The always-on conformance check: the registry (proto/conformance.h) is
+  // the spec of which (status, type) pairs a node may observe. An
+  // undeclared pair — a RelAckMsg leaking past the reliable-transport
+  // decorator, a join reply addressed to a node that already departed — is
+  // rejected before any handler runs, and counted.
+  if (!conformance_allows(core_.status, type)) {
+    ++core_.conformance.rejected[static_cast<std::size_t>(type)];
+    core_.env.note_conformance_reject(core_.id, core_.status, type);
+    return;
+  }
   if (core_.status == NodeStatus::kDeparted) {
-    const MessageType t = type_of(msg.body);
-    if (t == MessageType::kLeave) {
+    if (type == MessageType::kLeave) {
       // Another leaver racing our departure still needs its ack; we have
       // nothing to repair anymore.
       core_.send(msg.sender, from_host, LeaveRlyMsg{});
-      return;
     }
-    // Other stragglers that need no reply are tolerated (e.g. an
-    // RvNghNotiMsg racing our departure); anything else demanding an answer
-    // from a departed node is a protocol-usage error.
-    // A ping to a departed node deliberately goes unanswered: recovery then
-    // treats it as dead, which is the right outcome.
-    HCUBE_CHECK_MSG(t == MessageType::kRvNghNoti ||
-                        t == MessageType::kRvNghNotiRly ||
-                        t == MessageType::kNghDrop ||
-                        t == MessageType::kInSysNoti ||
-                        t == MessageType::kLeaveRly ||
-                        t == MessageType::kPing ||
-                        t == MessageType::kRepairQuery ||
-                        t == MessageType::kAnnounce,
-                    "departed node received a message requiring a reply");
+    // Every other pair the registry declares legal in kDeparted is a
+    // straggler needing no action (an RvNghNotiMsg racing our departure; a
+    // ping that deliberately goes unanswered so recovery treats us as
+    // dead, which is the right outcome).
     return;
   }
   const NodeId& from = msg.sender;
@@ -145,9 +144,9 @@ void Node::handle(HostId from_host, const Message& msg) {
           [&](const RepairRlyMsg& m) { repair_.on_repair_rly(from, m); },
           [&](const AnnounceMsg& m) { repair_.on_announce(m); },
           [&](const RelAckMsg&) {
-            // Delivery acknowledgements belong to the reliable transport
-            // decorator; one reaching the protocol layer means the overlay
-            // was wired to a transport stack without that decorator.
+            // Unreachable: the registry declares no legal status for
+            // RelAckMsg, so the conformance check above rejects every
+            // delivery (acks belong to the reliable-transport decorator).
             HCUBE_CHECK_MSG(false, "RelAckMsg reached the protocol layer");
           },
       },

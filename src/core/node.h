@@ -34,6 +34,11 @@ class Node {
   std::uint32_t noti_level() const { return join_.noti_level(); }
   const NeighborTable& table() const { return core_.table; }
   const JoinStats& join_stats() const { return core_.stats; }
+  // Deliveries this node rejected because their (status, type) pair is not
+  // declared by the conformance registry (proto/conformance.h).
+  const ConformanceStats& conformance_stats() const {
+    return core_.conformance;
+  }
 
   // Records the node's own transport endpoint; called by Overlay at
   // registration, before any message flows.

@@ -4,19 +4,6 @@
 
 namespace hcube {
 
-const char* to_string(NodeStatus s) {
-  switch (s) {
-    case NodeStatus::kCopying: return "copying";
-    case NodeStatus::kWaiting: return "waiting";
-    case NodeStatus::kNotifying: return "notifying";
-    case NodeStatus::kInSystem: return "in_system";
-    case NodeStatus::kLeaving: return "leaving";
-    case NodeStatus::kDeparted: return "departed";
-    case NodeStatus::kCrashed: return "crashed";
-  }
-  return "?";
-}
-
 const char* to_string(SnapshotPolicy p) {
   switch (p) {
     case SnapshotPolicy::kFullTable: return "full-table";

@@ -16,27 +16,16 @@
 #include "core/neighbor_table.h"
 #include "core/options.h"
 #include "ids/node_id.h"
+#include "proto/conformance.h"
 #include "proto/messages.h"
 #include "sim/event_queue.h"
 #include "util/host.h"
 
 namespace hcube {
 
-// Node status (Section 4), extended with the leave states of this
-// library's leave protocol (the paper defers leaving to future work). A
-// node is an S-node iff status is kInSystem; kLeaving/kDeparted are
-// extension states outside the paper's model.
-enum class NodeStatus : std::uint8_t {
-  kCopying,
-  kWaiting,
-  kNotifying,
-  kInSystem,
-  kLeaving,
-  kDeparted,
-  kCrashed,  // fail-stop (extension): the node silently stops responding
-};
-
-const char* to_string(NodeStatus s);
+// NodeStatus now lives beside the conformance registry
+// (proto/conformance.h): the registry maps (NodeStatus × MessageType) to
+// handling contracts, so the proto layer owns both axes of that table.
 
 // Per-join bookkeeping the benchmarks read out (Section 5.2 quantities),
 // plus the robustness counters of the fault-tolerance extension.
@@ -84,6 +73,16 @@ class NodeEnv {
   virtual SimTime now() const = 0;
   // Local timer (failure-recovery ping timeouts).
   virtual void schedule(SimTime delay_ms, std::function<void()> fn) = 0;
+  // A node rejected a delivery whose (status, type) pair the conformance
+  // registry does not declare (proto/conformance.h). Default: no-op;
+  // Overlay aggregates network-wide totals and fans out to its observation
+  // hook (which MessageTrace chains onto).
+  virtual void note_conformance_reject(const NodeId& node, NodeStatus status,
+                                       MessageType type) {
+    (void)node;
+    (void)status;
+    (void)type;
+  }
 };
 
 using NodeIdSet = std::unordered_set<NodeId, NodeIdHash>;
@@ -103,6 +102,9 @@ struct NodeCore {
   NeighborTable table;
   HostId self_host = kNoHost;  // bound by Overlay at registration
   JoinStats stats;
+  // Deliveries rejected by the conformance registry check in Node::handle
+  // (undeclared (status, type) pairs), counted per message type.
+  ConformanceStats conformance;
   bool started = false;  // join or install started
 
   // Generation tags (robustness extension). attempt_gen identifies the

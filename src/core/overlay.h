@@ -91,6 +91,11 @@ class Overlay : public NodeEnv {
     return totals_.sent[static_cast<std::size_t>(t)];
   }
 
+  // Network-wide deliveries rejected by the conformance registry check
+  // (undeclared (status, type) pairs; see proto/conformance.h). Per-node
+  // counts live in Node::conformance_stats().
+  const ConformanceStats& conformance() const { return conformance_; }
+
   // ---- failure injection & recovery (extension) ----
 
   // Fail-stop crash: the node silently stops responding.
@@ -110,6 +115,11 @@ class Overlay : public NodeEnv {
   void schedule(SimTime delay_ms, std::function<void()> fn) override {
     transport_.queue().schedule_after(delay_ms, std::move(fn));
   }
+  void note_conformance_reject(const NodeId& node, NodeStatus status,
+                               MessageType type) override {
+    ++conformance_.rejected[static_cast<std::size_t>(type)];
+    if (on_conformance_reject) on_conformance_reject(node, status, type);
+  }
 
   // Observation hook for tests (called for every protocol message sent).
   // Chain rather than replace when attaching a second observer
@@ -117,6 +127,12 @@ class Overlay : public NodeEnv {
   std::function<void(const NodeId& from, const NodeId& to,
                      const MessageBody& body)>
       on_message;
+
+  // Fired for every delivery a node rejects via the conformance registry
+  // (after the overlay-wide counter is bumped). Chain rather than replace,
+  // as with on_message; MessageTrace::attach chains onto both.
+  std::function<void(const NodeId& node, NodeStatus status, MessageType type)>
+      on_conformance_reject;
 
   // Failure injection for tests: messages for which the filter returns true
   // are silently lost. The protocol assumes reliable delivery (assumption
@@ -138,6 +154,7 @@ class Overlay : public NodeEnv {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<NodeId, HostId, NodeIdHash> registry_;
   Totals totals_;
+  ConformanceStats conformance_;
 };
 
 }  // namespace hcube

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "proto/conformance.h"
 #include "util/check.h"
 
 namespace hcube {
@@ -71,27 +72,13 @@ const char* type_name(MessageType t) {
   return "UnknownMsg";
 }
 
-bool is_big_request(MessageType t) {
-  return t == MessageType::kCpRst || t == MessageType::kJoinWait ||
-         t == MessageType::kJoinNoti;
-}
+// Both predicates are lookups into the conformance registry
+// (proto/conformance.h): the registry is the single source of truth for a
+// message type's handling contract, and its static_asserts keep the table
+// in enumerator order with exactly kNumMessageTypes entries.
+bool is_big_request(MessageType t) { return conformance_of(t).big_request; }
 
-bool echoes_request_gen(MessageType t) {
-  switch (t) {
-    case MessageType::kCpRly:
-    case MessageType::kJoinWaitRly:
-    case MessageType::kJoinNotiRly:
-    case MessageType::kSpeNoti:
-    case MessageType::kSpeNotiRly:
-    case MessageType::kRvNghNotiRly:
-    case MessageType::kLeaveRly:
-    case MessageType::kPong:
-    case MessageType::kRepairRly:
-      return true;
-    default:
-      return false;
-  }
-}
+bool echoes_request_gen(MessageType t) { return conformance_of(t).echoes_gen; }
 
 std::size_t id_wire_bytes(const IdParams& params) {
   const unsigned bits_per_digit = std::bit_width(params.base - 1);

@@ -49,8 +49,8 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, SnapshotPolicyTest,
                          ::testing::Values(SnapshotPolicy::kFullTable,
                                            SnapshotPolicy::kPartialLevels,
                                            SnapshotPolicy::kBitVector),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case SnapshotPolicy::kFullTable:
                                return "FullTable";
                              case SnapshotPolicy::kPartialLevels:

@@ -1,0 +1,13 @@
+// Seeds: msg-count-mismatch, twice (the kNumMessageTypes literal says 3
+// for a 2-enumerator enum, and the variant has 1 alternative).
+#include <cstdint>
+#include <variant>
+
+enum class MessageType : std::uint8_t { kData, kAck };
+inline constexpr std::size_t kNumMessageTypes = 3;
+
+struct DataMsg {
+  std::uint32_t payload = 0;
+};
+
+using MessageBody = std::variant<DataMsg>;

@@ -1,0 +1,8 @@
+// Seeds: dcheck-side-effect (the increment vanishes in NDEBUG builds,
+// changing behavior between debug and release).
+#define HCUBE_DCHECK(expr) ((void)0)
+
+int consume(int* cursor, int limit) {
+  HCUBE_DCHECK(++*cursor < limit);
+  return *cursor;
+}

@@ -1,0 +1,22 @@
+// Seeds: codec-decode-missing (kPong has no decode_message arm).
+#include <cstdint>
+
+enum class MessageType : std::uint8_t { kPing, kPong };
+inline constexpr std::size_t kNumMessageTypes = 2;
+
+const char* type_name(MessageType t) {
+  switch (t) {
+    case MessageType::kPing: return "PingMsg";
+    case MessageType::kPong: return "PongMsg";
+  }
+  return "UnknownMsg";
+}
+
+bool decode_message(std::uint8_t type) {
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kPing:
+      return true;
+    default:
+      return false;
+  }
+}

@@ -1,0 +1,27 @@
+// Seeds: codec-encode-missing (DataMsg carries a payload but
+// encode_message never writes it; the empty AckMsg is legitimately absent).
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+enum class MessageType : std::uint8_t { kData, kAck };
+inline constexpr std::size_t kNumMessageTypes = 2;
+
+struct DataMsg {
+  std::uint32_t payload = 0;
+};
+struct AckMsg {};
+
+using MessageBody = std::variant<DataMsg, AckMsg>;
+
+std::size_t wire_size_bytes(const MessageBody& body) {
+  if (std::holds_alternative<DataMsg>(body)) return 4;
+  (void)std::get_if<AckMsg>(&body);
+  return 0;
+}
+
+std::vector<std::uint8_t> encode_message(const MessageBody& body) {
+  std::vector<std::uint8_t> out;
+  (void)body;
+  return out;
+}

@@ -1,0 +1,12 @@
+// Seeds: status-to-string-missing (kCrashed has no to_string arm).
+#include <cstdint>
+
+enum class NodeStatus : std::uint8_t { kCopying, kInSystem, kCrashed };
+
+const char* to_string(NodeStatus s) {
+  switch (s) {
+    case NodeStatus::kCopying: return "copying";
+    case NodeStatus::kInSystem: return "in_system";
+    default: return "?";
+  }
+}

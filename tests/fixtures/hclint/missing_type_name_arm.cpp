@@ -1,0 +1,22 @@
+// Seeds: type-name-missing (kPong has no type_name arm).
+#include <cstdint>
+
+enum class MessageType : std::uint8_t { kPing, kPong };
+inline constexpr std::size_t kNumMessageTypes = 2;
+
+const char* type_name(MessageType t) {
+  switch (t) {
+    case MessageType::kPing: return "PingMsg";
+    default: return "UnknownMsg";
+  }
+}
+
+bool decode_message(std::uint8_t type) {
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kPing:
+      return true;
+    case MessageType::kPong:
+      return true;
+  }
+  return false;
+}

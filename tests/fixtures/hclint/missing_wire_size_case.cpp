@@ -1,0 +1,19 @@
+// Seeds: wire-size-missing (AckMsg is absent from the
+// wire_size_bytes(const MessageBody&) visit).
+#include <cstdint>
+#include <variant>
+
+enum class MessageType : std::uint8_t { kData, kAck };
+inline constexpr std::size_t kNumMessageTypes = 2;
+
+struct DataMsg {
+  std::uint32_t payload = 0;
+};
+struct AckMsg {};
+
+using MessageBody = std::variant<DataMsg, AckMsg>;
+
+std::size_t wire_size_bytes(const MessageBody& body) {
+  if (std::holds_alternative<DataMsg>(body)) return 4;
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Seeds: no-naked-new and no-naked-delete (pooling rules: owned memory
+// goes through containers or smart pointers). The deleted copy ctor must
+// NOT be flagged.
+struct Buffer {
+  Buffer() = default;
+  Buffer(const Buffer&) = delete;
+  int* data = nullptr;
+};
+
+Buffer* make_buffer() { return new Buffer(); }
+void free_buffer(Buffer* b) { delete b; }

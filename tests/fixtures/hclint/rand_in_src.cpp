@@ -1,0 +1,5 @@
+// Seeds: no-rand (std::rand in protocol code; all randomness must flow
+// through the seeded generator in util/rng.h).
+#include <cstdlib>
+
+int pick_gateway(int num_nodes) { return std::rand() % num_nodes; }

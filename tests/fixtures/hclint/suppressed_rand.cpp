@@ -1,0 +1,5 @@
+// The deliberately-clean fixture: the violation on the next line is
+// suppressed, so hclint must report nothing for this file.
+#include <cstdlib>
+
+int noisy_seed() { return std::rand(); }  // hclint: allow(no-rand)

@@ -1,0 +1,10 @@
+// Seeds: no-wall-clock, twice (time() and std::chrono::system_clock).
+// Simulated runs must be replayable; only EventQueue time is allowed.
+#include <chrono>
+#include <ctime>
+
+long stamp_unix() { return static_cast<long>(time(nullptr)); }
+
+long stamp_chrono() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,168 @@
+// Fixture-driven tests for tools/hclint: every violation class the linter
+// knows is seeded in exactly one file under tests/fixtures/hclint/, and the
+// scanner must flag it — while staying silent on the real src/ tree.
+//
+// Fixtures are linted one file at a time: each is a self-contained mini
+// "protocol tree", and linting them together would splice their enums.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace hclint {
+namespace {
+
+std::vector<Issue> lint_fixture(const std::string& name) {
+  return lint_paths({std::string(HCLINT_FIXTURE_DIR) + "/" + name});
+}
+
+bool has_rule(const std::vector<Issue>& issues, const std::string& rule) {
+  for (const Issue& i : issues)
+    if (i.rule == rule) return true;
+  return false;
+}
+
+std::size_t count_rule(const std::vector<Issue>& issues,
+                       const std::string& rule) {
+  std::size_t n = 0;
+  for (const Issue& i : issues)
+    if (i.rule == rule) ++n;
+  return n;
+}
+
+// ---- the real tree is clean ----
+
+TEST(HclintRealTree, SrcIsClean) {
+  const std::vector<Issue> issues = lint_paths({HCLINT_SRC_DIR});
+  EXPECT_TRUE(issues.empty()) << format_issues(issues);
+}
+
+TEST(HclintRealTree, BinaryExitsZeroOnSrc) {
+  const std::string cmd =
+      std::string(HCLINT_BIN) + " " + HCLINT_SRC_DIR + " > /dev/null 2>&1";
+  EXPECT_EQ(0, std::system(cmd.c_str()));
+}
+
+TEST(HclintRealTree, BinaryExitsNonZeroOnSeededViolation) {
+  const std::string cmd = std::string(HCLINT_BIN) + " " + HCLINT_FIXTURE_DIR +
+                          "/rand_in_src.cpp > /dev/null 2>&1";
+  EXPECT_NE(0, std::system(cmd.c_str()));
+}
+
+// ---- one fixture per violation class ----
+
+TEST(HclintFixtures, MissingCodecDecodeCase) {
+  const auto issues = lint_fixture("missing_codec_case.cpp");
+  EXPECT_TRUE(has_rule(issues, "codec-decode-missing"))
+      << format_issues(issues);
+  EXPECT_EQ(1u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, MissingTypeNameArm) {
+  const auto issues = lint_fixture("missing_type_name_arm.cpp");
+  EXPECT_TRUE(has_rule(issues, "type-name-missing")) << format_issues(issues);
+  EXPECT_EQ(1u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, MissingEncodeCase) {
+  const auto issues = lint_fixture("missing_encode_case.cpp");
+  EXPECT_TRUE(has_rule(issues, "codec-encode-missing"))
+      << format_issues(issues);
+  EXPECT_EQ(1u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, MissingWireSizeCase) {
+  const auto issues = lint_fixture("missing_wire_size_case.cpp");
+  EXPECT_TRUE(has_rule(issues, "wire-size-missing")) << format_issues(issues);
+  EXPECT_EQ(1u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, MissingStatusToStringArm) {
+  const auto issues = lint_fixture("missing_status_arm.cpp");
+  EXPECT_TRUE(has_rule(issues, "status-to-string-missing"))
+      << format_issues(issues);
+  EXPECT_EQ(1u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, CountMismatch) {
+  const auto issues = lint_fixture("count_mismatch.cpp");
+  EXPECT_EQ(2u, count_rule(issues, "msg-count-mismatch"))
+      << format_issues(issues);
+}
+
+TEST(HclintFixtures, RandInSrc) {
+  const auto issues = lint_fixture("rand_in_src.cpp");
+  EXPECT_TRUE(has_rule(issues, "no-rand")) << format_issues(issues);
+  EXPECT_EQ(1u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, WallClock) {
+  const auto issues = lint_fixture("wall_clock.cpp");
+  EXPECT_EQ(2u, count_rule(issues, "no-wall-clock")) << format_issues(issues);
+  EXPECT_EQ(2u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, NakedNewAndDelete) {
+  const auto issues = lint_fixture("naked_new.cpp");
+  EXPECT_EQ(1u, count_rule(issues, "no-naked-new")) << format_issues(issues);
+  EXPECT_EQ(1u, count_rule(issues, "no-naked-delete")) << format_issues(issues);
+  // "= delete" / "= default" must not be flagged.
+  EXPECT_EQ(2u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, DcheckSideEffect) {
+  const auto issues = lint_fixture("dcheck_side_effect.cpp");
+  EXPECT_TRUE(has_rule(issues, "dcheck-side-effect")) << format_issues(issues);
+  EXPECT_EQ(1u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, AllowCommentSuppresses) {
+  const auto issues = lint_fixture("suppressed_rand.cpp");
+  EXPECT_TRUE(issues.empty()) << format_issues(issues);
+}
+
+// ---- scanner unit tests ----
+
+TEST(HclintStripper, RemovesCommentsAndLiteralBodies) {
+  const std::string out = strip_comments_and_strings(
+      "int a; // new delete\n/* rand( */ int b = 0;\nconst char* s = "
+      "\"std::rand()\";\n");
+  EXPECT_EQ(std::string::npos, out.find("new"));
+  EXPECT_EQ(std::string::npos, out.find("rand"));
+  EXPECT_NE(std::string::npos, out.find("int a;"));
+  EXPECT_NE(std::string::npos, out.find("int b = 0;"));
+}
+
+TEST(HclintStripper, PreservesLineStructure) {
+  const std::string src = "a\n/* x\n y */\nb\n";
+  const std::string out = strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(src.begin(), src.end(), '\n'),
+            std::count(out.begin(), out.end(), '\n'));
+}
+
+TEST(HclintStripper, HandlesEscapedQuotes) {
+  const std::string out =
+      strip_comments_and_strings("const char* s = \"a\\\"new\\\"b\"; int x;");
+  EXPECT_EQ(std::string::npos, out.find("new"));
+  EXPECT_NE(std::string::npos, out.find("int x;"));
+}
+
+TEST(HclintScanner, FlagsCompoundAssignmentInDcheck) {
+  const std::vector<SourceFile> files = {
+      {"f.cpp", "void f(int a) { HCUBE_DCHECK(a += 1); }"}};
+  EXPECT_TRUE(has_rule(lint_files(files), "dcheck-side-effect"));
+}
+
+TEST(HclintScanner, AcceptsComparisonsInDcheck) {
+  const std::vector<SourceFile> files = {
+      {"f.cpp",
+       "void f(int a, int b) { HCUBE_DCHECK(a == b); HCUBE_DCHECK(a <= b); "
+       "HCUBE_DCHECK(a >= b); HCUBE_DCHECK(a != b); }"}};
+  EXPECT_TRUE(lint_files(files).empty());
+}
+
+}  // namespace
+}  // namespace hclint

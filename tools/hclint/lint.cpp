@@ -1,0 +1,570 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+namespace hclint {
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return static_cast<std::size_t>(
+             std::count(text.begin(), text.begin() + static_cast<long>(pos),
+                        '\n')) +
+         1;
+}
+
+std::string line_text(const std::string& text, std::size_t line) {
+  std::size_t start = 0;
+  for (std::size_t n = 1; n < line; ++n) {
+    start = text.find('\n', start);
+    if (start == std::string::npos) return "";
+    ++start;
+  }
+  const std::size_t end = text.find('\n', start);
+  return text.substr(start, end == std::string::npos ? std::string::npos
+                                                     : end - start);
+}
+
+// Whole-word occurrence of `word` in `code` at or after `from`.
+std::size_t find_word(const std::string& code, const std::string& word,
+                      std::size_t from = 0) {
+  while (true) {
+    const std::size_t pos = code.find(word, from);
+    if (pos == std::string::npos) return std::string::npos;
+    const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+    const std::size_t after = pos + word.size();
+    const bool right_ok = after >= code.size() || !is_ident_char(code[after]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+}
+
+std::size_t skip_ws(const std::string& code, std::size_t pos) {
+  while (pos < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[pos])) != 0)
+    ++pos;
+  return pos;
+}
+
+// Position just past the matching close for the opener at `open_pos`.
+// Returns npos when unbalanced.
+std::size_t match_balanced(const std::string& code, std::size_t open_pos,
+                           char open, char close) {
+  std::size_t depth = 0;
+  for (std::size_t i = open_pos; i < code.size(); ++i) {
+    if (code[i] == open) {
+      ++depth;
+    } else if (code[i] == close) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+struct StrippedFile {
+  const SourceFile* src = nullptr;
+  std::string code;  // comments and literal contents blanked
+};
+
+struct BodyRef {
+  const SourceFile* src = nullptr;
+  std::string body;       // text between the definition's braces
+  std::size_t line = 0;   // line of the opening brace
+};
+
+// First *definition* (not declaration) whose signature contains `sig`.
+std::optional<BodyRef> find_function_body(
+    const std::vector<StrippedFile>& files, const std::string& sig) {
+  for (const StrippedFile& f : files) {
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t pos = f.code.find(sig, from);
+      if (pos == std::string::npos) break;
+      // A declaration hits ';' before '{'; a definition hits '{' first.
+      const std::size_t brace = f.code.find('{', pos);
+      const std::size_t semi = f.code.find(';', pos);
+      if (brace == std::string::npos ||
+          (semi != std::string::npos && semi < brace)) {
+        from = pos + sig.size();
+        continue;
+      }
+      const std::size_t end = match_balanced(f.code, brace, '{', '}');
+      if (end == std::string::npos) break;
+      return BodyRef{f.src, f.code.substr(brace + 1, end - brace - 2),
+                     line_of(f.code, brace)};
+    }
+  }
+  return std::nullopt;
+}
+
+struct EnumRef {
+  const SourceFile* src = nullptr;
+  std::vector<std::string> enumerators;
+  std::size_t line = 0;
+};
+
+std::optional<EnumRef> find_enum(const std::vector<StrippedFile>& files,
+                                 const std::string& name) {
+  const std::string sig = "enum class " + name;
+  for (const StrippedFile& f : files) {
+    const std::size_t pos = f.code.find(sig);
+    if (pos == std::string::npos) continue;
+    const std::size_t brace = f.code.find('{', pos);
+    if (brace == std::string::npos) continue;
+    const std::size_t end = match_balanced(f.code, brace, '{', '}');
+    if (end == std::string::npos) continue;
+    EnumRef ref{f.src, {}, line_of(f.code, pos)};
+    std::string body = f.code.substr(brace + 1, end - brace - 2);
+    std::istringstream ss(body);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      // Trim and drop any "= value" initializer.
+      const std::size_t eq = item.find('=');
+      if (eq != std::string::npos) item.resize(eq);
+      std::string ident;
+      for (char c : item)
+        if (is_ident_char(c)) ident.push_back(c);
+      if (!ident.empty()) ref.enumerators.push_back(ident);
+    }
+    if (!ref.enumerators.empty()) return ref;
+  }
+  return std::nullopt;
+}
+
+struct VariantRef {
+  const SourceFile* src = nullptr;
+  std::vector<std::string> alternatives;
+  std::size_t line = 0;
+};
+
+std::optional<VariantRef> find_message_body_variant(
+    const std::vector<StrippedFile>& files) {
+  for (const StrippedFile& f : files) {
+    const std::size_t use = f.code.find("using MessageBody");
+    if (use == std::string::npos) continue;
+    const std::size_t open = f.code.find('<', use);
+    const std::size_t semi = f.code.find(';', use);
+    if (open == std::string::npos || (semi != std::string::npos && semi < open))
+      continue;
+    const std::size_t end = match_balanced(f.code, open, '<', '>');
+    if (end == std::string::npos) continue;
+    VariantRef ref{f.src, {}, line_of(f.code, use)};
+    std::string body = f.code.substr(open + 1, end - open - 2);
+    std::istringstream ss(body);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      std::string ident;
+      for (char c : item)
+        if (is_ident_char(c)) ident.push_back(c);
+      if (!ident.empty()) ref.alternatives.push_back(ident);
+    }
+    if (!ref.alternatives.empty()) return ref;
+  }
+  return std::nullopt;
+}
+
+// Does `struct name` have an empty body (a pure tag type)? Empty-body
+// message structs legitimately never appear in encode_message.
+bool struct_has_empty_body(const std::vector<StrippedFile>& files,
+                           const std::string& name) {
+  const std::string sig = "struct " + name;
+  for (const StrippedFile& f : files) {
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t pos = find_word(f.code, sig, from);
+      if (pos == std::string::npos) break;
+      const std::size_t brace = skip_ws(f.code, pos + sig.size());
+      if (brace >= f.code.size() || f.code[brace] != '{') {
+        from = pos + sig.size();
+        continue;  // forward declaration or mention
+      }
+      const std::size_t end = match_balanced(f.code, brace, '{', '}');
+      if (end == std::string::npos) return false;
+      const std::string body = f.code.substr(brace + 1, end - brace - 2);
+      return std::all_of(body.begin(), body.end(), [](char c) {
+        return std::isspace(static_cast<unsigned char>(c)) != 0;
+      });
+    }
+  }
+  return false;  // definition not in scanned set: assume it has members
+}
+
+class Linter {
+ public:
+  explicit Linter(const std::vector<SourceFile>& files) {
+    for (const SourceFile& f : files)
+      stripped_.push_back({&f, strip_comments_and_strings(f.raw)});
+  }
+
+  std::vector<Issue> run() {
+    check_message_type_coverage();
+    check_node_status_coverage();
+    for (const StrippedFile& f : stripped_) {
+      check_determinism_tokens(f);
+      check_dcheck_side_effects(f);
+    }
+    // Drop issues suppressed by an "hclint: allow(<rule>)" comment on the
+    // offending line, then order deterministically.
+    std::vector<Issue> kept;
+    for (Issue& issue : issues_) {
+      const std::string marker = "hclint: allow(" + issue.rule + ")";
+      bool suppressed = false;
+      for (const StrippedFile& f : stripped_) {
+        if (f.src->path == issue.file) {
+          suppressed =
+              line_text(f.src->raw, issue.line).find(marker) !=
+              std::string::npos;
+          break;
+        }
+      }
+      if (!suppressed) kept.push_back(std::move(issue));
+    }
+    std::sort(kept.begin(), kept.end(), [](const Issue& a, const Issue& b) {
+      if (a.file != b.file) return a.file < b.file;
+      if (a.line != b.line) return a.line < b.line;
+      return a.rule < b.rule;
+    });
+    return kept;
+  }
+
+ private:
+  void report(const SourceFile* src, std::size_t line, std::string rule,
+              std::string message) {
+    issues_.push_back({src->path, line, std::move(rule), std::move(message)});
+  }
+
+  // ---- cross-file exhaustiveness over the protocol spec ----
+
+  void check_message_type_coverage() {
+    const auto enum_ref = find_enum(stripped_, "MessageType");
+    if (!enum_ref) return;  // nothing protocol-shaped in the scanned set
+
+    // kNumMessageTypes must equal the enumerator count. The definition is
+    // the occurrence directly followed by "= <literal>"; plain uses (array
+    // bounds, loops) don't qualify.
+    [&] {
+      for (const StrippedFile& f : stripped_) {
+        std::size_t from = 0;
+        while (true) {
+          const std::size_t pos = find_word(f.code, "kNumMessageTypes", from);
+          if (pos == std::string::npos) break;
+          from = pos + 16;
+          const std::size_t eq = skip_ws(f.code, from);
+          if (eq >= f.code.size() || f.code[eq] != '=') continue;
+          const std::size_t num = skip_ws(f.code, eq + 1);
+          std::size_t declared = 0;
+          std::size_t i = num;
+          while (i < f.code.size() &&
+                 std::isdigit(static_cast<unsigned char>(f.code[i])) != 0)
+            declared =
+                declared * 10 + static_cast<std::size_t>(f.code[i++] - '0');
+          if (i == num) continue;
+          if (declared != enum_ref->enumerators.size()) {
+            report(f.src, line_of(f.code, pos), "msg-count-mismatch",
+                   "kNumMessageTypes = " + std::to_string(declared) +
+                       " but enum MessageType has " +
+                       std::to_string(enum_ref->enumerators.size()) +
+                       " enumerators");
+          }
+          return;
+        }
+      }
+    }();
+
+    const auto variant = find_message_body_variant(stripped_);
+    if (variant &&
+        variant->alternatives.size() != enum_ref->enumerators.size()) {
+      report(variant->src, variant->line, "msg-count-mismatch",
+             "MessageBody has " + std::to_string(variant->alternatives.size()) +
+                 " alternatives but MessageType has " +
+                 std::to_string(enum_ref->enumerators.size()) +
+                 " enumerators");
+    }
+
+    const auto type_name = find_function_body(stripped_, "type_name(");
+    const auto decode = find_function_body(stripped_, "decode_message(");
+    const auto encode = find_function_body(stripped_, "encode_message(");
+    const auto wire_size =
+        find_function_body(stripped_, "wire_size_bytes(const MessageBody");
+
+    for (const std::string& e : enum_ref->enumerators) {
+      const std::string qualified = "MessageType::" + e;
+      if (type_name && type_name->body.find(qualified) == std::string::npos) {
+        report(type_name->src, type_name->line, "type-name-missing",
+               "enumerator " + qualified + " has no type_name() arm");
+      }
+      if (decode && decode->body.find(qualified) == std::string::npos) {
+        report(decode->src, decode->line, "codec-decode-missing",
+               "enumerator " + qualified +
+                   " is not handled by the decode_message() switch");
+      }
+    }
+    if (variant) {
+      for (const std::string& alt : variant->alternatives) {
+        if (wire_size &&
+            find_word(wire_size->body, alt) == std::string::npos) {
+          report(wire_size->src, wire_size->line, "wire-size-missing",
+                 "alternative " + alt +
+                     " is not covered by wire_size_bytes(const MessageBody&)");
+        }
+        if (encode && find_word(encode->body, alt) == std::string::npos &&
+            !struct_has_empty_body(stripped_, alt)) {
+          report(encode->src, encode->line, "codec-encode-missing",
+                 "non-empty message struct " + alt +
+                     " is not written by encode_message()");
+        }
+      }
+    }
+  }
+
+  void check_node_status_coverage() {
+    const auto enum_ref = find_enum(stripped_, "NodeStatus");
+    if (!enum_ref) return;
+    const auto to_string = find_function_body(stripped_, "to_string(NodeStatus");
+    if (!to_string) return;
+    for (const std::string& e : enum_ref->enumerators) {
+      const std::string qualified = "NodeStatus::" + e;
+      if (to_string->body.find(qualified) == std::string::npos) {
+        report(to_string->src, to_string->line, "status-to-string-missing",
+               "enumerator " + qualified + " has no to_string() arm");
+      }
+    }
+  }
+
+  // ---- per-file determinism / pooling hygiene ----
+
+  bool called_like_function(const std::string& code, std::size_t pos,
+                            std::size_t len) const {
+    const std::size_t after = skip_ws(code, pos + len);
+    if (after >= code.size() || code[after] != '(') return false;
+    // Member calls (x.time(), p->clock()) name our own simulated-time
+    // accessors, not the C library.
+    std::size_t before = pos;
+    while (before > 0 && std::isspace(static_cast<unsigned char>(
+                             code[before - 1])) != 0)
+      --before;
+    if (before > 0 && code[before - 1] == '.') return false;
+    if (before > 1 && code[before - 2] == '-' && code[before - 1] == '>')
+      return false;
+    return true;
+  }
+
+  void scan_word(const StrippedFile& f, const std::string& word,
+                 bool must_be_call, const std::string& rule,
+                 const std::string& message) {
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t pos = find_word(f.code, word, from);
+      if (pos == std::string::npos) return;
+      if (!must_be_call || called_like_function(f.code, pos, word.size()))
+        report(f.src, line_of(f.code, pos), rule, message);
+      from = pos + word.size();
+    }
+  }
+
+  void check_determinism_tokens(const StrippedFile& f) {
+    scan_word(f, "rand", true, "no-rand",
+              "std::rand is non-deterministic; use util/rng.h");
+    scan_word(f, "srand", false, "no-rand",
+              "srand is non-deterministic; use util/rng.h");
+    scan_word(f, "random_device", false, "no-rand",
+              "std::random_device is non-deterministic; use util/rng.h");
+    scan_word(f, "time", true, "no-wall-clock",
+              "wall-clock time() breaks replayability; use simulated time");
+    scan_word(f, "clock", true, "no-wall-clock",
+              "wall-clock clock() breaks replayability; use simulated time");
+    scan_word(f, "gettimeofday", false, "no-wall-clock",
+              "gettimeofday breaks replayability; use simulated time");
+    scan_word(f, "system_clock", false, "no-wall-clock",
+              "std::chrono::system_clock breaks replayability");
+    scan_word(f, "steady_clock", false, "no-wall-clock",
+              "std::chrono::steady_clock breaks replayability");
+    scan_word(f, "high_resolution_clock", false, "no-wall-clock",
+              "std::chrono::high_resolution_clock breaks replayability");
+
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t pos = find_word(f.code, "new", from);
+      if (pos == std::string::npos) break;
+      report(f.src, line_of(f.code, pos), "no-naked-new",
+             "naked new: hot paths are pooled; use containers or make_unique");
+      from = pos + 3;
+    }
+    from = 0;
+    while (true) {
+      const std::size_t pos = find_word(f.code, "delete", from);
+      if (pos == std::string::npos) break;
+      std::size_t before = pos;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(f.code[before - 1])) != 0)
+        --before;
+      if (before == 0 || f.code[before - 1] != '=') {  // "= delete" is fine
+        report(f.src, line_of(f.code, pos), "no-naked-delete",
+               "naked delete: ownership goes through containers/unique_ptr");
+      }
+      from = pos + 6;
+    }
+  }
+
+  void check_dcheck_side_effects(const StrippedFile& f) {
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t pos = find_word(f.code, "HCUBE_DCHECK", from);
+      if (pos == std::string::npos) return;
+      from = pos + 12;
+      const std::size_t open = skip_ws(f.code, from);
+      if (open >= f.code.size() || f.code[open] != '(') continue;
+      const std::size_t end = match_balanced(f.code, open, '(', ')');
+      if (end == std::string::npos) continue;
+      const std::string arg = f.code.substr(open + 1, end - open - 2);
+      if (has_side_effect(arg)) {
+        report(f.src, line_of(f.code, pos), "dcheck-side-effect",
+               "HCUBE_DCHECK argument has a side effect; it vanishes under "
+               "NDEBUG");
+      }
+      from = end;
+    }
+  }
+
+  static bool has_side_effect(const std::string& expr) {
+    for (std::size_t i = 0; i < expr.size(); ++i) {
+      const char c = expr[i];
+      if ((c == '+' || c == '-') && i + 1 < expr.size() && expr[i + 1] == c)
+        return true;  // ++ or --
+      if (c != '=') continue;
+      if (i + 1 < expr.size() && expr[i + 1] == '=') {
+        ++i;  // "==" comparison
+        continue;
+      }
+      if (i == 0) continue;
+      const char prev = expr[i - 1];
+      if (prev == '=' || prev == '!') continue;  // second char of == / !=
+      if (prev == '<' || prev == '>') {
+        // "<=" / ">=" compare; "<<=" / ">>=" assign.
+        if (i >= 2 && expr[i - 2] == prev) return true;
+        continue;
+      }
+      if (prev == '[') continue;  // lambda [=] capture
+      return true;  // plain or compound assignment
+    }
+    return false;
+  }
+
+  std::vector<StrippedFile> stripped_;
+  std::vector<Issue> issues_;
+};
+
+}  // namespace
+
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += '\'';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == (state == State::kString ? '"' : '\'')) {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Issue> lint_files(const std::vector<SourceFile>& files) {
+  return Linter(files).run();
+}
+
+std::vector<Issue> lint_paths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> found;
+  auto wants = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cpp" || ext == ".cc";
+  };
+  for (const std::string& path : paths) {
+    if (fs::is_directory(path)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path))
+        if (entry.is_regular_file() && wants(entry.path()))
+          found.push_back(entry.path().string());
+    } else {
+      found.push_back(path);
+    }
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<SourceFile> files;
+  for (const std::string& path : found) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream content;
+    content << in.rdbuf();
+    files.push_back({path, content.str()});
+  }
+  return lint_files(files);
+}
+
+std::string format_issues(const std::vector<Issue>& issues) {
+  std::ostringstream os;
+  for (const Issue& issue : issues) {
+    os << issue.file << ':' << issue.line << ": [" << issue.rule << "] "
+       << issue.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hclint

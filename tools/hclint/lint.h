@@ -1,0 +1,69 @@
+// hclint: repo-specific static analysis for the hcube source tree.
+//
+// A self-contained scanner (no libclang) that enforces the cross-file
+// exhaustiveness and hygiene rules generic linters cannot express:
+//
+//   type-name-missing        a MessageType enumerator has no type_name() arm
+//   codec-decode-missing     a MessageType enumerator is absent from the
+//                            decode_message() switch
+//   codec-encode-missing     a non-empty MessageBody struct is absent from
+//                            the encode_message() body
+//   wire-size-missing        a MessageBody alternative is absent from the
+//                            wire_size_bytes(const MessageBody&) visit
+//   status-to-string-missing a NodeStatus enumerator has no
+//                            to_string(NodeStatus) arm
+//   msg-count-mismatch       kNumMessageTypes disagrees with the enumerator
+//                            count or the MessageBody variant arity
+//   no-rand                  std::rand/srand/random_device (determinism:
+//                            all randomness flows through util/rng.h)
+//   no-wall-clock            time()/clock()/chrono clocks (simulated time
+//                            only; wall-clock reads break replayability)
+//   no-naked-new             naked new expression (pooling rules: the hot
+//                            path is allocation-free; owned memory goes
+//                            through containers or make_unique)
+//   no-naked-delete          naked delete expression ("= delete" is fine)
+//   dcheck-side-effect       HCUBE_DCHECK argument contains ++/--/assignment
+//                            (the expression vanishes under NDEBUG)
+//
+// Comments and string/char literals are stripped before any rule runs, so
+// prose never trips a rule. A violation can be suppressed by putting
+// "hclint: allow(<rule>)" in a comment on the offending line.
+//
+// The scanner keys on this repo's idioms (function signatures, enum names);
+// exhaustiveness rules simply stay quiet when their anchors (the enum, the
+// function) are not in the scanned set, so fixtures can be single files.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hclint {
+
+struct SourceFile {
+  std::string path;
+  std::string raw;  // original text (line lookup, suppression comments)
+};
+
+struct Issue {
+  std::string file;
+  std::size_t line;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// Replaces //, /* */ comments and string/char literal contents with spaces,
+// preserving line structure. Exposed for tests.
+std::string strip_comments_and_strings(const std::string& src);
+
+// Runs every rule over the given files (cross-file rules see all of them).
+std::vector<Issue> lint_files(const std::vector<SourceFile>& files);
+
+// Loads every .h/.cpp/.cc under the given paths (files or directories,
+// recursively; deterministic path order) and lints them.
+std::vector<Issue> lint_paths(const std::vector<std::string>& paths);
+
+// "path:line: [rule] message" per issue.
+std::string format_issues(const std::vector<Issue>& issues);
+
+}  // namespace hclint

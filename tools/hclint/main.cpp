@@ -1,0 +1,33 @@
+// hclint driver: lints the given files/directories (default: src) and exits
+// non-zero when any rule fires. See lint.h for the rule list and DESIGN.md
+// §10 for the rationale.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: hclint [path...]   (default path: src)\n"
+                  "Lints the hcube source tree; exits 1 when any rule "
+                  "fires.\nSuppress a finding with an \"hclint: "
+                  "allow(<rule>)\" comment on its line.\n");
+      return 0;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) paths.push_back("src");
+
+  const std::vector<hclint::Issue> issues = hclint::lint_paths(paths);
+  if (issues.empty()) {
+    std::printf("hclint: clean\n");
+    return 0;
+  }
+  std::fputs(hclint::format_issues(issues).c_str(), stdout);
+  std::fprintf(stderr, "hclint: %zu issue(s)\n", issues.size());
+  return 1;
+}
