@@ -1,0 +1,312 @@
+#include "chaos/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "chaos/oracles.h"
+#include "core/builder.h"
+#include "net/fault_plan.h"
+#include "net/reliable_transport.h"
+#include "net/sim_transport.h"
+#include "topology/latency.h"
+#include "util/check.h"
+
+namespace hcube::chaos {
+
+std::string ChaosResult::first_failure() const {
+  for (const BarrierVerdict& b : barriers)
+    if (!b.failures.empty()) return b.failures.front();
+  return "";
+}
+
+std::string ChaosResult::summary() const {
+  std::ostringstream out;
+  out << "chaos: " << (ok ? "PASS" : "FAIL") << "\n";
+  out << "  steps: " << counts.joins << " joins, " << counts.leaves
+      << " leaves, " << counts.crashes << " crashes, " << counts.restarts
+      << " restarts, " << counts.partitions << " partitions, " << counts.noops
+      << " no-ops\n";
+  out << "  membership: " << settled << " settled, " << departed
+      << " departed, " << crashed << " crashed, " << abandoned_joins
+      << " abandoned join(s)\n";
+  out << "  traffic: " << messages << " messages, " << bytes << " bytes, "
+      << events << " events\n";
+  out << "  faults: " << faults_injected << " injected, " << partition_drops
+      << " partition drops, " << retransmits << " retransmits, " << give_ups
+      << " give-ups\n";
+  char digest_hex[32];
+  std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                static_cast<unsigned long long>(digest));
+  out << "  digest: " << digest_hex << "\n";
+  for (const BarrierVerdict& b : barriers) {
+    if (b.ok()) continue;
+    out << "  barrier @step " << b.step_index << " (t=" << b.at_ms << "ms):\n";
+    for (const std::string& f : b.failures) out << "    " << f << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) { return splitmix64_next(x); }
+
+// FNV-1a accumulator for the run digest.
+struct Digest {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void add_byte(unsigned char b) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) add_byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void add(const std::string& s) {
+    for (char c : s) add_byte(static_cast<unsigned char>(c));
+    add_byte(0xff);  // terminator: {"a","b"} != {"ab",""}
+  }
+};
+
+class Runner {
+ public:
+  explicit Runner(const ChurnScript& script)
+      : script_(script),
+        cfg_(script.config),
+        num_hosts_(cfg_.n_seed + script.num_join_ids()),
+        latency_(num_hosts_, 5.0, 120.0, cfg_.latency_seed),
+        inner_(queue_, latency_),
+        plan_(cfg_.fault_seed),
+        rel_(inner_, ReliabilityConfig{cfg_.rto_ms, cfg_.backoff,
+                                       cfg_.max_retries}),
+        overlay_(cfg_.params, protocol_options(cfg_), rel_) {
+    FaultPlan::Spec base;
+    base.drop = cfg_.drop;
+    base.duplicate = cfg_.duplicate;
+    plan_.set_default(base);
+    plan_.attach(inner_);
+  }
+
+  ChaosResult run() {
+    seed_world();
+    SimTime cursor = 0.0;
+    for (std::uint32_t i = 0; i < script_.steps.size(); ++i) {
+      const ChurnStep& step = script_.steps[i];
+      cursor = std::max(cursor, queue_.now()) + std::max(0.0, step.gap_ms);
+      if (step.kind == StepKind::kBarrier) {
+        barrier(i);
+        continue;
+      }
+      queue_.schedule_at(cursor, [this, &step] { execute(step); });
+    }
+    if (script_.steps.empty() ||
+        script_.steps.back().kind != StepKind::kBarrier) {
+      barrier(static_cast<std::uint32_t>(script_.steps.size()));
+    }
+    finish();
+    return std::move(result_);
+  }
+
+ private:
+  static ProtocolOptions protocol_options(const ChaosConfig& cfg) {
+    ProtocolOptions o;
+    o.join_watchdog_ms = cfg.join_watchdog_ms;
+    o.join_max_restarts = cfg.join_max_restarts;
+    o.leave_watchdog_ms = cfg.leave_watchdog_ms;
+    o.leave_max_retries = cfg.leave_max_retries;
+    return o;
+  }
+
+  void seed_world() {
+    UniqueIdGenerator gen(cfg_.params, cfg_.id_seed);
+    std::vector<NodeId> seed_ids;
+    seed_ids.reserve(cfg_.n_seed);
+    for (std::uint32_t i = 0; i < cfg_.n_seed; ++i)
+      seed_ids.push_back(gen.next());
+    const std::uint32_t joiners = script_.num_join_ids();
+    join_ids_.reserve(joiners);
+    for (std::uint32_t i = 0; i < joiners; ++i) join_ids_.push_back(gen.next());
+    build_consistent_network(overlay_, seed_ids);
+  }
+
+  // Deterministic victim selection: the step's pick indexes the current
+  // candidate set (overlay iteration order is registration order).
+  template <typename Pred>
+  Node* pick_node(std::uint64_t pick, Pred&& pred) {
+    std::vector<Node*> candidates;
+    for (const auto& node : overlay_.nodes())
+      if (pred(*node)) candidates.push_back(node.get());
+    if (candidates.empty()) return nullptr;
+    return candidates[pick % candidates.size()];
+  }
+
+  void execute(const ChurnStep& step) {
+    switch (step.kind) {
+      case StepKind::kJoin: {
+        const NodeId& id = join_ids_[step.id_index];
+        Node* gateway = pick_node(step.pick,
+                                  [](const Node& n) { return n.is_s_node(); });
+        if (overlay_.find(id) != nullptr || gateway == nullptr) {
+          ++result_.counts.noops;
+          return;
+        }
+        overlay_.add_node(id).start_join(gateway->id());
+        ++result_.counts.joins;
+        return;
+      }
+      case StepKind::kLeave: {
+        Node* victim = churn_victim(step.pick);
+        if (victim == nullptr) return;
+        victim->start_leave();
+        ++result_.counts.leaves;
+        return;
+      }
+      case StepKind::kCrash: {
+        Node* victim = churn_victim(step.pick);
+        if (victim == nullptr) return;
+        victim->mark_crashed();
+        ++result_.counts.crashes;
+        return;
+      }
+      case StepKind::kRestart: {
+        Node* victim = pick_node(
+            step.pick, [](const Node& n) { return n.is_crashed(); });
+        Node* gateway = pick_node(mix(step.pick),
+                                  [](const Node& n) { return n.is_s_node(); });
+        if (victim == nullptr || gateway == nullptr) {
+          ++result_.counts.noops;
+          return;
+        }
+        victim->restart(gateway->id());
+        ++result_.counts.restarts;
+        return;
+      }
+      case StepKind::kPartition: {
+        // Cut the host space in two by a keyed hash; both sides must be
+        // non-empty for the cut to mean anything.
+        std::vector<std::vector<HostId>> groups(2);
+        for (HostId h = 0; h < overlay_.size(); ++h)
+          groups[mix(step.pick ^ h) & 1].push_back(h);
+        if (groups[0].empty() || groups[1].empty()) {
+          ++result_.counts.noops;
+          return;
+        }
+        const SimTime t0 = queue_.now();
+        const SimTime t1 = t0 + step.duration_ms;
+        plan_.partition(groups, t0, t1);
+        partition_end_ = std::max(partition_end_, t1);
+        ++result_.counts.partitions;
+        return;
+      }
+      case StepKind::kBarrier:
+        HCUBE_CHECK_MSG(false, "barriers are not scheduled as events");
+        return;
+    }
+  }
+
+  // Common guard for leaves and crashes: keep a minimum live population.
+  Node* churn_victim(std::uint64_t pick) {
+    if (overlay_.live_size() <= cfg_.min_live) {
+      ++result_.counts.noops;
+      return nullptr;
+    }
+    Node* victim =
+        pick_node(pick, [](const Node& n) { return n.is_s_node(); });
+    if (victim == nullptr) ++result_.counts.noops;
+    return victim;
+  }
+
+  void barrier(std::uint32_t step_index) {
+    queue_.run();
+    // Heal: advance simulated time past any open partition window, so the
+    // ARQ layer's buffered retransmissions flow across the former cut.
+    if (queue_.now() < partition_end_) {
+      queue_.schedule_at(partition_end_, [] {});
+      queue_.run();
+    }
+    // Abandon joins whose watchdog budget ran out: the process gives up
+    // and exits, i.e. fail-stops. Repair then reclaims any pointer other
+    // nodes still hold to it (it would keep answering pings otherwise).
+    for (const auto& node : overlay_.nodes()) {
+      const NodeStatus st = node->status();
+      const bool joining = st == NodeStatus::kCopying ||
+                           st == NodeStatus::kWaiting ||
+                           st == NodeStatus::kNotifying;
+      if (joining &&
+          node->join_stats().watchdog_restarts >= cfg_.join_max_restarts) {
+        node->mark_crashed();
+        ++result_.abandoned_joins;
+      }
+    }
+    if (cfg_.heal_rounds > 0) overlay_.repair_all(0.0, cfg_.heal_rounds);
+    queue_.run();
+
+    BarrierVerdict verdict;
+    verdict.step_index = step_index;
+    verdict.at_ms = queue_.now();
+    verdict.failures = run_oracles(overlay_).failures;
+    if (rel_.in_flight() != 0) {
+      verdict.failures.push_back(
+          "transport: " + std::to_string(rel_.in_flight()) +
+          " message(s) still in flight at quiescence");
+    }
+    if (!verdict.failures.empty()) result_.ok = false;
+    result_.barriers.push_back(std::move(verdict));
+  }
+
+  void finish() {
+    result_.events = queue_.events_processed();
+    result_.messages = overlay_.totals().messages;
+    result_.bytes = overlay_.totals().bytes;
+    result_.faults_injected = plan_.drops_injected() +
+                              plan_.duplicates_injected() +
+                              plan_.delays_injected();
+    result_.partition_drops = plan_.partition_drops();
+    result_.retransmits = rel_.rstats().retransmits;
+    result_.give_ups = rel_.rstats().give_ups;
+    for (const auto& node : overlay_.nodes()) {
+      if (node->is_s_node()) ++result_.settled;
+      if (node->has_departed()) ++result_.departed;
+      if (node->is_crashed()) ++result_.crashed;
+    }
+    Digest d;
+    d.add(result_.events);
+    d.add(result_.messages);
+    d.add(result_.bytes);
+    d.add(result_.faults_injected);
+    d.add(result_.partition_drops);
+    d.add(result_.retransmits);
+    d.add(result_.give_ups);
+    d.add(result_.settled);
+    d.add(result_.departed);
+    d.add(result_.crashed);
+    d.add(result_.abandoned_joins);
+    for (const BarrierVerdict& b : result_.barriers) {
+      d.add(b.step_index);
+      d.add(static_cast<std::uint64_t>(b.at_ms * 1000.0));
+      for (const std::string& f : b.failures) d.add(f);
+    }
+    result_.digest = d.h;
+  }
+
+  const ChurnScript& script_;
+  const ChaosConfig& cfg_;
+  std::uint32_t num_hosts_;
+  EventQueue queue_;
+  SyntheticLatency latency_;
+  SimTransport inner_;
+  FaultPlan plan_;
+  ReliableTransport rel_;
+  Overlay overlay_;
+  std::vector<NodeId> join_ids_;
+  SimTime partition_end_ = 0.0;
+  ChaosResult result_;
+};
+
+}  // namespace
+
+ChaosResult run_script(const ChurnScript& script) {
+  Runner runner(script);
+  return runner.run();
+}
+
+}  // namespace hcube::chaos

@@ -1,0 +1,87 @@
+// The deterministic chaos engine: executes a ChurnScript against a fresh
+// simulated world and reports every oracle verdict.
+//
+// The world is rebuilt per run from the script's config alone — event
+// queue, synthetic latencies, a lossy SimTransport with an attached
+// FaultPlan (seeded drops/duplicates plus partition windows), a
+// ReliableTransport ARQ decorator healing those faults, and an Overlay with
+// the join- and leave-stall watchdogs enabled. Every source of
+// nondeterminism is a seeded Rng drawn through the script, so a run is a
+// pure function of the script: run_script(s) twice yields byte-identical
+// results, including the digest. That is the property replay artifacts and
+// the schedule shrinker stand on.
+//
+// Execution walks the step list once. Non-barrier steps schedule their
+// action at a monotonically advancing cursor time without draining the
+// queue, so the churn between two barriers genuinely overlaps (concurrent
+// joins racing a partition window, crashes mid-join, ...). A barrier then
+//   1. drains the queue (the protocols quiesce by themselves),
+//   2. heals: advances simulated time past any open partition window and
+//      drains again (the ARQ layer's buffered traffic flows across the
+//      former cut),
+//   3. repairs: Overlay::repair_all for config.heal_rounds rounds (0
+//      disables healing — the deliberately-broken fixture mode that the
+//      shrinker tests minimize against),
+//   4. runs the invariant oracles (chaos/oracles.h) and records a verdict.
+// A final barrier is appended implicitly when the script does not end with
+// one, so every run terminates in a checked state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/schedule.h"
+
+namespace hcube::chaos {
+
+struct BarrierVerdict {
+  std::uint32_t step_index = 0;  // index of the barrier in script.steps
+                                 // (== steps.size() for the implicit final)
+  SimTime at_ms = 0.0;           // simulated time the oracles ran
+  std::vector<std::string> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+// How many of each step kind actually acted vs. no-op'd (a restart with
+// nobody crashed, churn at the min_live floor, a one-sided partition cut).
+struct StepCounts {
+  std::uint32_t joins = 0;
+  std::uint32_t leaves = 0;
+  std::uint32_t crashes = 0;
+  std::uint32_t restarts = 0;
+  std::uint32_t partitions = 0;
+  std::uint32_t noops = 0;
+};
+
+struct ChaosResult {
+  bool ok = true;  // every barrier passed every oracle
+  std::vector<BarrierVerdict> barriers;
+  StepCounts counts;
+  // End-of-run accounting (all deterministic, all folded into the digest).
+  std::uint64_t events = 0;           // simulator events executed
+  std::uint64_t messages = 0;         // protocol messages sent
+  std::uint64_t bytes = 0;            // protocol bytes sent
+  std::uint64_t faults_injected = 0;  // drops + duplicates + delays
+  std::uint64_t partition_drops = 0;  // messages cut by partition windows
+  std::uint64_t retransmits = 0;      // ARQ retransmissions
+  std::uint64_t give_ups = 0;         // ARQ retry budgets exhausted
+  std::uint64_t settled = 0;          // nodes in_system at the end
+  std::uint64_t departed = 0;
+  std::uint64_t crashed = 0;
+  // Joins abandoned at a barrier after exhausting the watchdog's restart
+  // budget (the engine fail-stops them so repair reclaims references).
+  std::uint64_t abandoned_joins = 0;
+  // FNV-1a over every verdict and counter above: two runs of the same
+  // script produce the same digest, byte for byte.
+  std::uint64_t digest = 0;
+
+  // First failing oracle line, or "" when ok.
+  std::string first_failure() const;
+  // Multi-line human-readable report.
+  std::string summary() const;
+};
+
+ChaosResult run_script(const ChurnScript& script);
+
+}  // namespace hcube::chaos

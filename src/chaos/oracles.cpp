@@ -1,0 +1,129 @@
+#include "chaos/oracles.h"
+
+#include <string>
+
+#include "core/consistency.h"
+#include "core/view.h"
+
+namespace hcube::chaos {
+
+NetworkView view_of_settled(const Overlay& overlay) {
+  NetworkView view(overlay.params());
+  for (const auto& node : overlay.nodes())
+    if (node->is_s_node()) view.add(&node->table());
+  return view;
+}
+
+namespace {
+
+// Cap per-oracle detail lines so one systemic failure does not flood the
+// report (the count always reflects the full damage).
+constexpr std::size_t kMaxDetails = 3;
+
+std::string name_of(const Node& n, const IdParams& params) {
+  return n.id().to_string(params);
+}
+
+void check_consistency_oracle(const Overlay& overlay, OracleReport& report) {
+  const ConsistencyReport rep = check_consistency(view_of_settled(overlay));
+  if (rep.consistent()) return;
+  std::string line = "consistency: " + std::to_string(rep.total_violations) +
+                     " violation(s) across " +
+                     std::to_string(rep.entries_checked) + " entries";
+  for (std::size_t i = 0; i < rep.violations.size() && i < kMaxDetails; ++i)
+    line += "; " + rep.violations[i].describe(overlay.params());
+  report.failures.push_back(std::move(line));
+}
+
+void check_symmetry_oracle(const Overlay& overlay, OracleReport& report) {
+  std::uint64_t missing = 0;
+  std::string first;
+  for (const auto& node : overlay.nodes()) {
+    if (!node->is_s_node()) continue;
+    node->table().for_each_filled([&](std::uint32_t level, std::uint32_t digit,
+                                      const NodeId& y, NeighborState) {
+      if (y == node->id()) return;
+      const Node* peer = overlay.find(y);
+      // Entries naming non-settled nodes are the consistency oracle's
+      // domain; symmetry audits only settled-to-settled edges.
+      if (peer == nullptr || !peer->is_s_node()) return;
+      if (peer->table().reverse_neighbors().contains(node->id())) return;
+      ++missing;
+      if (first.empty()) {
+        first = name_of(*node, overlay.params()) + " stores " +
+                name_of(*peer, overlay.params()) + " at (" +
+                std::to_string(level) + "," + std::to_string(digit) +
+                ") but is not in its reverse set";
+      }
+    });
+  }
+  if (missing > 0) {
+    report.failures.push_back("reverse-symmetry: " + std::to_string(missing) +
+                              " unregistered storer(s); first: " + first);
+  }
+}
+
+void check_liveness_oracle(const Overlay& overlay, OracleReport& report) {
+  const std::uint32_t restart_budget = overlay.options().join_max_restarts;
+  for (const auto& node : overlay.nodes()) {
+    const NodeStatus st = node->status();
+    if (st == NodeStatus::kInSystem || st == NodeStatus::kDeparted ||
+        st == NodeStatus::kCrashed) {
+      continue;
+    }
+    if (node->join_stats().t_begin < 0.0) continue;  // never started
+    if (st == NodeStatus::kLeaving) {
+      report.failures.push_back("liveness: " +
+                                name_of(*node, overlay.params()) +
+                                " stuck in kLeaving at quiescence");
+      continue;
+    }
+    // Joining (kCopying / kWaiting / kNotifying): acceptable only as a
+    // clean abort — the watchdog spent its whole restart budget.
+    if (node->join_stats().watchdog_restarts >= restart_budget) continue;
+    report.failures.push_back(
+        "liveness: " + name_of(*node, overlay.params()) + " stuck joining (" +
+        std::to_string(node->join_stats().watchdog_restarts) + "/" +
+        std::to_string(restart_budget) + " watchdog restarts used)");
+  }
+}
+
+void check_leaked_state_oracle(const Overlay& overlay, OracleReport& report) {
+  std::uint64_t leaked = 0;
+  std::string first;
+  for (const auto& node : overlay.nodes()) {
+    if (!node->is_s_node() || node->join_idle()) continue;
+    ++leaked;
+    if (first.empty()) first = name_of(*node, overlay.params());
+  }
+  if (leaked > 0) {
+    report.failures.push_back(
+        "leaked-join-state: " + std::to_string(leaked) +
+        " settled node(s) with outstanding join conversations; first: " +
+        first);
+  }
+}
+
+void check_layering_oracle(const Overlay& overlay, OracleReport& report) {
+  const std::uint64_t leaks =
+      overlay.conformance().rejected_of(MessageType::kRelAck);
+  if (leaks > 0) {
+    report.failures.push_back(
+        "layering: " + std::to_string(leaks) +
+        " RelAck(s) reached protocol handlers (ARQ decorator bypassed)");
+  }
+}
+
+}  // namespace
+
+OracleReport run_oracles(const Overlay& overlay) {
+  OracleReport report;
+  check_consistency_oracle(overlay, report);
+  check_symmetry_oracle(overlay, report);
+  check_liveness_oracle(overlay, report);
+  check_leaked_state_oracle(overlay, report);
+  check_layering_oracle(overlay, report);
+  return report;
+}
+
+}  // namespace hcube::chaos

@@ -1,0 +1,53 @@
+// Invariant oracles the chaos engine runs at every barrier.
+//
+// An oracle inspects a quiesced (and healed) overlay and reports
+// human-readable failures; an empty report is a pass. The oracles are
+// deliberately independent of the protocol machinery they audit — the
+// consistency oracle rebuilds ground truth from the membership (a suffix
+// trie), the symmetry oracle cross-checks tables pairwise — so a protocol
+// bug cannot hide by corrupting its own bookkeeping.
+//
+// What is checked, and why each check is sound at a healed barrier:
+//   * Definition 3.8 consistency over the settled membership (every
+//     kInSystem node). Nodes mid-join, mid-leave, crashed or departed are
+//     not members; an S-node entry naming one of them surfaces as an
+//     unknown-neighbor / false-positive violation.
+//   * Reverse-neighbor completeness: x stores y (both settled) implies y
+//     lists x as a reverse neighbor. Repair and leave both walk reverse
+//     sets, so a missing registration is a future repair that cannot
+//     happen. Announce-driven reconciliation restores this after crash-
+//     restart and partition windows, which is why it can be an invariant
+//     here rather than a best-effort property.
+//   * Liveness: every node that started a join has terminated — settled,
+//     departed, crashed — or was cleanly aborted (the join-stall watchdog
+//     exhausted ProtocolOptions::join_max_restarts). Anything else is a
+//     stuck join the watchdog failed to unstick.
+//   * Zero leaked join state: a settled node holds no outstanding join
+//     conversation (Figure 3 queues all empty).
+//   * Transport layering: no RelAck ever reached a protocol handler
+//     (ConformanceStats); the ARQ decorator must consume them all.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/overlay.h"
+#include "core/view.h"
+
+namespace hcube::chaos {
+
+struct OracleReport {
+  std::vector<std::string> failures;  // empty = every oracle passed
+  bool ok() const { return failures.empty(); }
+};
+
+// View over the settled membership only (every kInSystem node): the ground
+// truth Definition 3.8 is audited against at a chaos barrier. view_of
+// (core/view.h) also includes nodes mid-join and mid-leave, whose tables
+// are legitimately partial; under churn only the settled subnetwork is
+// required to be consistent.
+NetworkView view_of_settled(const Overlay& overlay);
+
+OracleReport run_oracles(const Overlay& overlay);
+
+}  // namespace hcube::chaos

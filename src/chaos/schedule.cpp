@@ -1,0 +1,237 @@
+#include "chaos/schedule.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace hcube::chaos {
+
+const char* to_string(StepKind k) {
+  switch (k) {
+    case StepKind::kJoin: return "join";
+    case StepKind::kLeave: return "leave";
+    case StepKind::kCrash: return "crash";
+    case StepKind::kRestart: return "restart";
+    case StepKind::kPartition: return "partition";
+    case StepKind::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+std::optional<StepKind> step_kind_from(std::string_view token) {
+  for (std::size_t i = 0; i < kNumStepKinds; ++i) {
+    const auto k = static_cast<StepKind>(i);
+    if (token == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t ChurnScript::num_join_ids() const {
+  std::uint32_t n = 0;
+  for (const ChurnStep& s : steps)
+    if (s.kind == StepKind::kJoin && s.id_index + 1 > n) n = s.id_index + 1;
+  return n;
+}
+
+namespace {
+
+// %.17g round-trips every finite double through the text form.
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ChurnScript::serialize() const {
+  std::ostringstream out;
+  out << "hchaos v1\n";
+  out << "base " << config.params.base << "\n";
+  out << "digits " << config.params.num_digits << "\n";
+  out << "nseed " << config.n_seed << "\n";
+  out << "idseed " << config.id_seed << "\n";
+  out << "latencyseed " << config.latency_seed << "\n";
+  out << "faultseed " << config.fault_seed << "\n";
+  out << "drop " << fmt(config.drop) << "\n";
+  out << "dup " << fmt(config.duplicate) << "\n";
+  out << "rto " << fmt(config.rto_ms) << "\n";
+  out << "backoff " << fmt(config.backoff) << "\n";
+  out << "retries " << config.max_retries << "\n";
+  out << "joinwatchdog " << fmt(config.join_watchdog_ms) << "\n";
+  out << "joinrestarts " << config.join_max_restarts << "\n";
+  out << "leavewatchdog " << fmt(config.leave_watchdog_ms) << "\n";
+  out << "leaveretries " << config.leave_max_retries << "\n";
+  out << "healrounds " << config.heal_rounds << "\n";
+  out << "minlive " << config.min_live << "\n";
+  for (const ChurnStep& s : steps) {
+    out << "step " << to_string(s.kind) << " " << fmt(s.gap_ms) << " "
+        << s.id_index << " " << s.pick << " " << fmt(s.duration_ms) << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+std::optional<ChurnScript> ChurnScript::parse(const std::string& text,
+                                              std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<ChurnScript> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "hchaos v1")
+    return fail("missing 'hchaos v1' header");
+  ChurnScript script;
+  bool ended = false;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    const std::string where = "line " + std::to_string(line_no);
+    const auto want = [&](auto& field) {
+      ls >> field;
+      return !ls.fail();
+    };
+    if (key == "end") {
+      ended = true;
+      break;
+    } else if (key == "step") {
+      std::string kind_token;
+      ChurnStep s;
+      if (!want(kind_token)) return fail(where + ": step kind missing");
+      const auto kind = step_kind_from(kind_token);
+      if (!kind) return fail(where + ": unknown step kind " + kind_token);
+      s.kind = *kind;
+      if (!want(s.gap_ms) || !want(s.id_index) || !want(s.pick) ||
+          !want(s.duration_ms))
+        return fail(where + ": malformed step fields");
+      script.steps.push_back(s);
+    } else {
+      ChaosConfig& c = script.config;
+      bool ok = false;
+      if (key == "base") ok = want(c.params.base);
+      else if (key == "digits") ok = want(c.params.num_digits);
+      else if (key == "nseed") ok = want(c.n_seed);
+      else if (key == "idseed") ok = want(c.id_seed);
+      else if (key == "latencyseed") ok = want(c.latency_seed);
+      else if (key == "faultseed") ok = want(c.fault_seed);
+      else if (key == "drop") ok = want(c.drop);
+      else if (key == "dup") ok = want(c.duplicate);
+      else if (key == "rto") ok = want(c.rto_ms);
+      else if (key == "backoff") ok = want(c.backoff);
+      else if (key == "retries") ok = want(c.max_retries);
+      else if (key == "joinwatchdog") ok = want(c.join_watchdog_ms);
+      else if (key == "joinrestarts") ok = want(c.join_max_restarts);
+      else if (key == "leavewatchdog") ok = want(c.leave_watchdog_ms);
+      else if (key == "leaveretries") ok = want(c.leave_max_retries);
+      else if (key == "healrounds") ok = want(c.heal_rounds);
+      else if (key == "minlive") ok = want(c.min_live);
+      else return fail(where + ": unknown key " + key);
+      if (!ok) return fail(where + ": bad value for " + key);
+    }
+  }
+  if (!ended) return fail("missing 'end' terminator");
+  if (script.config.n_seed == 0) return fail("nseed must be positive");
+  return script;
+}
+
+const std::vector<ChurnProfile>& profiles() {
+  static const std::vector<ChurnProfile> kProfiles = [] {
+    std::vector<ChurnProfile> v;
+    {
+      ChurnProfile p;
+      p.name = "mixed";
+      p.w_join = 5;
+      p.w_leave = 2;
+      p.w_crash = 2;
+      p.w_restart = 2;
+      p.w_partition = 1;
+      p.mean_gap_ms = 30.0;
+      p.partition_ms = 1200.0;
+      p.barrier_every = 12;
+      v.push_back(p);
+    }
+    {
+      ChurnProfile p;
+      p.name = "partition";
+      p.w_join = 3;
+      p.w_leave = 1;
+      p.w_crash = 1;
+      p.w_restart = 1;
+      p.w_partition = 4;
+      p.mean_gap_ms = 25.0;
+      p.partition_ms = 1500.0;
+      p.barrier_every = 10;
+      p.config.n_seed = 28;
+      p.config.drop = 0.01;
+      p.config.duplicate = 0.005;
+      v.push_back(p);
+    }
+    return v;
+  }();
+  return kProfiles;
+}
+
+const ChurnProfile* find_profile(std::string_view name) {
+  for (const ChurnProfile& p : profiles())
+    if (name == p.name) return &p;
+  return nullptr;
+}
+
+ChurnScript sample_script(std::uint64_t seed, const ChurnProfile& profile,
+                          std::uint32_t num_steps) {
+  ChurnScript script;
+  script.config = profile.config;
+  // Derive every world seed from the run seed so distinct seeds vary the
+  // latencies and fault draws along with the churn, while (seed, profile)
+  // still pins the whole script.
+  std::uint64_t sm = seed;
+  script.config.id_seed = splitmix64_next(sm);
+  script.config.latency_seed = splitmix64_next(sm);
+  script.config.fault_seed = splitmix64_next(sm);
+  Rng rng(splitmix64_next(sm));
+
+  const std::uint64_t weights[] = {profile.w_join, profile.w_leave,
+                                   profile.w_crash, profile.w_restart,
+                                   profile.w_partition};
+  std::uint64_t total = 0;
+  for (std::uint64_t w : weights) total += w;
+  HCUBE_CHECK_MSG(total > 0, "churn profile has no step weights");
+
+  std::uint32_t next_join_id = 0;
+  std::uint32_t since_barrier = 0;
+  script.steps.reserve(num_steps + num_steps / std::max(1u, profile.barrier_every) + 1);
+  for (std::uint32_t i = 0; i < num_steps; ++i) {
+    std::uint64_t draw = rng.next_below(total);
+    std::size_t kind_index = 0;
+    while (draw >= weights[kind_index]) {
+      draw -= weights[kind_index];
+      ++kind_index;
+    }
+    ChurnStep s;
+    s.kind = static_cast<StepKind>(kind_index);
+    s.gap_ms = rng.next_exponential(profile.mean_gap_ms);
+    s.pick = rng();
+    if (s.kind == StepKind::kJoin) s.id_index = next_join_id++;
+    if (s.kind == StepKind::kPartition) s.duration_ms = profile.partition_ms;
+    script.steps.push_back(s);
+    if (profile.barrier_every > 0 && ++since_barrier >= profile.barrier_every) {
+      since_barrier = 0;
+      script.steps.push_back(
+          ChurnStep{StepKind::kBarrier, profile.mean_gap_ms, 0, 0, 0.0});
+    }
+  }
+  if (script.steps.empty() || script.steps.back().kind != StepKind::kBarrier)
+    script.steps.push_back(
+        ChurnStep{StepKind::kBarrier, profile.mean_gap_ms, 0, 0, 0.0});
+  return script;
+}
+
+}  // namespace hcube::chaos

@@ -1,0 +1,123 @@
+// Churn schedules for the deterministic chaos engine.
+//
+// A ChurnScript is the complete, self-contained description of one chaos
+// run: the world configuration (ID-space shape, seed-network size, fault
+// probabilities, ARQ and watchdog knobs, RNG seeds) plus an ordered list of
+// churn steps (joins, graceful leaves, crashes, restarts, partition
+// windows, oracle barriers). Everything an execution does is a pure
+// function of the script — no wall clock, no global RNG — which is what
+// makes replay exact and schedule shrinking sound: any subset of the steps
+// is itself an executable script.
+//
+// Two design rules keep subsets executable:
+//   * A step names its victim by a sampled 64-bit `pick`, resolved against
+//     the network state at execution time (pick % candidates). Removing an
+//     earlier step changes the candidate set, not the step's validity.
+//   * A step whose action is impossible at execution time (no crashed node
+//     to restart, the live-node floor reached) executes as a no-op rather
+//     than an error.
+// Join identities are pre-bound (`id_index` into the script's ID pool), so
+// the same step always joins the same NodeId regardless of which other
+// steps survived shrinking.
+//
+// Scripts serialize to a line-oriented text form (serialize / parse) used
+// as the replay artifact emitted by tools/hchaos and uploaded by CI when a
+// seed sweep fails.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ids/node_id.h"
+#include "sim/event_queue.h"
+
+namespace hcube::chaos {
+
+enum class StepKind : std::uint8_t {
+  kJoin,       // add a node (id_index into the ID pool), join via a random
+               // live S-node gateway
+  kLeave,      // a random live S-node departs gracefully
+  kCrash,      // a random live S-node fail-stops
+  kRestart,    // a random crashed node rejoins via a random live S-node
+  kPartition,  // cut the hosts into two groups for duration_ms
+  kBarrier,    // quiesce, heal, repair, then run the invariant oracles
+};
+inline constexpr std::size_t kNumStepKinds = 6;
+
+const char* to_string(StepKind k);
+std::optional<StepKind> step_kind_from(std::string_view token);
+
+struct ChurnStep {
+  StepKind kind = StepKind::kBarrier;
+  SimTime gap_ms = 0.0;       // delay after the previous step's action time
+  std::uint32_t id_index = 0; // kJoin: which pool ID joins
+  std::uint64_t pick = 0;     // deterministic victim/gateway/cut selector
+  SimTime duration_ms = 0.0;  // kPartition: window length
+};
+
+// World configuration of a run. Every field is serialized with the script,
+// so a replay rebuilds the identical world.
+struct ChaosConfig {
+  IdParams params;                   // ID-space shape (b, d)
+  std::uint32_t n_seed = 24;         // size of the direct-built seed network
+  std::uint64_t id_seed = 1;         // ID-pool generator seed
+  std::uint64_t latency_seed = 42;   // SyntheticLatency seed
+  std::uint64_t fault_seed = 7;      // FaultPlan RNG seed
+  double drop = 0.02;                // default-rule drop probability
+  double duplicate = 0.01;           // default-rule duplication probability
+  double rto_ms = 100.0;             // ARQ initial retransmission timeout
+  double backoff = 2.0;              // ARQ RTO multiplier
+  std::uint32_t max_retries = 8;     // ARQ retransmissions before give-up
+  double join_watchdog_ms = 4000.0;  // join-stall watchdog period
+  std::uint32_t join_max_restarts = 8;
+  double leave_watchdog_ms = 2000.0; // leave-stall watchdog period
+  std::uint32_t leave_max_retries = 4;
+  std::uint32_t heal_rounds = 2;     // repair_all rounds at each barrier
+  std::uint32_t min_live = 4;        // leave/crash no-op below this floor
+};
+
+struct ChurnScript {
+  ChaosConfig config;
+  std::vector<ChurnStep> steps;
+
+  // Size of the join-ID pool the script needs: 1 + the largest id_index
+  // over its join steps (0 when it has none).
+  std::uint32_t num_join_ids() const;
+
+  std::string serialize() const;
+  // Parses serialize() output. On failure returns nullopt and, when `error`
+  // is non-null, stores a one-line reason.
+  static std::optional<ChurnScript> parse(const std::string& text,
+                                          std::string* error = nullptr);
+};
+
+// A named step mix the sampler draws from.
+struct ChurnProfile {
+  const char* name;
+  // Relative step-kind weights (joins, leaves, crashes, restarts,
+  // partition windows).
+  std::uint32_t w_join = 1;
+  std::uint32_t w_leave = 0;
+  std::uint32_t w_crash = 0;
+  std::uint32_t w_restart = 0;
+  std::uint32_t w_partition = 0;
+  double mean_gap_ms = 30.0;        // exponential inter-step gap
+  double partition_ms = 1200.0;     // partition window length
+  std::uint32_t barrier_every = 12; // oracle barrier after this many steps
+  ChaosConfig config;
+};
+
+// Built-in profiles: "mixed" (all churn kinds, light loss) and "partition"
+// (partition-heavy). Pointers stay valid for the program lifetime.
+const std::vector<ChurnProfile>& profiles();
+const ChurnProfile* find_profile(std::string_view name);
+
+// Samples a script of `num_steps` churn steps (plus interleaved barriers)
+// from (seed, profile). Identical inputs yield the identical script.
+ChurnScript sample_script(std::uint64_t seed, const ChurnProfile& profile,
+                          std::uint32_t num_steps);
+
+}  // namespace hcube::chaos

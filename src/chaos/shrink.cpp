@@ -1,0 +1,68 @@
+#include "chaos/shrink.h"
+
+#include <algorithm>
+
+namespace hcube::chaos {
+
+namespace {
+
+ChurnScript with_steps(const ChurnScript& base, std::vector<ChurnStep> steps) {
+  ChurnScript s;
+  s.config = base.config;
+  s.steps = std::move(steps);
+  return s;
+}
+
+// The steps of `all` minus the half-open chunk [begin, end).
+std::vector<ChurnStep> without_chunk(const std::vector<ChurnStep>& all,
+                                     std::size_t begin, std::size_t end) {
+  std::vector<ChurnStep> kept;
+  kept.reserve(all.size() - (end - begin));
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (i < begin || i >= end) kept.push_back(all[i]);
+  return kept;
+}
+
+}  // namespace
+
+ShrinkResult shrink_script(const ChurnScript& failing,
+                           const ShrinkOptions& options) {
+  ShrinkResult out;
+  out.minimal = failing;
+  out.minimal_result = run_script(failing);
+  ++out.runs;
+  if (out.minimal_result.ok) return out;  // input does not fail: nothing to do
+  out.input_failed = true;
+
+  std::vector<ChurnStep> steps = failing.steps;
+  std::size_t granularity = 2;
+  while (steps.size() >= 2 && out.runs < options.max_runs) {
+    const std::size_t n = std::min(granularity, steps.size());
+    const std::size_t chunk = (steps.size() + n - 1) / n;  // ceil
+    bool reduced = false;
+    for (std::size_t begin = 0;
+         begin < steps.size() && out.runs < options.max_runs; begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, steps.size());
+      std::vector<ChurnStep> candidate = without_chunk(steps, begin, end);
+      if (candidate.empty()) continue;
+      const ChurnScript script = with_steps(failing, std::move(candidate));
+      ChaosResult result = run_script(script);
+      ++out.runs;
+      if (!result.ok) {
+        // The complement still fails: adopt it and re-coarsen.
+        steps = script.steps;
+        out.minimal = script;
+        out.minimal_result = std::move(result);
+        granularity = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) continue;
+    if (n >= steps.size()) break;  // 1-minimal at single-step granularity
+    granularity = std::min(steps.size(), n * 2);
+  }
+  return out;
+}
+
+}  // namespace hcube::chaos

@@ -1,0 +1,42 @@
+// Delta-debugging schedule minimizer (Zeller's ddmin over churn steps).
+//
+// Given a script whose execution fails an oracle, the shrinker searches for
+// a 1-minimal sub-schedule that still fails: removing any single remaining
+// chunk at the final granularity makes the failure disappear. Each
+// candidate is a plain subset of the original steps executed by the
+// deterministic engine from scratch, so the search is sound: a candidate's
+// verdict is a pure function of the candidate, never of execution history.
+// The two schedule design rules that keep subsets executable (pick-based
+// victim resolution, impossible steps degrade to no-ops) are what make the
+// subset space total — ddmin never has to repair a candidate.
+//
+// The predicate is "some oracle fails", not "the same oracle fails": like
+// classic ddmin this may slide to a different (smaller) failure, which is
+// the desired behavior for a reproducer artifact.
+#pragma once
+
+#include <cstdint>
+
+#include "chaos/engine.h"
+#include "chaos/schedule.h"
+
+namespace hcube::chaos {
+
+struct ShrinkOptions {
+  // Hard cap on candidate executions (each one is a full chaos run).
+  std::uint32_t max_runs = 128;
+};
+
+struct ShrinkResult {
+  ChurnScript minimal;          // smallest failing script found
+  ChaosResult minimal_result;   // its execution result
+  std::uint32_t runs = 0;       // candidate executions performed
+  // False when the input script did not fail to begin with (then `minimal`
+  // is the input, unshrunk).
+  bool input_failed = false;
+};
+
+ShrinkResult shrink_script(const ChurnScript& failing,
+                           const ShrinkOptions& options = {});
+
+}  // namespace hcube::chaos

@@ -44,9 +44,24 @@ static_assert(conformance_allows(NodeStatus::kCopying, MessageType::kCpRly) &&
 
 void JoinProtocol::start_join(const NodeId& g0) {
   gateway_ = g0;
-  core_.attempt_gen = 1;
+  // Fresh node: 0 -> 1. Crash-restarted node: the counter survived the
+  // crash (reset_for_restart keeps it) and climbs past every pre-crash
+  // attempt, so stale replies to the old incarnation are rejected.
+  ++core_.attempt_gen;
   begin_attempt();
   arm_watchdog();
+}
+
+void JoinProtocol::reset() {
+  noti_level_ = 0;
+  copy_level_ = 0;
+  copy_from_ = NodeId();
+  gateway_ = NodeId();
+  q_replies_.clear();
+  q_notified_.clear();
+  q_join_waiters_.clear();
+  q_spe_replies_.clear();
+  q_spe_notified_.clear();
 }
 
 void JoinProtocol::begin_attempt() {
@@ -75,6 +90,11 @@ void JoinProtocol::on_watchdog(std::uint32_t gen) {
   if (core_.stats.watchdog_restarts >= core_.options.join_max_restarts) return;
   ++core_.stats.watchdog_restarts;
   ++core_.attempt_gen;
+  // A restart through the same gateway cannot help if the gateway itself
+  // crashed mid-join; rotate deterministically through the S-state
+  // neighbors the aborted attempts already learned (falling back to the
+  // original gateway when none are known).
+  rotate_gateway();
   // Forget the aborted attempt's conversation state. The table keeps what
   // was already learned (filled entries and reverse neighbors reflect real
   // remote state), and deferred JoinWaitMsg senders still get their replies
@@ -85,6 +105,24 @@ void JoinProtocol::on_watchdog(std::uint32_t gen) {
   q_spe_notified_.clear();
   begin_attempt();
   arm_watchdog();
+}
+
+void JoinProtocol::rotate_gateway() {
+  // Candidates: every distinct S-state table neighbor plus the original
+  // gateway, cycled by restart count — consecutive restarts try different
+  // entry points until one answers. Table iteration order is (level,
+  // digit), so the choice is deterministic.
+  std::vector<NodeId> candidates;
+  core_.table.for_each_filled([&](std::uint32_t, std::uint32_t,
+                                  const NodeId& n, NeighborState state) {
+    if (state != NeighborState::kS || n == core_.id || n == gateway_) return;
+    for (const NodeId& c : candidates)
+      if (c == n) return;
+    candidates.push_back(n);
+  });
+  if (candidates.empty()) return;
+  candidates.push_back(gateway_);
+  gateway_ = candidates[core_.stats.watchdog_restarts % candidates.size()];
 }
 
 bool JoinProtocol::reject_stale_reply() {

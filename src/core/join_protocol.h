@@ -49,9 +49,27 @@ class JoinProtocol {
       : core_(core), leave_(leave) {}
 
   // Figure 5: begin joining via gateway g0 (assumed to be an S-node of V).
+  // Bumps the attempt generation rather than resetting it, so a node
+  // rejoining after a crash (Node::restart) starts beyond every pre-crash
+  // attempt and its generation filter rejects stale in-flight replies.
   void start_join(const NodeId& g0);
 
+  // Crash-recovery lifecycle: forgets every conversation of the previous
+  // incarnation. The attempt generation is NodeCore state and survives.
+  void reset();
+
   std::uint32_t noti_level() const { return noti_level_; }
+
+  // True when no conversation state is outstanding: no reply awaited, no
+  // deferred JoinWaitMsg sender unanswered. The chaos oracles assert this
+  // on every in-system node at quiescence — leaked entries there are
+  // replies that will never come or waiters never answered. (q_notified_ /
+  // q_spe_notified_ are deliberately NOT included: those are the paper's
+  // Q_n / Q_sn, permanent dedup memory of who was already notified.)
+  bool idle() const {
+    return q_replies_.empty() && q_join_waiters_.empty() &&
+           q_spe_replies_.empty();
+  }
 
   // ---- message handlers ----
   void on_cp_rly(const NodeId& g, const CpRlyMsg& msg);   // copying loop body
@@ -70,6 +88,7 @@ class JoinProtocol {
   void begin_attempt();                                   // (re)start Figure 5
   void arm_watchdog();
   void on_watchdog(std::uint32_t gen);
+  void rotate_gateway();                                  // see on_watchdog
   // True (and counted) when the message being handled carries the
   // generation of an aborted attempt.
   bool reject_stale_reply();

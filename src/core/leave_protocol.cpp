@@ -4,7 +4,7 @@
 
 namespace hcube {
 
-void LeaveProtocol::send_leave_to(const NodeId& v) {
+void LeaveProtocol::send_leave_msg(const NodeId& v) {
   // v stores us at entry (k, id[k]), whose class is our (k+1)-digit
   // suffix. Candidates are ALL our table rows at levels >= k+1: every such
   // entry shares >= k+1 digits with us, and if any other member y of the
@@ -16,21 +16,55 @@ void LeaveProtocol::send_leave_to(const NodeId& v) {
   if (k + 1 < core_.params.num_digits)
     msg.candidates = core_.table.snapshot(k + 1, core_.params.num_digits - 1);
   core_.send(v, std::move(msg));
+}
+
+void LeaveProtocol::send_leave_to(const NodeId& v) {
+  send_leave_msg(v);
   leave_notified_.insert(v);
-  ++leave_acks_pending_;
+  leave_unacked_.insert(v);
 }
 
 void LeaveProtocol::start_leave() {
   HCUBE_CHECK_MSG(core_.status == NodeStatus::kInSystem,
                   "only an S-node may leave gracefully");
   core_.status = NodeStatus::kLeaving;
+  ++leave_epoch_;
+  leave_retries_ = 0;
   for (const auto& [v, where] : core_.table.reverse_neighbors()) {
     (void)where;
     send_leave_to(v);
   }
   for (const NodeId& y : core_.table.distinct_neighbors())
     core_.send(y, NghDropMsg{});
-  if (leave_acks_pending_ == 0) core_.status = NodeStatus::kDeparted;
+  if (leave_unacked_.empty()) {
+    core_.status = NodeStatus::kDeparted;
+    return;
+  }
+  arm_watchdog();
+}
+
+void LeaveProtocol::arm_watchdog() {
+  if (core_.options.leave_watchdog_ms <= 0.0) return;
+  const std::uint64_t epoch = leave_epoch_;
+  core_.env.schedule(core_.options.leave_watchdog_ms,
+                     [this, epoch] { on_watchdog(epoch); });
+}
+
+void LeaveProtocol::on_watchdog(std::uint64_t epoch) {
+  if (epoch != leave_epoch_) return;  // reset() or a newer leave superseded
+  if (core_.status != NodeStatus::kLeaving) return;
+  if (leave_retries_ >= core_.options.leave_max_retries) {
+    // The silent peers are presumed dead (fail-stop); depart without their
+    // acks. A peer that was merely unreachable now points at a silent node,
+    // which the repair protocol detects and reclaims like any crash.
+    ++core_.stats.forced_departures;
+    leave_unacked_.clear();
+    core_.status = NodeStatus::kDeparted;
+    return;
+  }
+  ++leave_retries_;
+  for (const NodeId& v : leave_unacked_) send_leave_msg(v);
+  arm_watchdog();
 }
 
 void LeaveProtocol::on_leave(const NodeId& x, HostId x_host,
@@ -75,10 +109,12 @@ void LeaveProtocol::on_leave(const NodeId& x, HostId x_host,
 }
 
 void LeaveProtocol::on_leave_rly(const NodeId& v) {
-  HCUBE_CHECK(core_.status == NodeStatus::kLeaving);
-  HCUBE_CHECK(leave_acks_pending_ > 0);
-  (void)v;
-  if (--leave_acks_pending_ == 0) core_.status = NodeStatus::kDeparted;
+  // Tolerated after departure: an ack that lost the race against the
+  // leave watchdog's unilateral exit (kLeaveRly is declared legal at
+  // kDeparted), or a duplicate ack for a re-sent LeaveMsg.
+  if (core_.status != NodeStatus::kLeaving) return;
+  leave_unacked_.erase(v);
+  if (leave_unacked_.empty()) core_.status = NodeStatus::kDeparted;
 }
 
 void LeaveProtocol::on_ngh_drop(const NodeId& x) {

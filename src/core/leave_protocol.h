@@ -9,9 +9,21 @@
 // stay exact. Departure completes (status kDeparted) when every ack
 // arrived. Supported under the same regime the paper assumes for joins: no
 // concurrent membership change touching the same suffix classes.
+//
+// Robustness extension: a leave-stall watchdog. A reverse neighbor that
+// crashes between receiving our LeaveMsg and acking it would otherwise
+// strand the leaver in kLeaving forever. When ProtocolOptions::
+// leave_watchdog_ms > 0, unanswered LeaveMsgs are re-sent (they are
+// idempotent: the receiver's entry is already repaired, so it just acks
+// again) up to leave_max_retries times; after that the leaver presumes the
+// silent peers dead and departs unilaterally. That is sound under the
+// fail-stop model: a dead peer needs no notification, and a peer that was
+// merely unreachable still holds a pointer to a now-silent node — exactly
+// the dangling state the repair protocol detects (ping timeout) and
+// reclaims.
 #pragma once
 
-#include <cstddef>
+#include <cstdint>
 
 #include "core/node_core.h"
 
@@ -22,6 +34,15 @@ class LeaveProtocol {
   explicit LeaveProtocol(NodeCore& core) : core_(core) {}
 
   void start_leave();
+
+  // Crash-recovery lifecycle: forgets a half-finished departure of the
+  // previous incarnation (its pending acks will be rejected upstream).
+  void reset() {
+    leave_notified_.clear();
+    leave_unacked_.clear();
+    ++leave_epoch_;
+    leave_retries_ = 0;
+  }
 
   // Sends a LeaveMsg to one reverse neighbor (also used by the join module
   // when a node registers as a reverse neighbor mid-leave).
@@ -36,9 +57,17 @@ class LeaveProtocol {
   void on_ngh_drop(const NodeId& x);
 
  private:
+  void send_leave_msg(const NodeId& v);  // the wire send, no bookkeeping
+  void arm_watchdog();
+  void on_watchdog(std::uint64_t epoch);
+
   NodeCore& core_;
   NodeIdSet leave_notified_;  // reverse neighbors sent a LeaveMsg
-  std::size_t leave_acks_pending_ = 0;
+  NodeIdSet leave_unacked_;   // subset of the above still owing a LeaveRly
+  // Guards pending watchdog timers across reset()/re-leave: a timer fires
+  // inert when its captured epoch is stale.
+  std::uint64_t leave_epoch_ = 0;
+  std::uint32_t leave_retries_ = 0;
 };
 
 }  // namespace hcube

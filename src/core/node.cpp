@@ -18,7 +18,7 @@ Node::Node(NodeId id, const IdParams& params, const ProtocolOptions& options,
            NodeEnv& env)
     : core_(std::move(id), params, options, env),
       leave_(core_),
-      repair_(core_),
+      repair_(core_, leave_),
       join_(core_, leave_) {}
 
 // ---------------------------------------------------------------------------
@@ -76,6 +76,19 @@ void Node::start_join(const NodeId& g0) {
   core_.started = true;
   core_.stats.t_begin = core_.env.now();
   join_.start_join(g0);
+}
+
+void Node::restart(const NodeId& gateway) {
+  HCUBE_CHECK_MSG(core_.status == NodeStatus::kCrashed,
+                  "restart() revives crashed nodes only");
+  HCUBE_CHECK_MSG(gateway != core_.id, "cannot rejoin via self");
+  core_.reset_for_restart();
+  join_.reset();
+  leave_.reset();
+  repair_.reset();
+  core_.started = true;
+  core_.stats.t_begin = core_.env.now();
+  join_.start_join(gateway);
 }
 
 // ---------------------------------------------------------------------------
@@ -142,7 +155,7 @@ void Node::handle(HostId from_host, const Message& msg) {
             repair_.on_repair_query(from, from_host, m);
           },
           [&](const RepairRlyMsg& m) { repair_.on_repair_rly(from, m); },
-          [&](const AnnounceMsg& m) { repair_.on_announce(m); },
+          [&](const AnnounceMsg& m) { repair_.on_announce(from, m); },
           [&](const RelAckMsg&) {
             // Unreachable: the registry declares no legal status for
             // RelAckMsg, so the conformance check above rejects every

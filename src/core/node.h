@@ -83,6 +83,9 @@ class Node {
   // Figure 5: begin joining via gateway g0 (assumed to be an S-node of V).
   void start_join(const NodeId& g0);
 
+  // No join-conversation state outstanding (chaos oracle: leaked state).
+  bool join_idle() const { return join_.idle(); }
+
   // ---- The leave protocol (extension; see leave_protocol.h) ----
   void start_leave() { leave_.start_leave(); }
   bool has_departed() const { return core_.status == NodeStatus::kDeparted; }
@@ -90,7 +93,19 @@ class Node {
   // ---- Failure recovery (extension; see repair_protocol.h) ----
   void mark_crashed() { core_.status = NodeStatus::kCrashed; }
   bool is_crashed() const { return core_.status == NodeStatus::kCrashed; }
-  void start_repair(SimTime ping_timeout_ms) {
+
+  // Crash-recovery lifecycle: brings a crashed node back with the same
+  // NodeId. Every piece of pre-crash protocol state is wiped — table,
+  // reverse neighbors, per-module conversation state — but the attempt-
+  // generation counter survives and the rejoin bumps it past every
+  // pre-crash attempt, so in-flight replies addressed to the old
+  // incarnation (they echo a pre-crash generation) are rejected as stale.
+  // The node then re-enters the join protocol via `gateway` (a live
+  // S-node). Its transport endpoint stays bound: same NodeId, same host.
+  void restart(const NodeId& gateway);
+
+  // ping_timeout_ms <= 0 uses ProtocolOptions::repair_ping_timeout_ms.
+  void start_repair(SimTime ping_timeout_ms = 0.0) {
     repair_.start_repair(ping_timeout_ms);
   }
   bool repair_in_progress() const { return repair_.in_progress(); }

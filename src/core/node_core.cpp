@@ -21,6 +21,20 @@ NodeCore::NodeCore(NodeId id_arg, const IdParams& params_arg,
       env(env_arg),
       table(params, id) {}
 
+void NodeCore::reset_for_restart() {
+  table = NeighborTable(params, id);
+  status = NodeStatus::kCopying;
+  started = false;
+  handling_gen = 0;
+  stats.t_end = -1.0;
+  // A builder-installed member never joined, so its generation is still 0
+  // and the rejoin would run at generation 1 — the join protocol's marker
+  // for a virgin first attempt whose ID provably appears in no table. This
+  // node's ID is all over the network; make the rejoin look like what it
+  // is, a restarted attempt (generation >= 2 after start_join's bump).
+  if (attempt_gen == 0) attempt_gen = 1;
+}
+
 void NodeCore::send(const NodeId& to, MessageBody body) {
   send_with_gen(to, kNoHost, std::move(body), 0);
 }

@@ -41,6 +41,9 @@ struct JoinStats {
   // generation tag of an aborted attempt.
   std::uint32_t watchdog_restarts = 0;
   std::uint64_t stale_rejected = 0;
+  // Departures completed unilaterally by the leave-stall watchdog after
+  // its re-notification budget ran out (see ProtocolOptions).
+  std::uint32_t forced_departures = 0;
 
   std::uint64_t sent_of(MessageType t) const {
     return sent[static_cast<std::size_t>(t)];
@@ -117,6 +120,15 @@ struct NodeCore {
   std::uint32_t handling_gen = 0;
 
   bool is_s_node() const { return status == NodeStatus::kInSystem; }
+
+  // Crash-recovery lifecycle (Node::restart): wipes the table (including
+  // reverse neighbors and backups) and returns the core to its pre-join
+  // state. attempt_gen deliberately survives — the rejoin bumps it past
+  // every pre-crash attempt, which is what invalidates replies still in
+  // flight to the old incarnation. Cumulative stats survive too (they
+  // describe the node's whole lifetime, and the watchdog-restart budget
+  // must not reset with it).
+  void reset_for_restart();
 
   // ---- transport helpers ----
   // Counts the message in stats and hands it to the environment, stamping

@@ -30,6 +30,13 @@ struct ProtocolOptions {
   // (route_fault_tolerant) and recovery use them as instant fallbacks.
   std::uint32_t backups_per_entry = 0;
 
+  // Failure recovery (extension): how long a repair probe waits for a
+  // PongMsg before presuming the probed neighbor dead. Used by
+  // RepairProtocol when start_repair / Overlay::repair_all is driven with
+  // the default timeout; size it above the transport's worst round trip
+  // (plus the ARQ layer's retransmission span when one is stacked).
+  double repair_ping_timeout_ms = 500.0;
+
   // Join-stall watchdog (robustness extension): a joining node that has not
   // become an S-node this many milliseconds after an attempt began aborts
   // the attempt and restarts it under a fresh generation tag (stale replies
@@ -42,6 +49,17 @@ struct ProtocolOptions {
   // Attempts abandoned before the watchdog stops restarting (so a join
   // through a permanently dead gateway cannot loop forever).
   std::uint32_t join_max_restarts = 8;
+
+  // Leave-stall watchdog (robustness extension): a leaver still missing
+  // LeaveRly acks this many milliseconds after notifying its reverse
+  // neighbors re-sends the unanswered LeaveMsgs (idempotent on the
+  // receiver), and after leave_max_retries re-sends presumes the silent
+  // peers dead and departs unilaterally — sound under fail-stop, since the
+  // repair protocol reclaims any pointer left at a peer that was merely
+  // unreachable. 0 disables the watchdog (graceful leaves then assume every
+  // notified reverse neighbor stays alive to ack, as before).
+  double leave_watchdog_ms = 0.0;
+  std::uint32_t leave_max_retries = 4;
 };
 
 }  // namespace hcube

@@ -92,6 +92,17 @@ std::size_t Overlay::live_size() const {
 
 void Overlay::crash(const NodeId& id) { at(id).mark_crashed(); }
 
+void Overlay::restart(const NodeId& id, const NodeId& gateway) {
+  at(id).restart(gateway);
+}
+
+void Overlay::schedule_restart(const NodeId& id, const NodeId& gateway,
+                               SimTime at_ms) {
+  Node* raw = &at(id);
+  NodeId gw = gateway;
+  transport_.queue().schedule_at(at_ms, [raw, gw]() { raw->restart(gw); });
+}
+
 std::uint64_t Overlay::repair_all(SimTime ping_timeout_ms,
                                   std::uint32_t rounds) {
   const std::uint64_t queries_before = sent_of(MessageType::kRepairQuery);

@@ -101,11 +101,21 @@ class Overlay : public NodeEnv {
   // Fail-stop crash: the node silently stops responding.
   void crash(const NodeId& id);
 
+  // Crash-recovery: revives a crashed node under its original NodeId and
+  // transport endpoint and re-enters the join protocol via `gateway`
+  // (Node::restart; the bumped attempt generation shields the new
+  // incarnation from pre-crash replies still in flight).
+  void restart(const NodeId& id, const NodeId& gateway);
+  void schedule_restart(const NodeId& id, const NodeId& gateway, SimTime at);
+
   // Drives the pull-based recovery protocol: every live S-node probes its
   // neighbors and repairs entries pointing at dead ones, repeatedly, for
-  // `rounds` rounds (clustered failures can need more than one). Returns
-  // the number of repair queries issued (0 = nothing dead was detected).
-  std::uint64_t repair_all(SimTime ping_timeout_ms, std::uint32_t rounds = 2);
+  // `rounds` rounds (clustered failures can need more than one). A
+  // non-positive ping_timeout_ms means ProtocolOptions::
+  // repair_ping_timeout_ms. Returns the number of repair queries issued
+  // (0 = nothing dead was detected).
+  std::uint64_t repair_all(SimTime ping_timeout_ms = 0.0,
+                           std::uint32_t rounds = 2);
 
   // ---- NodeEnv ----
   void send_message(const NodeId& from, const NodeId& to, MessageBody body,

@@ -9,6 +9,8 @@ namespace hcube {
 void RepairProtocol::start_repair(SimTime ping_timeout_ms) {
   HCUBE_CHECK_MSG(core_.status == NodeStatus::kInSystem,
                   "repair runs on settled S-nodes");
+  if (ping_timeout_ms <= 0.0)
+    ping_timeout_ms = core_.options.repair_ping_timeout_ms;
   HCUBE_CHECK(ping_timeout_ms > 0.0);
   repair_timeout_ms_ = ping_timeout_ms;
   ++ping_generation_;
@@ -85,6 +87,15 @@ void RepairProtocol::begin_entry_repair(std::uint32_t level,
 
 void RepairProtocol::on_pong(const NodeId& u) { pending_pings_.erase(u); }
 
+void RepairProtocol::reset() {
+  // Outstanding ping timeouts and repair replies reference generations /
+  // conversations that no longer exist in these maps; when they fire or
+  // arrive they find nothing and return.
+  pending_pings_.clear();
+  pending_repairs_.clear();
+  repair_timeout_ms_ = core_.options.repair_ping_timeout_ms;
+}
+
 void RepairProtocol::announce_table() {
   HCUBE_CHECK_MSG(core_.status == NodeStatus::kInSystem,
                   "announce runs on settled S-nodes");
@@ -98,11 +109,32 @@ void RepairProtocol::announce_table() {
   for (const NodeId& u : targets) core_.send(u, AnnounceMsg{snap});
 }
 
-void RepairProtocol::on_announce(const AnnounceMsg& m) {
+void RepairProtocol::on_announce(const NodeId& x, const AnnounceMsg& m) {
+  bool sender_stores_us = false;
   for (const SnapshotEntry& e : m.table.entries) {
-    if (e.node == core_.id) continue;
+    if (e.node == core_.id) {
+      sender_stores_us = true;
+      continue;
+    }
     const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(e.node));
     core_.fill_if_empty(k, e.node.digit(k), e.node, e.state);
+  }
+  // AnnounceMsg carries the sender's full table, so it is also an exact
+  // statement of whether x stores us — reconcile our reverse-neighbor
+  // registration in both directions. This is what re-links a crash-
+  // restarted node with its pre-crash storers (their announcements name
+  // it) and what unregisters a peer that vacated our entry while a
+  // partition made us look dead to it.
+  const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(x));
+  if (sender_stores_us) {
+    core_.table.add_reverse_neighbor(x, {k, core_.id.digit(k)});
+    if (core_.status == NodeStatus::kLeaving && !leave_.has_notified(x)) {
+      // Same cross-protocol edge as RvNghNotiMsg during a leave: a storer
+      // we did not know about must be told to repair before we depart.
+      leave_.send_leave_to(x);
+    }
+  } else {
+    core_.table.remove_reverse_neighbor(x);
   }
 }
 

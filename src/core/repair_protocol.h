@@ -17,15 +17,27 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "core/leave_protocol.h"
 #include "core/node_core.h"
 
 namespace hcube {
 
 class RepairProtocol {
  public:
-  explicit RepairProtocol(NodeCore& core) : core_(core) {}
+  // Needs the leave module for one cross-protocol edge (mirroring
+  // JoinProtocol's RvNghNotiMsg handling): an AnnounceMsg revealing a new
+  // storer while this node is leaving must trigger a LeaveMsg to it.
+  RepairProtocol(NodeCore& core, LeaveProtocol& leave)
+      : core_(core),
+        leave_(leave),
+        repair_timeout_ms_(core.options.repair_ping_timeout_ms) {}
 
+  // ping_timeout_ms <= 0 uses ProtocolOptions::repair_ping_timeout_ms.
   void start_repair(SimTime ping_timeout_ms);
+
+  // Crash-recovery lifecycle: forgets every outstanding probe and repair
+  // conversation (their timers become stale and ignore themselves).
+  void reset();
   // True while pings or repair queries are outstanding.
   bool in_progress() const {
     return !pending_pings_.empty() || !pending_repairs_.empty();
@@ -40,7 +52,7 @@ class RepairProtocol {
   void on_repair_query(const NodeId& x, HostId x_host,
                        const RepairQueryMsg& m);
   void on_repair_rly(const NodeId& z, const RepairRlyMsg& m);
-  void on_announce(const AnnounceMsg& m);
+  void on_announce(const NodeId& x, const AnnounceMsg& m);
 
  private:
   void on_ping_timeout(const NodeId& u, std::uint64_t generation);
@@ -48,6 +60,7 @@ class RepairProtocol {
                           const NodeId& dead);
 
   NodeCore& core_;
+  LeaveProtocol& leave_;
   // pending_pings_ maps a probed neighbor to the generation of the
   // outstanding probe (stale timeouts compare generations);
   // pending_repairs_ maps a vacated entry to the number of repair replies
@@ -60,7 +73,9 @@ class RepairProtocol {
   std::unordered_map<NodeId, std::uint64_t, NodeIdHash> pending_pings_;
   std::unordered_map<std::uint64_t, RepairState> pending_repairs_;
   std::uint64_t ping_generation_ = 0;
-  SimTime repair_timeout_ms_ = 500.0;  // last start_repair's ping timeout
+  // Last effective ping timeout; seeded from ProtocolOptions::
+  // repair_ping_timeout_ms and overridden by explicit start_repair args.
+  SimTime repair_timeout_ms_;
 };
 
 }  // namespace hcube

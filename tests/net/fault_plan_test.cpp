@@ -1,0 +1,195 @@
+// FaultPlan unit tests: time-windowed rules with tier fall-through, the
+// first-class partition primitive, per-rule budgets and stats attribution,
+// and the pair > type > default precedence order.
+#include "net/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.h"
+
+namespace hcube {
+namespace {
+
+using testing::make_ids;
+
+Message ping(const NodeId& sender) { return Message{sender, PingMsg{}}; }
+
+FaultPlan::Spec drop_always() {
+  FaultPlan::Spec spec;
+  spec.drop = 1.0;
+  return spec;
+}
+
+TEST(FaultPlanWindows, RuleAppliesOnlyInsideItsWindow) {
+  EventQueue queue;
+  FaultPlan plan(1);
+  plan.bind_clock(queue);
+  FaultPlan::Spec spec = drop_always();
+  spec.active_from_ms = 100.0;
+  spec.active_until_ms = 200.0;
+  plan.set_for_type(MessageType::kPing, spec);
+
+  const IdParams params{4, 4};
+  const auto ids = make_ids(params, 1, 1);
+  std::vector<FaultAction> actions;
+  for (const SimTime t : {50.0, 150.0, 199.0, 200.0, 250.0}) {
+    queue.schedule_at(t,
+                      [&] { actions.push_back(plan.decide(0, 1, ping(ids[0])).action); });
+  }
+  queue.run();
+  ASSERT_EQ(actions.size(), 5u);
+  EXPECT_EQ(actions[0], FaultAction::kDeliver);  // before the window
+  EXPECT_EQ(actions[1], FaultAction::kDrop);     // inside
+  EXPECT_EQ(actions[2], FaultAction::kDrop);     // inside (half-open end)
+  EXPECT_EQ(actions[3], FaultAction::kDeliver);  // at active_until: closed
+  EXPECT_EQ(actions[4], FaultAction::kDeliver);  // after the window
+  EXPECT_EQ(plan.drops_injected(), 2u);
+}
+
+TEST(FaultPlanWindows, InactiveRuleFallsThroughToNextTier) {
+  // A pair rule outside its window is skipped during matching, so the
+  // always-on type rule underneath decides — and the charge lands on the
+  // type rule's stats, not the pair's.
+  EventQueue queue;
+  FaultPlan plan(2);
+  plan.bind_clock(queue);
+  FaultPlan::Spec pair = drop_always();
+  pair.active_until_ms = 100.0;
+  plan.set_for_pair(0, 1, pair);
+  plan.set_for_type(MessageType::kPing, drop_always());
+
+  const IdParams params{4, 4};
+  const auto ids = make_ids(params, 1, 2);
+  queue.schedule_at(150.0, [&] {
+    EXPECT_EQ(plan.decide(0, 1, ping(ids[0])).action, FaultAction::kDrop);
+  });
+  queue.run();
+  const FaultPlan::Stats stats = plan.stats();
+  ASSERT_EQ(stats.rules.size(), 3u);  // default, type kPing, pair 0->1
+  for (const FaultPlan::RuleStats& rule : stats.rules) {
+    if (rule.scope.rfind("pair", 0) == 0) {
+      EXPECT_EQ(rule.drops_charged, 0u);
+    }
+    if (rule.scope.rfind("type", 0) == 0) {
+      EXPECT_EQ(rule.drops_charged, 1u);
+    }
+  }
+}
+
+TEST(FaultPlanBudgets, ChargeExactlyTheBudget) {
+  FaultPlan plan(3);
+  FaultPlan::Spec spec = drop_always();
+  spec.max_drops = 3;
+  plan.set_default(spec);
+
+  const IdParams params{4, 4};
+  const auto ids = make_ids(params, 1, 3);
+  int dropped = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (plan.decide(0, 1, ping(ids[0])).action == FaultAction::kDrop) {
+      ++dropped;
+      EXPECT_LT(i, 3) << "budget exceeded";  // exactly the first three
+    }
+  }
+  EXPECT_EQ(dropped, 3);
+  EXPECT_EQ(plan.drops_injected(), 3u);
+  const FaultPlan::Stats stats = plan.stats();
+  ASSERT_FALSE(stats.rules.empty());
+  EXPECT_EQ(stats.rules[0].scope, "default");
+  EXPECT_EQ(stats.rules[0].drops_charged, 3u);
+}
+
+TEST(FaultPlanPrecedence, PairBeatsTypeBeatsDefault) {
+  FaultPlan plan(4);
+  plan.set_default(drop_always());
+  plan.set_for_type(MessageType::kPing, drop_always());
+  plan.set_for_pair(0, 1, FaultPlan::Spec{});  // explicit deliver-everything
+
+  const IdParams params{4, 4};
+  const auto ids = make_ids(params, 1, 4);
+  // Pair rule wins for 0->1 (deliver) — and it is directional.
+  EXPECT_EQ(plan.decide(0, 1, ping(ids[0])).action, FaultAction::kDeliver);
+  EXPECT_EQ(plan.decide(1, 0, ping(ids[0])).action, FaultAction::kDrop);
+  // No pair and no type rule: the default decides.
+  EXPECT_EQ(plan.decide(2, 3, Message{ids[0], PongMsg{}}).action,
+            FaultAction::kDrop);
+  const FaultPlan::Stats stats = plan.stats();
+  std::uint64_t default_drops = 0, type_drops = 0;
+  for (const FaultPlan::RuleStats& rule : stats.rules) {
+    if (rule.scope == "default") default_drops = rule.drops_charged;
+    if (rule.scope.rfind("type", 0) == 0) type_drops = rule.drops_charged;
+  }
+  EXPECT_EQ(type_drops, 1u);     // 1->0 ping
+  EXPECT_EQ(default_drops, 1u);  // 2->3 pong
+}
+
+TEST(FaultPlanPartition, CutsCrossGroupTrafficForTheWindow) {
+  EventQueue queue;
+  FaultPlan plan(5);
+  plan.bind_clock(queue);
+  plan.partition({{0, 1}, {2, 3}}, 100.0, 200.0);
+
+  const IdParams params{4, 4};
+  const auto ids = make_ids(params, 1, 5);
+  queue.schedule_at(150.0, [&] {
+    EXPECT_TRUE(plan.partitioned(0, 2));
+    EXPECT_FALSE(plan.partitioned(0, 1));
+    // Cross-group: dropped, charged to the partition counter.
+    EXPECT_EQ(plan.decide(0, 2, ping(ids[0])).action, FaultAction::kDrop);
+    EXPECT_EQ(plan.decide(3, 1, ping(ids[0])).action, FaultAction::kDrop);
+    // Same group: unaffected.
+    EXPECT_EQ(plan.decide(0, 1, ping(ids[0])).action, FaultAction::kDeliver);
+    // A host absent from every group is unaffected.
+    EXPECT_EQ(plan.decide(0, 7, ping(ids[0])).action, FaultAction::kDeliver);
+  });
+  queue.schedule_at(250.0, [&] {
+    // The window closed: the partition healed by itself.
+    EXPECT_FALSE(plan.partitioned(0, 2));
+    EXPECT_EQ(plan.decide(0, 2, ping(ids[0])).action, FaultAction::kDeliver);
+  });
+  queue.run();
+  EXPECT_EQ(plan.partition_drops(), 2u);
+  EXPECT_EQ(plan.drops_injected(), 0u)
+      << "partition drops must not be charged to per-rule fault budgets";
+}
+
+TEST(FaultPlanPartition, OverlappingWindowsEachSeparate) {
+  EventQueue queue;
+  FaultPlan plan(6);
+  plan.bind_clock(queue);
+  plan.partition({{0}, {1}}, 0.0, 300.0);
+  plan.partition({{0}, {2}}, 100.0, 200.0);
+
+  queue.schedule_at(150.0, [&] {
+    EXPECT_TRUE(plan.partitioned(0, 1));
+    EXPECT_TRUE(plan.partitioned(0, 2));
+    EXPECT_FALSE(plan.partitioned(1, 2));  // never separated by one window
+  });
+  queue.schedule_at(250.0, [&] {
+    EXPECT_TRUE(plan.partitioned(0, 1));   // long window still open
+    EXPECT_FALSE(plan.partitioned(0, 2));  // short window healed
+  });
+  queue.run();
+}
+
+TEST(FaultPlanDecisions, DuplicateAndDelay) {
+  FaultPlan plan(7);
+  FaultPlan::Spec spec;
+  spec.duplicate = 1.0;
+  spec.delay = 1.0;
+  spec.extra_delay_ms = 25.0;
+  plan.set_default(spec);
+
+  const IdParams params{4, 4};
+  const auto ids = make_ids(params, 1, 7);
+  const FaultDecision decision = plan.decide(0, 1, ping(ids[0]));
+  EXPECT_EQ(decision.action, FaultAction::kDuplicate);
+  EXPECT_DOUBLE_EQ(decision.extra_delay_ms, 25.0);
+  EXPECT_EQ(plan.duplicates_injected(), 1u);
+  EXPECT_EQ(plan.delays_injected(), 1u);
+}
+
+}  // namespace
+}  // namespace hcube

@@ -1,0 +1,128 @@
+// hchaos — command-line driver for the deterministic chaos engine.
+//
+// Modes:
+//   hchaos --seed S --profile P --steps N      sample a churn script from
+//                                              (seed, profile) and run it
+//   hchaos --replay FILE                       re-execute a serialized
+//                                              schedule (e.g. a CI artifact)
+//   ... --shrink                               on failure, ddmin-minimize
+//                                              the schedule first
+//   ... --out FILE                             where to write the failing
+//                                              (minimized, with --shrink)
+//                                              schedule artifact
+//
+// Identical invocations produce identical output, including the run digest
+// printed in the summary — the engine is a pure function of the schedule.
+// Exit status: 0 every oracle passed, 1 an oracle failed, 2 usage or
+// parse error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "chaos/engine.h"
+#include "chaos/schedule.h"
+#include "chaos/shrink.h"
+
+namespace {
+
+using namespace hcube;
+using namespace hcube::chaos;
+
+int usage() {
+  std::string names;
+  for (const ChurnProfile& p : profiles())
+    names += std::string(names.empty() ? "" : "|") + p.name;
+  std::fprintf(stderr,
+               "usage: hchaos [--seed <s=1>] [--profile <%s>] [--steps <n=40>]\n"
+               "              [--replay <file>] [--shrink] [--out <file>]\n",
+               names.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> kv;
+  bool shrink = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shrink") {
+      shrink = true;
+    } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      kv[arg.substr(2)] = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  for (const auto& [key, value] : kv) {
+    (void)value;
+    if (key != "seed" && key != "profile" && key != "steps" &&
+        key != "replay" && key != "out")
+      return usage();
+  }
+
+  ChurnScript script;
+  if (kv.contains("replay")) {
+    std::ifstream in(kv["replay"]);
+    if (!in) {
+      std::fprintf(stderr, "hchaos: cannot open %s\n", kv["replay"].c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    auto parsed = ChurnScript::parse(text.str(), &error);
+    if (!parsed) {
+      std::fprintf(stderr, "hchaos: %s: %s\n", kv["replay"].c_str(),
+                   error.c_str());
+      return 2;
+    }
+    script = std::move(*parsed);
+    std::printf("replaying %s (%zu steps)\n", kv["replay"].c_str(),
+                script.steps.size());
+  } else {
+    const std::uint64_t seed =
+        kv.contains("seed") ? std::strtoull(kv["seed"].c_str(), nullptr, 10)
+                            : 1;
+    const std::string profile_name =
+        kv.contains("profile") ? kv["profile"] : "mixed";
+    const ChurnProfile* profile = find_profile(profile_name);
+    if (profile == nullptr) {
+      std::fprintf(stderr, "hchaos: unknown profile %s\n",
+                   profile_name.c_str());
+      return usage();
+    }
+    const auto steps =
+        kv.contains("steps")
+            ? static_cast<std::uint32_t>(
+                  std::strtoull(kv["steps"].c_str(), nullptr, 10))
+            : 40u;
+    script = sample_script(seed, *profile, steps);
+    std::printf("seed %llu, profile %s, %zu steps (incl. barriers)\n",
+                static_cast<unsigned long long>(seed), profile->name,
+                script.steps.size());
+  }
+
+  ChaosResult result = run_script(script);
+  std::fputs(result.summary().c_str(), stdout);
+  if (result.ok) return 0;
+
+  ChurnScript artifact = script;
+  if (shrink) {
+    ShrinkResult shrunk = shrink_script(script);
+    std::printf("shrink: %zu -> %zu steps in %u runs\n", script.steps.size(),
+                shrunk.minimal.steps.size(), shrunk.runs);
+    std::fputs(shrunk.minimal_result.summary().c_str(), stdout);
+    artifact = std::move(shrunk.minimal);
+  }
+  const std::string out_path =
+      kv.contains("out") ? kv["out"] : "hchaos-schedule.txt";
+  std::ofstream out(out_path);
+  out << artifact.serialize();
+  std::printf("failing schedule written to %s (replay with --replay)\n",
+              out_path.c_str());
+  return 1;
+}
