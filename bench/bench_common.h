@@ -16,6 +16,8 @@
 #include "core/consistency.h"
 #include "core/overlay.h"
 #include "core/routing.h"
+#include "obs/bench_report.h"
+#include "obs/collect.h"
 #include "topology/latency.h"
 #include "util/stats.h"
 
@@ -31,6 +33,9 @@ struct JoinWaveConfig {
   // false: cheap synthetic pairwise latencies.
   bool topology_latency = true;
   std::uint32_t routers_scale = 1;  // multiplies the default 2080 routers
+  // If set, the full overlay metric snapshot (obs::collect) is merged into
+  // this registry before the wave's overlay is torn down.
+  obs::MetricsRegistry* collect_into = nullptr;
 };
 
 struct JoinWaveResult {
@@ -86,7 +91,29 @@ inline JoinWaveResult run_join_wave(const JoinWaveConfig& cfg) {
   result.sim_ms = queue.now();
   result.all_in_system = overlay.all_in_system();
   result.consistent = check_consistency(view_of(overlay)).consistent();
+  if (cfg.collect_into) obs::collect(overlay, *cfg.collect_into);
   return result;
+}
+
+// Folds a per-joiner empirical distribution into a registry log-histogram,
+// so bench JSON carries the distribution shape, not just its mean.
+inline void observe_distribution(obs::MetricsRegistry& reg,
+                                 std::string_view name,
+                                 const EmpiricalDistribution& dist) {
+  const auto id = reg.histogram(name);
+  for (const auto& [value, count] : dist.buckets())
+    for (std::uint64_t i = 0; i < count; ++i)
+      reg.observe(id, static_cast<double>(value));
+}
+
+// Writes BENCH_<name>.json into the working directory and echoes the path
+// (CI's bench-trend job uploads these as artifacts).
+inline void write_report(obs::BenchReport& report) {
+  const std::string path = report.write();
+  if (path.empty())
+    std::fprintf(stderr, "# WARNING: failed to write bench report\n");
+  else
+    std::printf("\n# metrics: %s\n", path.c_str());
 }
 
 // Minimal flag parsing: --key value (integers only).

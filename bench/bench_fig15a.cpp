@@ -9,6 +9,7 @@
 // notification level distribution depends on n through the suffix tail,
 // which is identical for d=8 and d=40 at these n).
 #include <cstdio>
+#include <string>
 
 #include "analysis/join_cost.h"
 #include "bench_common.h"
@@ -18,6 +19,11 @@ int main(int argc, char** argv) {
   const auto n_lo = bench::flag_u64(argc, argv, "--n-lo", 10000);
   const auto n_hi = bench::flag_u64(argc, argv, "--n-hi", 100000);
   const auto n_step = bench::flag_u64(argc, argv, "--n-step", 10000);
+
+  obs::BenchReport report("fig15a");
+  report.param("n_lo", n_lo);
+  report.param("n_hi", n_hi);
+  report.param("n_step", n_step);
 
   struct Curve {
     std::uint64_t m;
@@ -37,8 +43,12 @@ int main(int argc, char** argv) {
     std::printf("%10llu", static_cast<unsigned long long>(n));
     for (const auto& c : curves) {
       const IdParams params{16, c.d};
-      std::printf("  %11.3f",
-                  expected_join_noti_concurrent_bound(params, n, c.m));
+      const double bound = expected_join_noti_concurrent_bound(params, n, c.m);
+      std::printf("  %11.3f", bound);
+      report.metrics().set_named(
+          "ej_bound.m" + std::to_string(c.m) + ".d" + std::to_string(c.d) +
+              ".n" + std::to_string(n),
+          bound);
     }
     std::printf("\n");
   }
@@ -52,5 +62,6 @@ int main(int argc, char** argv) {
     std::printf("  n=7192 m=1000 d=%-2u -> bound %.3f (paper: 6.986)\n", d,
                 expected_join_noti_concurrent_bound(params, 7192, 1000));
   }
+  bench::write_report(report);
   return 0;
 }

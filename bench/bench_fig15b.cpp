@@ -12,6 +12,7 @@
 //
 // Flags: --m <joiners> --seed <s> --quick (n=774/1798, m=250).
 #include <cstdio>
+#include <string>
 
 #include "analysis/join_cost.h"
 #include "bench_common.h"
@@ -21,6 +22,11 @@ int main(int argc, char** argv) {
   const bool quick = bench::flag_present(argc, argv, "--quick");
   const auto m = bench::flag_u64(argc, argv, "--m", quick ? 250 : 1000);
   const auto seed = bench::flag_u64(argc, argv, "--seed", 1);
+
+  obs::BenchReport report("fig15b");
+  report.param("quick", static_cast<std::uint64_t>(quick ? 1 : 0));
+  report.param("m", m);
+  report.param("seed", seed);
 
   struct Setup {
     std::size_t n;
@@ -62,6 +68,13 @@ int main(int argc, char** argv) {
         cfg.params, cfg.n, m);
     rows.push_back({setups[s], result.join_noti.mean(), bound,
                     result.all_in_system && result.consistent});
+
+    const std::string tag =
+        "fig15b.n" + std::to_string(cfg.n) + ".d" + std::to_string(setups[s].d);
+    auto& reg = report.metrics();
+    reg.set_named(tag + ".join_noti_mean", result.join_noti.mean());
+    reg.set_named(tag + ".bound", bound);
+    bench::observe_distribution(reg, tag + ".join_noti", result.join_noti);
     std::printf("#  mean=%.3f p99=%lld max=%lld  consistent=%s\n\n",
                 result.join_noti.mean(),
                 static_cast<long long>(result.join_noti.quantile(0.99)),
@@ -81,5 +94,6 @@ int main(int argc, char** argv) {
                 r.avg <= r.bound && r.ok ? "below bound, consistent"
                                          : "VIOLATION");
   }
+  bench::write_report(report);
   return 0;
 }

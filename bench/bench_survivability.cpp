@@ -16,6 +16,7 @@
 // last joiner settled.
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "core/routing.h"
 #include "net/fault_plan.h"
@@ -30,6 +31,12 @@ int main(int argc, char** argv) {
   const auto pairs = bench::flag_u64(argc, argv, "--pairs", quick ? 1500 : 5000);
   const auto seed = bench::flag_u64(argc, argv, "--seed", 81);
   const IdParams params{16, 8};
+
+  obs::BenchReport report("survivability");
+  report.param("quick", static_cast<std::uint64_t>(quick ? 1 : 0));
+  report.param("n", n);
+  report.param("pairs", pairs);
+  report.param("seed", seed);
 
   std::printf("# E12: fraction of routes that survive f%% crashes BEFORE "
               "repair (n=%llu, b=16, d=8)\n\n",
@@ -67,13 +74,17 @@ int main(int argc, char** argv) {
                               : route_fault_tolerant(live, a, b);
         if (r.success) ++ok;
       }
+      const double survived =
+          static_cast<double>(ok) / static_cast<double>(trials);
       if (k == 0) {
-        std::printf(" %11.4f |",
-                    static_cast<double>(ok) / static_cast<double>(trials));
+        std::printf(" %11.4f |", survived);
       } else {
-        std::printf(" %10.4f",
-                    static_cast<double>(ok) / static_cast<double>(trials));
+        std::printf(" %10.4f", survived);
       }
+      report.metrics().set_named(
+          "survive.f" + std::to_string(static_cast<int>(frac * 100.0)) + ".k" +
+              std::to_string(k),
+          survived);
     }
     std::printf("\n");
   }
@@ -127,8 +138,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(plan.partition_drops()),
                 static_cast<unsigned long long>(rel.rstats().retransmits),
                 last_settle - window_ms);
+
+    const std::string tag =
+        "heal.w" + std::to_string(static_cast<int>(window_ms));
+    auto& reg = report.metrics();
+    reg.add_named(tag + ".partition_drops", plan.partition_drops());
+    reg.add_named(tag + ".retransmits", rel.rstats().retransmits);
+    reg.set_named(tag + ".settle_after_heal_ms", last_settle - window_ms);
   }
   std::printf("\n# (ARQ: rto=100ms, backoff=2, 8 retries — the retry span "
               "outlives every window, so no join is abandoned)\n");
+  bench::write_report(report);
   return 0;
 }

@@ -3,6 +3,7 @@
 // under heavy concurrency. Prints the observed per-joiner maximum next to
 // the bound (a violation would mean the protocol is wrong, not the model).
 #include <cstdio>
+#include <string>
 
 #include "analysis/join_cost.h"
 #include "bench_common.h"
@@ -11,6 +12,13 @@ int main(int argc, char** argv) {
   using namespace hcube;
   const bool quick = bench::flag_present(argc, argv, "--quick");
   const auto seed = bench::flag_u64(argc, argv, "--seed", 11);
+
+  obs::BenchReport report("theorem3");
+  report.param("quick", static_cast<std::uint64_t>(quick ? 1 : 0));
+  report.param("seed", seed);
+  // Registered up front so a clean run still exports t3.violations = 0 for
+  // CI's bench-trend gate to read.
+  report.metrics().counter("t3.violations");
 
   struct Case {
     std::uint32_t b, d;
@@ -39,6 +47,17 @@ int main(int argc, char** argv) {
                     static_cast<std::uint64_t>(result.copy_wait.max()) <=
                         bound;
     all_ok = all_ok && ok;
+
+    const std::string tag = "t3.b" + std::to_string(c.b) + ".d" +
+                            std::to_string(c.d) + ".n" + std::to_string(cfg.n) +
+                            ".m" + std::to_string(cfg.m);
+    auto& reg = report.metrics();
+    reg.set_named(tag + ".copy_wait_max",
+                  static_cast<double>(result.copy_wait.max()));
+    reg.set_named(tag + ".copy_wait_mean", result.copy_wait.mean());
+    reg.set_named(tag + ".bound", static_cast<double>(bound));
+    bench::observe_distribution(reg, tag + ".copy_wait", result.copy_wait);
+    if (!ok) reg.add_named("t3.violations");
     std::printf("%4u %4u %7zu %7zu | %9lld %9.3f %6llu | %s\n", c.b, c.d,
                 cfg.n, cfg.m, static_cast<long long>(result.copy_wait.max()),
                 result.copy_wait.mean(),
@@ -47,5 +66,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n%s\n", all_ok ? "Theorem 3 bound held in every run."
                                : "THEOREM 3 VIOLATED — investigate!");
+  bench::write_report(report);
   return all_ok ? 0 : 1;
 }

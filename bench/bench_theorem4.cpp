@@ -9,6 +9,7 @@
 // negligible at these scales.
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "analysis/join_cost.h"
 #include "bench_common.h"
@@ -19,6 +20,12 @@ int main(int argc, char** argv) {
   const auto joins = bench::flag_u64(argc, argv, "--joins", quick ? 30 : 100);
   const auto seed = bench::flag_u64(argc, argv, "--seed", 101);
   const IdParams params{16, 8};
+
+  obs::BenchReport report("theorem4");
+  report.param("quick", static_cast<std::uint64_t>(quick ? 1 : 0));
+  report.param("joins", joins);
+  report.param("seed", seed);
+  report.metrics().counter("t4.outside_3sigma");
 
   std::printf("# E14: Theorem 4 — E[#JoinNotiMsg] for a single join vs "
               "measured mean of %llu joins (b=16, d=8)\n\n",
@@ -63,9 +70,17 @@ int main(int argc, char** argv) {
     std::printf("%8llu | %10.3f %10.3f %10.3f | %s\n",
                 static_cast<unsigned long long>(n), expected, stats.mean(),
                 stderr_est, ok ? "yes" : "OUTSIDE");
+
+    const std::string tag = "t4.n" + std::to_string(n);
+    auto& reg = report.metrics();
+    reg.set_named(tag + ".expected", expected);
+    reg.set_named(tag + ".measured", stats.mean());
+    reg.set_named(tag + ".stderr", stderr_est);
+    if (!ok) reg.add_named("t4.outside_3sigma");
   }
   std::printf("\n%s\n",
               all_ok ? "Theorem 4 matches simulation at every scale."
                      : "Mismatch beyond 3 sigma — check the model.");
+  bench::write_report(report);
   return all_ok ? 0 : 1;
 }

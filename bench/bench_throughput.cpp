@@ -17,10 +17,12 @@
 // Allocations are counted by instrumenting global operator new, warming the
 // pools first so the steady-state figure is what is reported. Expected:
 // zero allocations/message on the pooled paths, >= 2x legacy throughput on
-// the loopback path.
+// the loopback path. The pooled paths bump a MetricsRegistry counter on
+// every delivery, so the zero-allocs/message figure covers metric updates:
+// registry add() is a pre-interned vector index, not a hash or allocation.
 //
 // Usage: bench_throughput [--messages N] [--warmup N] [--wave-n N]
-//                         [--wave-m N]
+//                         [--wave-m N] [--quick]
 
 #include <chrono>
 #include <cstdio>
@@ -64,6 +66,8 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace hcube::bench {
 namespace {
+
+HCUBE_METRIC(kMetricDelivered, "tp.delivered");
 
 using Clock = std::chrono::steady_clock;
 
@@ -185,16 +189,21 @@ PathResult run_legacy(std::uint64_t warmup, std::uint64_t measured) {
 }
 
 PathResult run_pooled(const char* name, Transport& transport,
-                      std::uint64_t warmup, std::uint64_t measured) {
+                      std::uint64_t warmup, std::uint64_t measured,
+                      obs::MetricsRegistry& reg) {
   const IdParams params{16, 8};
   const auto ids = make_ids(params);
   EventQueue& queue = transport.queue();
   const std::uint64_t total = warmup + measured;
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
+  // Interned before the measured window opens; the per-delivery add() below
+  // is the metric update the allocs/msg figure has to stay at zero with.
+  const obs::MetricsRegistry::Id delivered_id = reg.counter(kMetricDelivered);
   for (HostId self : {HostId{0}, HostId{1}}) {
     transport.add_endpoint([&, self](HostId from, const Message&) {
       ++delivered;
+      reg.add(delivered_id);
       if (sent < total) {
         ++sent;
         transport.send(self, from, Message{ids[self], PingMsg{}});
@@ -224,9 +233,12 @@ void print_path(const PathResult& r) {
               static_cast<unsigned long long>(r.delivered), r.wall_s);
 }
 
-// Protocol-level comparison: the same join wave over each transport.
+// Protocol-level comparison: the same join wave over each transport. The
+// sim wave also snapshots the full overlay registry (per-message-type send
+// counters, membership gauges, join histograms) into the bench report.
 void run_wave(const char* name, Transport& transport, std::size_t n,
-              std::size_t m, std::uint64_t seed) {
+              std::size_t m, std::uint64_t seed,
+              obs::MetricsRegistry* collect_into) {
   const IdParams params{16, 8};
   ProtocolOptions options;
   Overlay overlay(params, options, transport);
@@ -244,6 +256,11 @@ void run_wave(const char* name, Transport& transport, std::size_t n,
   const std::uint64_t events =
       transport.queue().events_processed() - events_before;
   const bool consistent = check_consistency(view_of(overlay)).consistent();
+  if (collect_into) {
+    obs::collect(overlay, *collect_into);
+    collect_into->set_named(std::string("wave.") + name + ".msgs_per_sec",
+                            wall > 0 ? overlay.totals().messages / wall : 0.0);
+  }
   std::printf(
       "  %-10s n=%zu m=%zu: %llu msgs in %.3fs (%.0f msgs/sec, %llu events)%s\n",
       name, n, m, static_cast<unsigned long long>(overlay.totals().messages),
@@ -254,42 +271,66 @@ void run_wave(const char* name, Transport& transport, std::size_t n,
 
 int main_impl(int argc, char** argv) {
   // Defaults sized so the measured phase runs long enough (~0.4s+) that
-  // scheduler jitter does not swamp the legacy-vs-pooled comparison.
-  const std::uint64_t measured = flag_u64(argc, argv, "--messages", 10'000'000);
-  const std::uint64_t warmup = flag_u64(argc, argv, "--warmup", 200'000);
-  const std::size_t wave_n =
-      static_cast<std::size_t>(flag_u64(argc, argv, "--wave-n", 512));
-  const std::size_t wave_m =
-      static_cast<std::size_t>(flag_u64(argc, argv, "--wave-m", 128));
+  // scheduler jitter does not swamp the legacy-vs-pooled comparison;
+  // --quick trades precision for CI turnaround.
+  const bool quick = flag_present(argc, argv, "--quick");
+  const std::uint64_t measured = flag_u64(argc, argv, "--messages",
+                                          quick ? 1'000'000 : 10'000'000);
+  const std::uint64_t warmup =
+      flag_u64(argc, argv, "--warmup", quick ? 100'000 : 200'000);
+  const std::size_t wave_n = static_cast<std::size_t>(
+      flag_u64(argc, argv, "--wave-n", quick ? 256 : 512));
+  const std::size_t wave_m = static_cast<std::size_t>(
+      flag_u64(argc, argv, "--wave-m", quick ? 64 : 128));
+
+  obs::BenchReport report("throughput");
+  report.param("quick", static_cast<std::uint64_t>(quick ? 1 : 0));
+  report.param("messages", measured);
+  report.param("warmup", warmup);
+  report.param("wave_n", static_cast<std::uint64_t>(wave_n));
+  report.param("wave_m", static_cast<std::uint64_t>(wave_m));
+  auto& reg = report.metrics();
+  auto record_path = [&reg](const char* key, const PathResult& r) {
+    reg.set_named(std::string("tp.") + key + ".msgs_per_sec",
+                  r.msgs_per_sec());
+    reg.set_named(std::string("tp.") + key + ".allocs_per_msg",
+                  r.allocs_per_msg);
+  };
 
   std::printf("raw ping-pong (%llu warmup + %llu measured messages):\n",
               static_cast<unsigned long long>(warmup),
               static_cast<unsigned long long>(measured));
   const PathResult legacy = run_legacy(warmup, measured);
   print_path(legacy);
+  record_path("legacy", legacy);
 
   PathResult sim{};
   {
     EventQueue queue;
     SyntheticLatency latency(2, 5.0, 120.0, /*seed=*/1);
     SimTransport transport(queue, latency);
-    sim = run_pooled("sim (pooled)", transport, warmup, measured);
+    sim = run_pooled("sim (pooled)", transport, warmup, measured, reg);
     print_path(sim);
+    record_path("sim", sim);
   }
   PathResult loopback{};
   {
     EventQueue queue;
     LoopbackTransport transport(queue, /*max_endpoints=*/2);
-    loopback = run_pooled("loopback (pooled)", transport, warmup, measured);
+    loopback =
+        run_pooled("loopback (pooled)", transport, warmup, measured, reg);
     print_path(loopback);
+    record_path("loopback", loopback);
   }
   PathResult reliable{};
   {
     EventQueue queue;
     LoopbackTransport inner(queue, /*max_endpoints=*/2);
     ReliableTransport transport(inner);
-    reliable = run_pooled("reliable (loopback)", transport, warmup, measured);
+    reliable =
+        run_pooled("reliable (loopback)", transport, warmup, measured, reg);
     print_path(reliable);
+    record_path("reliable", reliable);
     if (transport.rstats().retransmits != 0 ||
         transport.rstats().dup_suppressed != 0) {
       std::printf("  [UNEXPECTED] clean loopback saw %llu retransmits, "
@@ -304,6 +345,10 @@ int main_impl(int argc, char** argv) {
               legacy.msgs_per_sec() > 0
                   ? loopback.msgs_per_sec() / legacy.msgs_per_sec()
                   : 0.0);
+  reg.set_named("tp.loopback_legacy_speedup",
+                legacy.msgs_per_sec() > 0
+                    ? loopback.msgs_per_sec() / legacy.msgs_per_sec()
+                    : 0.0);
 
   std::printf("\nprotocol join wave:\n");
   {
@@ -311,14 +356,15 @@ int main_impl(int argc, char** argv) {
     SyntheticLatency latency(static_cast<std::uint32_t>(wave_n + wave_m), 5.0,
                              120.0, /*seed=*/7);
     SimTransport transport(queue, latency);
-    run_wave("sim", transport, wave_n, wave_m, /*seed=*/7);
+    run_wave("sim", transport, wave_n, wave_m, /*seed=*/7, &reg);
   }
   {
     EventQueue queue;
     LoopbackTransport transport(
         queue, static_cast<std::uint32_t>(wave_n + wave_m));
-    run_wave("loopback", transport, wave_n, wave_m, /*seed=*/7);
+    run_wave("loopback", transport, wave_n, wave_m, /*seed=*/7, nullptr);
   }
+  write_report(report);
   return 0;
 }
 

@@ -86,7 +86,8 @@ class Runner {
     plan_.attach(inner_);
   }
 
-  ChaosResult run() {
+  ChaosResult run(const ObserveOverlay& observe) {
+    if (observe) observe(overlay_);
     seed_world();
     SimTime cursor = 0.0;
     for (std::uint32_t i = 0; i < script_.steps.size(); ++i) {
@@ -304,9 +305,10 @@ class Runner {
 
 }  // namespace
 
-ChaosResult run_script(const ChurnScript& script) {
+ChaosResult run_script(const ChurnScript& script,
+                       const ObserveOverlay& observe) {
   Runner runner(script);
-  return runner.run();
+  return runner.run(observe);
 }
 
 }  // namespace hcube::chaos

@@ -28,10 +28,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "chaos/schedule.h"
+#include "obs/metric.h"
+
+namespace hcube {
+class Overlay;
+}  // namespace hcube
 
 namespace hcube::chaos {
 
@@ -53,6 +59,20 @@ struct StepCounts {
   std::uint32_t partitions = 0;
   std::uint32_t noops = 0;
 };
+
+// Canonical registry names for the end-of-run accounting
+// (obs::collect_counters exports them; see ChaosResult::for_each_metric).
+HCUBE_METRIC(kMetricChaosEvents, "chaos.events");
+HCUBE_METRIC(kMetricChaosMessages, "chaos.messages");
+HCUBE_METRIC(kMetricChaosBytes, "chaos.bytes");
+HCUBE_METRIC(kMetricChaosFaultsInjected, "chaos.faults_injected");
+HCUBE_METRIC(kMetricChaosPartitionDrops, "chaos.partition_drops");
+HCUBE_METRIC(kMetricChaosRetransmits, "chaos.retransmits");
+HCUBE_METRIC(kMetricChaosGiveUps, "chaos.give_ups");
+HCUBE_METRIC(kMetricChaosSettled, "chaos.settled");
+HCUBE_METRIC(kMetricChaosDeparted, "chaos.departed");
+HCUBE_METRIC(kMetricChaosCrashed, "chaos.crashed");
+HCUBE_METRIC(kMetricChaosAbandonedJoins, "chaos.abandoned_joins");
 
 struct ChaosResult {
   bool ok = true;  // every barrier passed every oracle
@@ -80,8 +100,32 @@ struct ChaosResult {
   std::string first_failure() const;
   // Multi-line human-readable report.
   std::string summary() const;
+
+  // Exports the end-of-run counters under their canonical registry names.
+  template <class Fn>
+  void for_each_metric(Fn&& fn) const {
+    fn(kMetricChaosEvents, events);
+    fn(kMetricChaosMessages, messages);
+    fn(kMetricChaosBytes, bytes);
+    fn(kMetricChaosFaultsInjected, faults_injected);
+    fn(kMetricChaosPartitionDrops, partition_drops);
+    fn(kMetricChaosRetransmits, retransmits);
+    fn(kMetricChaosGiveUps, give_ups);
+    fn(kMetricChaosSettled, settled);
+    fn(kMetricChaosDeparted, departed);
+    fn(kMetricChaosCrashed, crashed);
+    fn(kMetricChaosAbandonedJoins, abandoned_joins);
+  }
 };
 
-ChaosResult run_script(const ChurnScript& script);
+// Observation hook: called with the freshly built overlay before the first
+// step runs, so callers can attach observers (obs::JoinSpanTracer,
+// MessageTrace) to a world the engine otherwise keeps internal. Attaching
+// must not perturb the run — the digest of an observed run is identical to
+// an unobserved one.
+using ObserveOverlay = std::function<void(Overlay& overlay)>;
+
+ChaosResult run_script(const ChurnScript& script,
+                       const ObserveOverlay& observe = {});
 
 }  // namespace hcube::chaos

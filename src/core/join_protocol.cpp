@@ -65,7 +65,7 @@ void JoinProtocol::reset() {
 }
 
 void JoinProtocol::begin_attempt() {
-  core_.status = NodeStatus::kCopying;
+  core_.set_status(NodeStatus::kCopying);
   copy_level_ = 0;
   copy_from_ = gateway_;
   core_.send(gateway_, CpRstMsg{});
@@ -190,7 +190,7 @@ void JoinProtocol::finish_copying_and_wait(const NodeId& target) {
   for (std::uint32_t i = 0; i < core_.params.num_digits; ++i)
     core_.table.set(i, core_.id.digit(i), core_.id, NeighborState::kT,
                     core_.self_host);
-  core_.status = NodeStatus::kWaiting;
+  core_.set_status(NodeStatus::kWaiting);
   core_.send(target, JoinWaitMsg{});
   q_notified_.insert(target);
   q_replies_.insert(target);
@@ -245,7 +245,7 @@ void JoinProtocol::on_join_wait_rly(const NodeId& y,
 
   if (m.positive) {
     HCUBE_CHECK(core_.status == NodeStatus::kWaiting);
-    core_.status = NodeStatus::kNotifying;
+    core_.set_status(NodeStatus::kNotifying);
     noti_level_ = k;
     core_.stats.noti_level = k;
     core_.table.add_reverse_neighbor(y, {k, core_.id.digit(k)});
@@ -413,7 +413,7 @@ void JoinProtocol::maybe_switch_to_s_node() {
 
 void JoinProtocol::switch_to_s_node() {
   HCUBE_CHECK(core_.status == NodeStatus::kNotifying);
-  core_.status = NodeStatus::kInSystem;
+  core_.set_status(NodeStatus::kInSystem);
   core_.stats.t_end = core_.env.now();
   for (std::uint32_t i = 0; i < core_.params.num_digits; ++i)
     core_.table.set_state(i, core_.id.digit(i), NeighborState::kS);

@@ -58,7 +58,8 @@ class JoinProtocol {
   // incarnation. The attempt generation is NodeCore state and survives.
   void reset();
 
-  std::uint32_t noti_level() const { return noti_level_; }
+  // The notification start level is published to JoinStats::noti_level
+  // (the registry's one source of truth); read it via Node::noti_level().
 
   // True when no conversation state is outstanding: no reply awaited, no
   // deferred JoinWaitMsg sender unanswered. The chaos oracles assert this

@@ -27,7 +27,7 @@ void LeaveProtocol::send_leave_to(const NodeId& v) {
 void LeaveProtocol::start_leave() {
   HCUBE_CHECK_MSG(core_.status == NodeStatus::kInSystem,
                   "only an S-node may leave gracefully");
-  core_.status = NodeStatus::kLeaving;
+  core_.set_status(NodeStatus::kLeaving);
   ++leave_epoch_;
   leave_retries_ = 0;
   for (const auto& [v, where] : core_.table.reverse_neighbors()) {
@@ -37,7 +37,7 @@ void LeaveProtocol::start_leave() {
   for (const NodeId& y : core_.table.distinct_neighbors())
     core_.send(y, NghDropMsg{});
   if (leave_unacked_.empty()) {
-    core_.status = NodeStatus::kDeparted;
+    core_.set_status(NodeStatus::kDeparted);
     return;
   }
   arm_watchdog();
@@ -59,7 +59,7 @@ void LeaveProtocol::on_watchdog(std::uint64_t epoch) {
     // which the repair protocol detects and reclaims like any crash.
     ++core_.stats.forced_departures;
     leave_unacked_.clear();
-    core_.status = NodeStatus::kDeparted;
+    core_.set_status(NodeStatus::kDeparted);
     return;
   }
   ++leave_retries_;
@@ -114,7 +114,7 @@ void LeaveProtocol::on_leave_rly(const NodeId& v) {
   // kDeparted), or a duplicate ack for a re-sent LeaveMsg.
   if (core_.status != NodeStatus::kLeaving) return;
   leave_unacked_.erase(v);
-  if (leave_unacked_.empty()) core_.status = NodeStatus::kDeparted;
+  if (leave_unacked_.empty()) core_.set_status(NodeStatus::kDeparted);
 }
 
 void LeaveProtocol::on_ngh_drop(const NodeId& x) {

@@ -33,7 +33,7 @@ void Node::become_seed() {
   for (std::uint32_t i = 0; i < core_.params.num_digits; ++i)
     core_.table.set(i, core_.id.digit(i), core_.id, NeighborState::kS,
                     core_.self_host);
-  core_.status = NodeStatus::kInSystem;
+  core_.set_status(NodeStatus::kInSystem);
   core_.stats.t_begin = core_.stats.t_end = core_.env.now();
 }
 
@@ -49,7 +49,7 @@ void Node::finish_install() {
   for (std::uint32_t i = 0; i < core_.params.num_digits; ++i)
     core_.table.set(i, core_.id.digit(i), core_.id, NeighborState::kS,
                     core_.self_host);
-  core_.status = NodeStatus::kInSystem;
+  core_.set_status(NodeStatus::kInSystem);
   core_.stats.t_begin = core_.stats.t_end = core_.env.now();
 }
 

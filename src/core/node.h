@@ -31,7 +31,7 @@ class Node {
   const NodeId& id() const { return core_.id; }
   NodeStatus status() const { return core_.status; }
   bool is_s_node() const { return core_.is_s_node(); }
-  std::uint32_t noti_level() const { return join_.noti_level(); }
+  std::uint32_t noti_level() const { return core_.stats.noti_level; }
   const NeighborTable& table() const { return core_.table; }
   const JoinStats& join_stats() const { return core_.stats; }
   // Deliveries this node rejected because their (status, type) pair is not
@@ -91,7 +91,7 @@ class Node {
   bool has_departed() const { return core_.status == NodeStatus::kDeparted; }
 
   // ---- Failure recovery (extension; see repair_protocol.h) ----
-  void mark_crashed() { core_.status = NodeStatus::kCrashed; }
+  void mark_crashed() { core_.set_status(NodeStatus::kCrashed); }
   bool is_crashed() const { return core_.status == NodeStatus::kCrashed; }
 
   // Crash-recovery lifecycle: brings a crashed node back with the same

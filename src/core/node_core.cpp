@@ -23,10 +23,14 @@ NodeCore::NodeCore(NodeId id_arg, const IdParams& params_arg,
 
 void NodeCore::reset_for_restart() {
   table = NeighborTable(params, id);
+  // Direct write, not set_status: the kCrashed -> kCopying flip is part of
+  // reviving the core, not a protocol transition. The span tracer sees the
+  // new incarnation when the rejoin's begin_attempt() reports kCopying.
   status = NodeStatus::kCopying;
   started = false;
   handling_gen = 0;
   stats.t_end = -1.0;
+  stats.reset_for_new_incarnation();
   // A builder-installed member never joined, so its generation is still 0
   // and the rejoin would run at generation 1 — the join protocol's marker
   // for a virgin first attempt whose ID provably appears in no table. This

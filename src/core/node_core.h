@@ -16,6 +16,7 @@
 #include "core/neighbor_table.h"
 #include "core/options.h"
 #include "ids/node_id.h"
+#include "obs/metric.h"
 #include "proto/conformance.h"
 #include "proto/messages.h"
 #include "sim/event_queue.h"
@@ -26,6 +27,13 @@ namespace hcube {
 // NodeStatus now lives beside the conformance registry
 // (proto/conformance.h): the registry maps (NodeStatus × MessageType) to
 // handling contracts, so the proto layer owns both axes of that table.
+
+// Canonical registry names for the JoinStats lifetime counters (the
+// per-type send counters export under msg.sent.* via obs/collect).
+HCUBE_METRIC(kMetricJoinWatchdogRestarts, "join.watchdog_restarts");
+HCUBE_METRIC(kMetricJoinStaleRejected, "join.stale_rejected");
+HCUBE_METRIC(kMetricJoinForcedDepartures, "join.forced_departures");
+HCUBE_METRIC(kMetricJoinBytesSent, "join.bytes_sent");
 
 // Per-join bookkeeping the benchmarks read out (Section 5.2 quantities),
 // plus the robustness counters of the fault-tolerance extension.
@@ -51,6 +59,29 @@ struct JoinStats {
   // Theorem 3 counts CpRstMsg + JoinWaitMsg; Theorems 4/5 count JoinNotiMsg.
   std::uint64_t copy_plus_wait() const {
     return sent_of(MessageType::kCpRst) + sent_of(MessageType::kJoinWait);
+  }
+
+  // Crash-recovery: the new incarnation starts its message accounting from
+  // zero (Theorem 3 bounds a single join attempt, and the theorem-bound
+  // tests assert per-incarnation counts). The robustness counters survive —
+  // the watchdog-restart budget and the stale/forced totals describe the
+  // node's whole lifetime.
+  void reset_for_new_incarnation() {
+    sent.fill(0);
+    received.fill(0);
+    bytes_sent = 0;
+    noti_level = 0;
+  }
+
+  // Exports the lifetime counters under their canonical registry names.
+  template <class Fn>
+  void for_each_metric(Fn&& fn) const {
+    fn(kMetricJoinWatchdogRestarts,
+       static_cast<std::uint64_t>(watchdog_restarts));
+    fn(kMetricJoinStaleRejected, stale_rejected);
+    fn(kMetricJoinForcedDepartures,
+       static_cast<std::uint64_t>(forced_departures));
+    fn(kMetricJoinBytesSent, bytes_sent);
   }
 };
 
@@ -85,6 +116,18 @@ class NodeEnv {
     (void)node;
     (void)status;
     (void)type;
+  }
+  // A node's lifecycle status changed (NodeCore::set_status). Fired for
+  // every transition — including a re-entry into the same status, which is
+  // how a watchdog-triggered attempt restart (kCopying -> kCopying with a
+  // bumped generation) is observable. Default: no-op; Overlay fans out to
+  // its on_status_change hook (which JoinSpanTracer chains onto).
+  virtual void note_status_change(const NodeId& node, NodeStatus from,
+                                  NodeStatus to, std::uint32_t attempt_gen) {
+    (void)node;
+    (void)from;
+    (void)to;
+    (void)attempt_gen;
   }
 };
 
@@ -121,13 +164,22 @@ struct NodeCore {
 
   bool is_s_node() const { return status == NodeStatus::kInSystem; }
 
+  // The one write path for `status`: records the transition and reports it
+  // to the environment (Overlay -> on_status_change -> span tracer). The
+  // notification fires unconditionally, same-status transitions included.
+  void set_status(NodeStatus next) {
+    const NodeStatus prev = status;
+    status = next;
+    env.note_status_change(id, prev, next, attempt_gen);
+  }
+
   // Crash-recovery lifecycle (Node::restart): wipes the table (including
   // reverse neighbors and backups) and returns the core to its pre-join
   // state. attempt_gen deliberately survives — the rejoin bumps it past
   // every pre-crash attempt, which is what invalidates replies still in
-  // flight to the old incarnation. Cumulative stats survive too (they
-  // describe the node's whole lifetime, and the watchdog-restart budget
-  // must not reset with it).
+  // flight to the old incarnation. Per-attempt message counters reset with
+  // the incarnation (JoinStats::reset_for_new_incarnation); the robustness
+  // counters survive, so the watchdog-restart budget does not reset.
   void reset_for_restart();
 
   // ---- transport helpers ----

@@ -130,6 +130,10 @@ class Overlay : public NodeEnv {
     ++conformance_.rejected[static_cast<std::size_t>(type)];
     if (on_conformance_reject) on_conformance_reject(node, status, type);
   }
+  void note_status_change(const NodeId& node, NodeStatus from, NodeStatus to,
+                          std::uint32_t attempt_gen) override {
+    if (on_status_change) on_status_change(node, from, to, attempt_gen);
+  }
 
   // Observation hook for tests (called for every protocol message sent).
   // Chain rather than replace when attaching a second observer
@@ -143,6 +147,14 @@ class Overlay : public NodeEnv {
   // as with on_message; MessageTrace::attach chains onto both.
   std::function<void(const NodeId& node, NodeStatus status, MessageType type)>
       on_conformance_reject;
+
+  // Fired for every node lifecycle transition (NodeCore::set_status),
+  // same-status re-entries included — a kCopying -> kCopying with a bumped
+  // generation is a watchdog attempt restart. Chain rather than replace;
+  // obs::JoinSpanTracer::attach chains onto this.
+  std::function<void(const NodeId& node, NodeStatus from, NodeStatus to,
+                     std::uint32_t attempt_gen)>
+      on_status_change;
 
   // Failure injection for tests: messages for which the filter returns true
   // are silently lost. The protocol assumes reliable delivery (assumption

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "net/transport.h"
+#include "obs/metric.h"
 #include "sim/event_queue.h"
 
 namespace hcube {
@@ -47,12 +48,29 @@ struct ReliabilityConfig {
   std::uint32_t max_retries = 8; // retransmissions before giving up
 };
 
+// Canonical registry names for ReliabilityStats (obs/collect exports them).
+HCUBE_METRIC(kMetricRelTrackedSent, "rel.tracked_sent");
+HCUBE_METRIC(kMetricRelRetransmits, "rel.retransmits");
+HCUBE_METRIC(kMetricRelDupSuppressed, "rel.dup_suppressed");
+HCUBE_METRIC(kMetricRelAcksSent, "rel.acks_sent");
+HCUBE_METRIC(kMetricRelGiveUps, "rel.give_ups");
+
 struct ReliabilityStats {
   std::uint64_t tracked_sent = 0;    // data messages given a sequence number
   std::uint64_t retransmits = 0;     // copies re-sent after an RTO expiry
   std::uint64_t dup_suppressed = 0;  // deliveries suppressed as duplicates
   std::uint64_t acks_sent = 0;
   std::uint64_t give_ups = 0;        // messages abandoned, budget exhausted
+
+  // Exports every counter under its canonical registry name.
+  template <class Fn>
+  void for_each_metric(Fn&& fn) const {
+    fn(kMetricRelTrackedSent, tracked_sent);
+    fn(kMetricRelRetransmits, retransmits);
+    fn(kMetricRelDupSuppressed, dup_suppressed);
+    fn(kMetricRelAcksSent, acks_sent);
+    fn(kMetricRelGiveUps, give_ups);
+  }
 };
 
 class ReliableTransport final : public Transport, private TimerSink {

@@ -1,0 +1,78 @@
+#include "obs/bench_report.h"
+
+#include <fstream>
+
+namespace hcube::obs {
+
+void BenchReport::param(std::string key, std::uint64_t v) {
+  params_.emplace_back(std::move(key), json_number(v));
+}
+
+void BenchReport::param(std::string key, double v) {
+  params_.emplace_back(std::move(key), json_number(v));
+}
+
+void BenchReport::param(std::string key, const std::string& v) {
+  params_.emplace_back(std::move(key), json_quote(v));
+}
+
+std::string BenchReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kSchema);
+  w.key("bench");
+  w.value(name_);
+  w.key("params");
+  w.begin_object();
+  for (const auto& [key, raw] : params_) {
+    w.key(key);
+    w.raw(raw);
+  }
+  w.end_object();
+  w.key("metrics");
+  w.raw(metrics_.to_json());
+  w.end_object();
+  return w.str();
+}
+
+std::string BenchReport::write(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return "";
+  out << to_json() << '\n';
+  out.close();
+  return out.fail() ? "" : path;
+}
+
+std::string validate_bench_json(const JsonValue& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  const JsonValue* schema = doc.get("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->text != BenchReport::kSchema)
+    return "missing or unknown bench schema";
+  const JsonValue* bench = doc.get("bench");
+  if (bench == nullptr || !bench->is_string() || bench->text.empty())
+    return "missing bench name";
+  const JsonValue* params = doc.get("params");
+  if (params == nullptr || !params->is_object())
+    return "missing params object";
+  const JsonValue* metrics = doc.get("metrics");
+  if (metrics == nullptr || !metrics->is_object())
+    return "missing metrics object";
+  // The embedded registry must itself load: re-render it and run it
+  // through the registry loader, which checks names, kinds and buckets.
+  std::string error;
+  if (!MetricsRegistry::from_json(json_render(*metrics), &error))
+    return "bad metrics registry: " + error;
+  return "";
+}
+
+std::string validate_bench_json(const std::string& text) {
+  std::string error;
+  const auto doc = json_parse(text, &error);
+  if (!doc) return "parse error: " + error;
+  return validate_bench_json(*doc);
+}
+
+}  // namespace hcube::obs

@@ -1,0 +1,56 @@
+// The BENCH_*.json artifact schema ("hcube.bench.v1").
+//
+// Every benchmark builds one BenchReport: the bench name, its parameters
+// (small scalars — sizes, seeds, flags), and a MetricsRegistry of results.
+// write() emits BENCH_<name>.json next to the working directory, one
+// compact line, deterministic (params in insertion order, metrics sorted by
+// name inside the registry's own schema). tools/hcstat and the CI
+// bench-trend job parse and validate these with validate_bench_json().
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace hcube::obs {
+
+class BenchReport {
+ public:
+  static constexpr const char* kSchema = "hcube.bench.v1";
+
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Parameters recorded under "params", in insertion order.
+  void param(std::string key, std::uint64_t v);
+  void param(std::string key, double v);
+  void param(std::string key, const std::string& v);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  std::string to_json() const;
+
+  // Writes BENCH_<name>.json into `dir` (default: the working directory).
+  // Returns the path written, or an empty string on I/O failure.
+  std::string write(const std::string& dir = ".") const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> params_;  // key, raw json
+  MetricsRegistry metrics_;
+};
+
+// Validates a parsed BENCH_*.json document against the hcube.bench.v1
+// schema (including its embedded hcube.metrics.v1 registry). Returns an
+// empty string when valid, else a one-line reason.
+std::string validate_bench_json(const JsonValue& doc);
+
+// Convenience: parse + validate in one step.
+std::string validate_bench_json(const std::string& text);
+
+}  // namespace hcube::obs

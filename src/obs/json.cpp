@@ -1,0 +1,334 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hcube::obs {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  // Integral values print without a fractional part (and exactly, while
+  // they fit); everything else with enough digits to reparse bit for bit.
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_.push_back(',');
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_.push_back('{');
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  out_.push_back('}');
+  first_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_.push_back('[');
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  out_.push_back(']');
+  first_.pop_back();
+}
+
+void JsonWriter::key(std::string_view k) {
+  separate();
+  out_ += json_quote(k);
+  out_.push_back(':');
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  separate();
+  out_ += json_quote(s);
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  out_ += json_number(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ += json_number(v);
+}
+
+void JsonWriter::value(bool b) {
+  separate();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::raw(std::string_view json) {
+  separate();
+  out_ += json;
+}
+
+const JsonValue* JsonValue::get(std::string_view k) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members)
+    if (name == k) return &value;
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& why) {
+    if (error.empty())
+      error = why + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c)
+      return fail(std::string("expected '") + c + "'");
+    ++pos;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("dangling escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return fail("bad \\u escape");
+            }
+            // Sub-0x80 only; metric names and schema strings are ASCII.
+            out.push_back(static_cast<char>(code & 0x7f));
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(JsonValue& v) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      v.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        std::string k;
+        skip_ws();
+        if (!parse_string(k)) return false;
+        if (!expect(':')) return false;
+        JsonValue member;
+        if (!parse_value(member)) return false;
+        v.members.emplace_back(std::move(k), std::move(member));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return expect('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      v.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        JsonValue item;
+        if (!parse_value(item)) return false;
+        v.items.push_back(std::move(item));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return expect(']');
+      }
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      return parse_string(v.text);
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      pos += 5;
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      v.kind = JsonValue::Kind::kNull;
+      pos += 4;
+      return true;
+    }
+    // Number: keep the raw token so integers round-trip exactly.
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '-' ||
+            text[pos] == '+'))
+      ++pos;
+    if (pos == start) return fail("unexpected character");
+    v.kind = JsonValue::Kind::kNumber;
+    v.text = std::string(text.substr(start, pos - start));
+    v.number = std::strtod(v.text.c_str(), nullptr);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string json_render(const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return v.boolean ? "true" : "false";
+    case JsonValue::Kind::kNumber: return v.text;
+    case JsonValue::Kind::kString: return json_quote(v.text);
+    case JsonValue::Kind::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < v.items.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += json_render(v.items[i]);
+      }
+      out.push_back(']');
+      return out;
+    }
+    case JsonValue::Kind::kObject: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < v.members.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += json_quote(v.members[i].first);
+        out.push_back(':');
+        out += json_render(v.members[i].second);
+      }
+      out.push_back('}');
+      return out;
+    }
+  }
+  return "null";
+}
+
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error) {
+  Parser p{text, 0, {}};
+  JsonValue v;
+  if (!p.parse_value(v)) {
+    if (error != nullptr) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error != nullptr)
+      *error = "trailing garbage at offset " + std::to_string(p.pos);
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace hcube::obs

@@ -1,0 +1,88 @@
+// Minimal JSON support for the observability layer: a stable, deterministic
+// writer (the export side of Registry::to_json and the BENCH_*.json schema)
+// and a small recursive-descent parser (the import side: round-trip tests,
+// tools/hcstat validation).
+//
+// Deliberately tiny — no external dependency, no DOM mutation API. Numbers
+// round-trip exactly: the parser keeps the raw numeric token, and the
+// writer prints integers without a fractional part and everything else with
+// enough digits to reparse bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hcube::obs {
+
+// Escapes and formats one JSON scalar.
+std::string json_quote(std::string_view s);
+std::string json_number(double v);
+std::string json_number(std::uint64_t v);
+
+// Stack-based writer producing compact (single-line) JSON. Keys and values
+// are appended in call order, so output is deterministic by construction.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(bool b);
+  // Embeds pre-rendered JSON (e.g. a nested document) as the next value.
+  void raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void separate();
+  std::string out_;
+  std::vector<bool> first_;  // per open scope: no element emitted yet
+  bool pending_key_ = false;
+};
+
+// Parsed JSON value. Object member order is preserved as parsed.
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;  // kString: the value; kNumber: the raw token
+  std::vector<JsonValue> items;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;   // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* get(std::string_view key) const;
+};
+
+// Parses a complete JSON document (trailing whitespace allowed, trailing
+// garbage is an error). On failure returns nullopt and, when `error` is
+// non-null, a one-line reason.
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+// Renders a parsed value back to compact JSON. Numbers re-emit their raw
+// parsed token, so parse -> render round-trips exactly.
+std::string json_render(const JsonValue& v);
+
+}  // namespace hcube::obs

@@ -1,0 +1,36 @@
+// Canonical metric-name declarations.
+//
+// Every stats struct that exports values into the observability layer
+// declares its registry names with HCUBE_METRIC right next to the fields
+// they describe — the name and the field can only drift apart in one place.
+// Names are dotted, lowercase, and globally unique across the source tree:
+// the character set is enforced at compile time here, uniqueness by the
+// hclint rule `obs-metric-registered` (tools/hclint).
+//
+// This header is dependency-free on purpose: any layer (proto, net, core,
+// chaos) may declare names without linking against the obs library.
+#pragma once
+
+#include <string_view>
+
+namespace hcube::obs {
+
+// The registry name grammar: ^[a-z0-9_.]+$ (nonempty).
+constexpr bool is_valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace hcube::obs
+
+// Declares a canonical metric name. The name must be a string literal (the
+// hclint rule reads it textually) and match ^[a-z0-9_.]+$.
+#define HCUBE_METRIC(ident, name)                                        \
+  inline constexpr const char* ident = name;                             \
+  static_assert(::hcube::obs::is_valid_metric_name(name),                \
+                "metric name must match ^[a-z0-9_.]+$")

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <variant>
 
+#include "obs/metric.h"
 #include "proto/messages.h"
 
 namespace hcube {
@@ -241,6 +242,11 @@ static_assert(conformance_detail::crashed_receives_nothing(),
 // dropped before dispatch and counted here, per message type. NodeCore
 // keeps one per node; Overlay aggregates across the network and offers an
 // observation hook that MessageTrace::attach chains onto.
+// Canonical registry name for the network-wide rejection total
+// (obs/collect exports it; per-type counts ride under it as a histogram-free
+// scalar because rejections are rare by design).
+HCUBE_METRIC(kMetricConformanceRejected, "conformance.rejected");
+
 struct ConformanceStats {
   std::array<std::uint64_t, kNumMessageTypes> rejected{};
 
@@ -251,6 +257,12 @@ struct ConformanceStats {
     std::uint64_t n = 0;
     for (std::uint64_t r : rejected) n += r;
     return n;
+  }
+
+  // Exports the total under its canonical registry name.
+  template <class Fn>
+  void for_each_metric(Fn&& fn) const {
+    fn(kMetricConformanceRejected, total_rejected());
   }
 };
 

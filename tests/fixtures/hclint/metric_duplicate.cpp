@@ -1,0 +1,7 @@
+// Seeds: obs-metric-registered (duplicate). The same canonical name is
+// declared at two sites; the linter must flag the second one — a duplicate
+// silently merges two stats fields into one registry time series.
+#define HCUBE_METRIC(ident, name) inline constexpr const char* ident = name
+
+HCUBE_METRIC(kMetricNodeRestarts, "chaos.node_restarts");
+HCUBE_METRIC(kMetricNodeRestartsAgain, "chaos.node_restarts");

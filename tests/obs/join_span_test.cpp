@@ -1,0 +1,74 @@
+// Span pairing under churn: every span_begin gets exactly one terminal
+// event, even when the chaos engine crashes nodes mid-join, restarts them
+// with bumped attempt generations, and partitions the network. A leaked
+// span (terminal still kOpen after the run settles) is a tracer bug or a
+// protocol state machine that skipped a terminal transition — both fail.
+//
+// The tracer rides along via run_script()'s observer hook, which must not
+// perturb the run: the observed digest has to equal the unobserved one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "chaos/engine.h"
+#include "chaos/schedule.h"
+#include "core/overlay.h"
+#include "obs/join_span.h"
+#include "obs/metrics.h"
+
+namespace hcube::obs {
+namespace {
+
+class SpanPairing : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpanPairing, EveryBeginHasExactlyOneTerminalUnderChurn) {
+  const std::uint64_t seed = GetParam();
+  const chaos::ChurnProfile* profile = chaos::find_profile("mixed");
+  ASSERT_NE(nullptr, profile);
+  const chaos::ChurnScript script = chaos::sample_script(seed, *profile, 30);
+
+  JoinSpanTracer tracer;
+  const chaos::ChaosResult observed =
+      chaos::run_script(script, [&](Overlay& overlay) {
+        tracer.attach(overlay);
+      });
+  ASSERT_TRUE(observed.ok);
+
+  // No leaked spans: the script's final settle barrier drives every live
+  // join to kInSystem and every dead one through kCrashed/kDeparted.
+  EXPECT_EQ(0u, tracer.open_count());
+  ASSERT_FALSE(tracer.spans().empty());
+  std::set<std::pair<NodeId, std::uint32_t>> keys;
+  for (const JoinSpan& span : tracer.spans()) {
+    EXPECT_NE(SpanTerminal::kOpen, span.terminal)
+        << "leaked span, gen " << span.gen << " (seed " << seed << ")";
+    EXPECT_GE(span.t_end, span.t_begin);
+    // One span per (node, attempt generation) — a duplicate means a begin
+    // event was double-counted or a terminal re-opened a closed span.
+    EXPECT_TRUE(keys.emplace(span.node, span.gen).second)
+        << "duplicate span for gen " << span.gen << " (seed " << seed << ")";
+  }
+
+  // Watchdog restarts show up as superseded spans, never as leaks; the
+  // summary counters partition the span population exactly.
+  MetricsRegistry reg;
+  tracer.summary_to(reg);
+  EXPECT_EQ(tracer.spans().size(), reg.counter_value(kMetricSpanOpened));
+  EXPECT_EQ(tracer.spans().size(),
+            reg.counter_value(kMetricSpanCompleted) +
+                reg.counter_value(kMetricSpanSuperseded) +
+                reg.counter_value(kMetricSpanForcedDepartures));
+
+  // Observation is free: the tracer must not have perturbed the schedule.
+  const chaos::ChaosResult baseline = chaos::run_script(script);
+  EXPECT_EQ(baseline.digest, observed.digest)
+      << "attaching the span tracer changed the simulation";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpanPairing,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace hcube::obs

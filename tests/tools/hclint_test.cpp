@@ -124,6 +124,36 @@ TEST(HclintFixtures, AllowCommentSuppresses) {
   EXPECT_TRUE(issues.empty()) << format_issues(issues);
 }
 
+TEST(HclintFixtures, MetricBadName) {
+  const auto issues = lint_fixture("metric_bad_name.cpp");
+  EXPECT_EQ(1u, count_rule(issues, "obs-metric-registered"))
+      << format_issues(issues);
+  EXPECT_EQ(1u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, MetricDuplicateName) {
+  const auto issues = lint_fixture("metric_duplicate.cpp");
+  EXPECT_EQ(1u, count_rule(issues, "obs-metric-registered"))
+      << format_issues(issues);
+  EXPECT_EQ(1u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintScanner, MetricDuplicateAcrossFiles) {
+  const std::vector<SourceFile> files = {
+      {"a.h", "HCUBE_METRIC(kA, \"net.messages\");"},
+      {"b.h", "HCUBE_METRIC(kB, \"net.messages\");"}};
+  const auto issues = lint_files(files);
+  EXPECT_EQ(1u, count_rule(issues, "obs-metric-registered"))
+      << format_issues(issues);
+  EXPECT_EQ("b.h", issues.at(0).file);
+}
+
+TEST(HclintScanner, MetricNameMustBeLiteral) {
+  const std::vector<SourceFile> files = {
+      {"a.h", "HCUBE_METRIC(kA, kSomeOtherName);"}};
+  EXPECT_TRUE(has_rule(lint_files(files), "obs-metric-registered"));
+}
+
 // ---- scanner unit tests ----
 
 TEST(HclintStripper, RemovesCommentsAndLiteralBodies) {

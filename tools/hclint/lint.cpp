@@ -4,8 +4,10 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
+#include <utility>
 
 namespace hclint {
 namespace {
@@ -207,6 +209,7 @@ class Linter {
   std::vector<Issue> run() {
     check_message_type_coverage();
     check_node_status_coverage();
+    check_metric_registrations();
     for (const StrippedFile& f : stripped_) {
       check_determinism_tokens(f);
       check_dcheck_side_effects(f);
@@ -335,6 +338,65 @@ class Linter {
       if (to_string->body.find(qualified) == std::string::npos) {
         report(to_string->src, to_string->line, "status-to-string-missing",
                "enumerator " + qualified + " has no to_string() arm");
+      }
+    }
+  }
+
+  // Every HCUBE_METRIC(ident, "name") declaration site must carry a string
+  // literal matching ^[a-z0-9_.]+$, unique across the whole scanned set —
+  // registry names are canonical, and a duplicate means two stats fields
+  // silently merge into one time series. The literal is read out of the raw
+  // source at the stripped offsets (stripping blanks literal contents but
+  // preserves the quotes and every offset). The macro's own #define line is
+  // exempt.
+  void check_metric_registrations() {
+    std::map<std::string, std::pair<const SourceFile*, std::size_t>> seen;
+    for (const StrippedFile& f : stripped_) {
+      std::size_t from = 0;
+      while (true) {
+        const std::size_t pos = find_word(f.code, "HCUBE_METRIC", from);
+        if (pos == std::string::npos) break;
+        from = pos + 12;
+        // Skip the macro definition itself (#define HCUBE_METRIC...).
+        std::size_t line_start = f.code.rfind('\n', pos);
+        line_start = line_start == std::string::npos ? 0 : line_start + 1;
+        if (f.code.find("#define", line_start) < pos) continue;
+        const std::size_t open = skip_ws(f.code, from);
+        if (open >= f.code.size() || f.code[open] != '(') continue;
+        const std::size_t end = match_balanced(f.code, open, '(', ')');
+        if (end == std::string::npos) continue;
+        const std::size_t line = line_of(f.code, pos);
+        // The name is the first string literal between the parens; the
+        // stripped text keeps the quote characters in place.
+        const std::size_t q1 = f.code.find('"', open);
+        const std::size_t q2 =
+            q1 == std::string::npos ? std::string::npos
+                                    : f.code.find('"', q1 + 1);
+        if (q1 == std::string::npos || q2 == std::string::npos || q2 >= end) {
+          report(f.src, line, "obs-metric-registered",
+                 "HCUBE_METRIC name must be a string literal");
+          continue;
+        }
+        const std::string name = f.src->raw.substr(q1 + 1, q2 - q1 - 1);
+        const bool valid =
+            !name.empty() &&
+            std::all_of(name.begin(), name.end(), [](char c) {
+              return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                     c == '_' || c == '.';
+            });
+        if (!valid) {
+          report(f.src, line, "obs-metric-registered",
+                 "metric name \"" + name + "\" must match ^[a-z0-9_.]+$");
+          continue;
+        }
+        const auto [it, inserted] = seen.emplace(
+            name, std::make_pair(f.src, line));
+        if (!inserted) {
+          report(f.src, line, "obs-metric-registered",
+                 "metric name \"" + name + "\" already declared at " +
+                     it->second.first->path + ":" +
+                     std::to_string(it->second.second));
+        }
       }
     }
   }

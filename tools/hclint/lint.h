@@ -24,6 +24,11 @@
 //   no-naked-delete          naked delete expression ("= delete" is fine)
 //   dcheck-side-effect       HCUBE_DCHECK argument contains ++/--/assignment
 //                            (the expression vanishes under NDEBUG)
+//   obs-metric-registered    an HCUBE_METRIC(...) declaration site whose
+//                            name is not a ^[a-z0-9_.]+$ string literal, or
+//                            whose name collides with another declaration
+//                            anywhere in the scanned set (registry names
+//                            are canonical and globally unique)
 //
 // Comments and string/char literals are stripped before any rule runs, so
 // prose never trips a rule. A violation can be suppressed by putting

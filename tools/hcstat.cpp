@@ -1,0 +1,116 @@
+// hcstat: validate and summarize BENCH_*.json reports (hcube.bench.v1).
+//
+// Usage: hcstat [--json] <BENCH_a.json> [<BENCH_b.json> ...]
+//
+// For each file: validates the document against the bench schema (including
+// a full parse of the embedded hcube.metrics.v1 registry), then prints the
+// bench name, its parameters, and every metric — counters and gauges as
+// values, histograms as count/mean/p50/p99/max. With --json, re-emits each
+// embedded registry in canonical form instead (schema round-trip mode,
+// usable to diff two runs with plain `diff`).
+//
+// Exit code: 0 if every file validates, 1 otherwise — CI's bench-trend job
+// leans on this to reject malformed reports before archiving them.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+int process(const std::string& path, bool as_json) {
+  using namespace hcube::obs;
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "hcstat: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string parse_error;
+  const auto doc = json_parse(text, &parse_error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "hcstat: %s: bad JSON: %s\n", path.c_str(),
+                 parse_error.c_str());
+    return 1;
+  }
+  const std::string schema_error = validate_bench_json(*doc);
+  if (!schema_error.empty()) {
+    std::fprintf(stderr, "hcstat: %s: schema violation: %s\n", path.c_str(),
+                 schema_error.c_str());
+    return 1;
+  }
+
+  const JsonValue* metrics = doc->get("metrics");
+  const auto reg = MetricsRegistry::from_json(json_render(*metrics));
+  if (!reg.has_value()) return 1;  // validate_bench_json already vouched
+
+  if (as_json) {
+    std::printf("%s\n", reg->to_json().c_str());
+    return 0;
+  }
+
+  std::printf("%s: bench %s\n", path.c_str(),
+              doc->get("bench")->text.c_str());
+  if (const JsonValue* params = doc->get("params")) {
+    std::printf("  params:");
+    for (const auto& [key, value] : params->members)
+      std::printf(" %s=%s", key.c_str(), json_render(value).c_str());
+    std::printf("\n");
+  }
+  reg->for_each([](const std::string& name, MetricKind kind,
+                   std::uint64_t count, double gauge,
+                   const LogHistogram& hist) {
+    switch (kind) {
+      case MetricKind::kCounter:
+        std::printf("  %-40s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(count));
+        break;
+      case MetricKind::kGauge:
+        std::printf("  %-40s %g\n", name.c_str(), gauge);
+        break;
+      case MetricKind::kHistogram:
+        std::printf(
+            "  %-40s n=%llu mean=%.3f p50<=%g p99<=%g max=%g\n",
+            name.c_str(), static_cast<unsigned long long>(hist.count()),
+            hist.mean(), hist.quantile(0.5), hist.quantile(0.99),
+            hist.max());
+        break;
+    }
+  });
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool as_json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0)
+      as_json = true;
+    else
+      paths.emplace_back(argv[i]);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: hcstat [--json] <BENCH_*.json> ...\n");
+    return 1;
+  }
+  int rc = 0;
+  for (const std::string& path : paths)
+    if (process(path, as_json) != 0) rc = 1;
+  return rc;
+}
