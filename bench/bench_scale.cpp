@@ -1,0 +1,166 @@
+// Memory-budgeted scale bench: how large an overlay fits in a stated heap
+// budget, and what each node costs.
+//
+// Builds a consistent network of n nodes offline (SuffixTrie builder, no
+// protocol traffic), measuring the heap delta across overlay construction:
+// bytes/node is that delta divided by n. A small join wave then runs on top
+// of the built network so "settle time" reflects live-protocol hot paths at
+// scale, not just offline construction. The report carries the measured
+// bytes/node next to the pre-refactor baseline at n = 10k, so bench-trend
+// can assert the dense-storage layout keeps its margin (the CI job passes
+// --max-bytes-per-node as a hard ceiling; exceeding it fails the build).
+//
+// Usage: bench_scale [--n N] [--budget-mb MB] [--wave M]
+//                    [--max-bytes-per-node B] [--quick]
+//   --quick               n=10'000 (CI bench-trend); default n=100'000
+//   --budget-mb           heap budget the build must fit in (default 2048)
+//   --max-bytes-per-node  hard ceiling; nonzero exit when exceeded
+
+#include <malloc.h>
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace hcube::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// Heap bytes currently handed out by the allocator (glibc): ordinary
+// arena allocations plus mmapped blocks. Good to within allocator
+// bookkeeping; both snapshots carry the same bias so the delta is clean.
+std::uint64_t heap_in_use() {
+#if defined(__GLIBC__) && (__GLIBC__ > 2 || __GLIBC_MINOR__ >= 33)
+  const struct mallinfo2 mi = mallinfo2();
+  return static_cast<std::uint64_t>(mi.uordblks) +
+         static_cast<std::uint64_t>(mi.hblkhd);
+#else
+  return 0;  // non-glibc: report 0, the bench still runs
+#endif
+}
+
+std::uint64_t max_rss_kb() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+}
+
+// Pre-refactor layout measured at n = 10k (array-of-structs NeighborTable,
+// 65-byte inline-digit NodeId, unordered_map reverse/backup sides), same
+// IdParams{16, 8} and build path as below. The dense-index layout must stay
+// >= 4x below this (ISSUE 6 acceptance); CI additionally enforces the
+// --max-bytes-per-node ceiling on every run.
+constexpr double kBaselineBytesPerNode10k = 16950.0;
+
+int main_impl(int argc, char** argv) {
+  const bool quick = flag_present(argc, argv, "--quick");
+  const std::size_t n = static_cast<std::size_t>(
+      flag_u64(argc, argv, "--n", quick ? 10'000 : 100'000));
+  const std::uint64_t budget_mb = flag_u64(argc, argv, "--budget-mb", 2048);
+  const std::size_t wave = static_cast<std::size_t>(
+      flag_u64(argc, argv, "--wave", std::min<std::uint64_t>(64, n / 16)));
+  const std::uint64_t ceiling =
+      flag_u64(argc, argv, "--max-bytes-per-node", 0);
+  const IdParams params{16, 8};
+
+  std::printf("scale: n=%zu wave=%zu budget=%lluMB base=%u digits=%u\n", n,
+              wave, static_cast<unsigned long long>(budget_mb),
+              params.base, params.num_digits);
+
+  const std::uint64_t heap0 = heap_in_use();
+  const auto t_build = Clock::now();
+
+  EventQueue queue;
+  SyntheticLatency latency(static_cast<std::uint32_t>(n + wave), 5.0, 120.0,
+                           /*seed=*/1);
+  ProtocolOptions options;
+  Overlay overlay(params, options, queue, latency);
+
+  UniqueIdGenerator gen(params, 0x5ca1eULL);
+  std::vector<NodeId> v, w;
+  v.reserve(n);
+  w.reserve(wave);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(gen.next());
+  for (std::size_t i = 0; i < wave; ++i) w.push_back(gen.next());
+
+  build_consistent_network(overlay, v);
+  const double build_ms = ms_since(t_build);
+  const std::uint64_t heap1 = heap_in_use();
+
+  const std::uint64_t heap_bytes = heap1 > heap0 ? heap1 - heap0 : 0;
+  const double bytes_per_node =
+      n > 0 ? static_cast<double>(heap_bytes) / static_cast<double>(n) : 0.0;
+  const bool within_budget = heap_bytes <= budget_mb * 1024 * 1024;
+
+  std::printf("  built in %.0f ms: %.1f MB heap, %.0f bytes/node%s\n",
+              build_ms, static_cast<double>(heap_bytes) / (1024.0 * 1024.0),
+              bytes_per_node, within_budget ? "" : "  [OVER BUDGET]");
+
+  // Settle: a join wave on the built network, run to quiescence. This is
+  // the live-protocol cost of the storage layout (table scans, reverse
+  // sets, backup probes), not the offline builder.
+  const auto t_settle = Clock::now();
+  Rng rng(7);
+  join_concurrently(overlay, w, v, rng, /*window_ms=*/0.0);
+  const double settle_wall_ms = ms_since(t_settle);
+  const double settle_sim_ms = queue.now();
+  const bool settled = overlay.all_in_system();
+
+  std::printf("  wave of %zu settled in %.0f ms wall / %.0f ms sim%s\n", wave,
+              settle_wall_ms, settle_sim_ms, settled ? "" : "  [UNSETTLED]");
+
+  obs::BenchReport report("scale");
+  report.param("quick", static_cast<std::uint64_t>(quick ? 1 : 0));
+  report.param("n", static_cast<std::uint64_t>(n));
+  report.param("wave", static_cast<std::uint64_t>(wave));
+  report.param("budget_mb", budget_mb);
+  report.param("base", static_cast<std::uint64_t>(params.base));
+  report.param("digits", static_cast<std::uint64_t>(params.num_digits));
+  auto& reg = report.metrics();
+  reg.set_named("scale.bytes_per_node", bytes_per_node);
+  reg.set_named("scale.heap_bytes", static_cast<double>(heap_bytes));
+  reg.set_named("scale.build_ms", build_ms);
+  reg.set_named("scale.settle_wall_ms", settle_wall_ms);
+  reg.set_named("scale.settle_sim_ms", settle_sim_ms);
+  reg.set_named("scale.maxrss_kb", static_cast<double>(max_rss_kb()));
+  reg.set_named("scale.within_budget", within_budget ? 1.0 : 0.0);
+  if (kBaselineBytesPerNode10k > 0.0) {
+    reg.set_named("scale.baseline_bytes_per_node_10k",
+                  kBaselineBytesPerNode10k);
+    reg.set_named("scale.improvement_x",
+                  bytes_per_node > 0.0
+                      ? kBaselineBytesPerNode10k / bytes_per_node
+                      : 0.0);
+  }
+  write_report(report);
+
+  if (!within_budget) {
+    std::fprintf(stderr, "FAIL: heap %.1f MB exceeds budget %llu MB\n",
+                 static_cast<double>(heap_bytes) / (1024.0 * 1024.0),
+                 static_cast<unsigned long long>(budget_mb));
+    return 1;
+  }
+  if (!settled) {
+    std::fprintf(stderr, "FAIL: join wave did not settle\n");
+    return 1;
+  }
+  if (ceiling != 0 && bytes_per_node > static_cast<double>(ceiling)) {
+    std::fprintf(stderr,
+                 "FAIL: %.0f bytes/node exceeds ceiling %llu (regression)\n",
+                 bytes_per_node, static_cast<unsigned long long>(ceiling));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hcube::bench
+
+int main(int argc, char** argv) { return hcube::bench::main_impl(argc, argv); }

@@ -40,10 +40,10 @@ void build_consistent_network(Overlay& overlay, const std::vector<NodeId>& ids,
   // RvNghNotiMsg bookkeeping starts from the same state a protocol-built
   // network would have.
   for (const auto& node : overlay.nodes()) {
-    node->table().for_each_filled([&](std::uint32_t i, std::uint32_t j,
+    node->table().for_each_filled([&](std::uint32_t, std::uint32_t,
                                       const NodeId& neighbor, NeighborState) {
       if (neighbor == node->id()) return;
-      overlay.at(neighbor).install_reverse_neighbor(node->id(), {i, j});
+      overlay.at(neighbor).install_reverse_neighbor(node->id());
     });
   }
 }

@@ -1,7 +1,6 @@
 #include "core/cset_tree.h"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
 
 #include "util/check.h"
@@ -147,7 +146,7 @@ CSetTree CSetTree::realize(const NetworkView& net, const SuffixTrie& v_trie,
   // make_template produced sets_ in BFS order, so parents precede children.
   auto realized_members = [&](const std::vector<NodeId>& parent_members,
                               const Suffix& s) {
-    std::set<NodeId> members;
+    std::vector<NodeId> members;
     const auto level = static_cast<std::uint32_t>(s.size() - 1);
     const std::uint32_t digit = s.back();
     for (const NodeId& u : parent_members) {
@@ -156,10 +155,14 @@ CSetTree CSetTree::realize(const NetworkView& net, const SuffixTrie& v_trie,
       const NodeId* stored = t->neighbor(level, digit);
       if (stored != nullptr && w_trie.contains(*stored) &&
           stored->has_suffix(s)) {
-        members.insert(*stored);
+        members.push_back(*stored);
       }
     }
-    return std::vector<NodeId>(members.begin(), members.end());
+    // Lexicographically sorted and deduplicated, matching the ordered-set
+    // semantics the checkers compare against.
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    return members;
   };
 
   // Map from set index to realized members; root children read V_ω.

@@ -204,7 +204,7 @@ void JoinProtocol::on_join_wait(const NodeId& x, HostId x_host) {
     // Defer; remember the request's generation so the eventual reply (sent
     // from switch_to_s_node, outside this handler) still echoes it. A
     // repeated JoinWaitMsg from a restarted attempt overwrites the tag.
-    q_join_waiters_[x] = core_.handling_gen;
+    q_join_waiters_.put(x, core_.handling_gen);
     return;
   }
   const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(x));
@@ -238,7 +238,7 @@ void JoinProtocol::on_join_wait_rly(const NodeId& y,
     // A stale *positive* still means y stored us: y must be in R_x so our
     // InSysNotiMsg reaches it when the current attempt completes.
     if (m.positive)
-      core_.table.add_reverse_neighbor(y, {k, core_.id.digit(k)});
+      core_.table.add_reverse_neighbor(y);
     return;
   }
   q_replies_.erase(y);
@@ -248,7 +248,7 @@ void JoinProtocol::on_join_wait_rly(const NodeId& y,
     core_.set_status(NodeStatus::kNotifying);
     noti_level_ = k;
     core_.stats.noti_level = k;
-    core_.table.add_reverse_neighbor(y, {k, core_.id.digit(k)});
+    core_.table.add_reverse_neighbor(y);
   } else {
     HCUBE_CHECK_MSG(m.u != core_.id, "negative JoinWaitRly naming the joiner");
     core_.send(m.u, JoinWaitMsg{});
@@ -359,11 +359,11 @@ void JoinProtocol::on_join_noti_rly(const NodeId& y,
   if (reject_stale_reply()) {
     // As in Figure 7: a stale positive proves y stored us — keep it in R_x.
     if (m.positive)
-      core_.table.add_reverse_neighbor(y, {k, core_.id.digit(k)});
+      core_.table.add_reverse_neighbor(y);
     return;
   }
   q_replies_.erase(y);
-  if (m.positive) core_.table.add_reverse_neighbor(y, {k, core_.id.digit(k)});
+  if (m.positive) core_.table.add_reverse_neighbor(y);
   if (m.flag && k > noti_level_ && !q_spe_notified_.contains(y)) {
     const NodeId* u1 = core_.table.neighbor(k, y.digit(k));
     HCUBE_CHECK_MSG(u1 != nullptr && *u1 != y,
@@ -417,8 +417,7 @@ void JoinProtocol::switch_to_s_node() {
   core_.stats.t_end = core_.env.now();
   for (std::uint32_t i = 0; i < core_.params.num_digits; ++i)
     core_.table.set_state(i, core_.id.digit(i), NeighborState::kS);
-  for (const auto& [v, where] : core_.table.reverse_neighbors()) {
-    (void)where;
+  for (const NodeId& v : core_.table.reverse_neighbors()) {
     core_.send(v, InSysNotiMsg{});
   }
   // Answer the deferred JoinWaitMsg senders, echoing each request's own
@@ -461,8 +460,7 @@ void JoinProtocol::on_in_sys_noti(const NodeId& x) {
 
 void JoinProtocol::on_rv_ngh_noti(const NodeId& x, HostId x_host,
                                   const RvNghNotiMsg& m) {
-  const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(x));
-  core_.table.add_reverse_neighbor(x, {k, core_.id.digit(k)});
+  core_.table.add_reverse_neighbor(x);
   if (core_.status == NodeStatus::kLeaving) {
     // x started storing us while we are leaving (e.g. another node handed
     // us out as a leave-repair replacement). Tell it to repair too, so our

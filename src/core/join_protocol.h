@@ -33,7 +33,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "core/leave_protocol.h"
 #include "core/node_core.h"
@@ -116,8 +115,9 @@ class JoinProtocol {
   NodeIdSet q_replies_;        // Q_r: nodes we await replies from
   NodeIdSet q_notified_;       // Q_n: nodes we sent notifications to
   // Q_j: deferred JoinWaitMsg senders, each with the generation its request
-  // carried (the eventual reply must echo it).
-  std::unordered_map<NodeId, std::uint32_t, NodeIdHash> q_join_waiters_;
+  // carried (the eventual reply must echo it). Insertion-ordered: the
+  // switch_to_s_node drain answers waiters in arrival order.
+  FlatNodeMap<std::uint32_t> q_join_waiters_;
   NodeIdSet q_spe_replies_;    // Q_sr: SpeNoti replies outstanding (key: y)
   NodeIdSet q_spe_notified_;   // Q_sn: nodes announced via SpeNotiMsg
 };

@@ -30,8 +30,7 @@ void LeaveProtocol::start_leave() {
   core_.set_status(NodeStatus::kLeaving);
   ++leave_epoch_;
   leave_retries_ = 0;
-  for (const auto& [v, where] : core_.table.reverse_neighbors()) {
-    (void)where;
+  for (const NodeId& v : core_.table.reverse_neighbors()) {
     send_leave_to(v);
   }
   for (const NodeId& y : core_.table.distinct_neighbors())

@@ -1,46 +1,64 @@
 #include "core/neighbor_table.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
-#include <unordered_set>
 
 #include "util/check.h"
 
 namespace hcube {
+namespace {
 
-NeighborTable::NeighborTable(const IdParams& params, NodeId owner)
-    : params_(params), owner_(std::move(owner)) {
+// Column sizes for a d*b table, padded so each column is 8-byte aligned
+// inside one contiguous block.
+std::size_t aligned(std::size_t bytes) { return (bytes + 7) & ~std::size_t{7}; }
+
+}  // namespace
+
+NeighborTable::NeighborTable(const IdParams& params, NodeId owner,
+                             Arena* arena)
+    : params_(params), owner_(owner) {
   params_.validate();
   HCUBE_CHECK(owner_.is_valid());
   HCUBE_CHECK(owner_.num_digits() == params_.num_digits);
-  entries_.resize(static_cast<std::size_t>(params_.num_digits) *
-                  params_.base);
+  const std::size_t n =
+      static_cast<std::size_t>(params_.num_digits) * params_.base;
+  if (arena != nullptr) {
+    ent_node_ = arena->alloc_array<NodeId>(n);
+    ent_state_ = arena->alloc_array<NeighborState>(n);
+    ent_host_ = arena->alloc_array<HostId>(n);
+  } else {
+    const std::size_t bytes = aligned(n * sizeof(NodeId)) +
+                              aligned(n * sizeof(NeighborState)) +
+                              aligned(n * sizeof(HostId));
+    self_storage_ = std::make_unique<std::byte[]>(bytes);
+    std::byte* p = self_storage_.get();
+    ent_node_ = reinterpret_cast<NodeId*>(p);
+    p += aligned(n * sizeof(NodeId));
+    ent_state_ = reinterpret_cast<NeighborState*>(p);
+    p += aligned(n * sizeof(NeighborState));
+    ent_host_ = reinterpret_cast<HostId*>(p);
+  }
+  reset();
 }
 
-std::size_t NeighborTable::index(std::uint32_t level,
-                                 std::uint32_t digit) const {
-  HCUBE_DCHECK(level < params_.num_digits);
-  HCUBE_DCHECK(digit < params_.base);
-  return static_cast<std::size_t>(level) * params_.base + digit;
-}
-
-const NodeId* NeighborTable::neighbor(std::uint32_t level,
-                                      std::uint32_t digit) const {
-  const Entry& e = entries_[index(level, digit)];
-  return e.node.is_valid() ? &e.node : nullptr;
+void NeighborTable::reset() {
+  const std::size_t n =
+      static_cast<std::size_t>(params_.num_digits) * params_.base;
+  std::fill_n(ent_node_, n, NodeId());
+  std::fill_n(ent_state_, n, NeighborState::kT);
+  std::fill_n(ent_host_, n, kNoHost);
+  filled_ = 0;
+  reverse_.clear();
+  backup_slot_.clear();
+  backup_node_.clear();
 }
 
 NeighborState NeighborTable::state(std::uint32_t level,
                                    std::uint32_t digit) const {
-  const Entry& e = entries_[index(level, digit)];
-  HCUBE_CHECK_MSG(e.node.is_valid(), "state() of an empty entry");
-  return e.state;
-}
-
-bool NeighborTable::holds(std::uint32_t level, std::uint32_t digit,
-                          const NodeId& node) const {
-  const Entry& e = entries_[index(level, digit)];
-  return e.node.is_valid() && e.node == node;
+  const std::size_t k = index(level, digit);
+  HCUBE_CHECK_MSG(ent_node_[k].is_valid(), "state() of an empty entry");
+  return ent_state_[k];
 }
 
 void NeighborTable::set(std::uint32_t level, std::uint32_t digit,
@@ -53,38 +71,43 @@ void NeighborTable::set(std::uint32_t level, std::uint32_t digit,
                   "neighbor does not share the required suffix");
   HCUBE_CHECK_MSG(node.digit(level) == digit,
                   "neighbor's level-th digit does not match the entry digit");
-  Entry& e = entries_[index(level, digit)];
-  if (!e.node.is_valid()) ++filled_;
-  e.node = node;
-  e.state = state;
-  e.host = host;
-}
-
-HostId NeighborTable::host(std::uint32_t level, std::uint32_t digit) const {
-  return entries_[index(level, digit)].host;
+  const std::size_t k = index(level, digit);
+  if (!ent_node_[k].is_valid()) ++filled_;
+  ent_node_[k] = node;
+  ent_state_[k] = state;
+  ent_host_[k] = host;
 }
 
 void NeighborTable::memo_host(std::uint32_t level, std::uint32_t digit,
                               HostId host) {
-  Entry& e = entries_[index(level, digit)];
-  HCUBE_CHECK_MSG(e.node.is_valid(), "memo_host() of an empty entry");
-  e.host = host;
+  const std::size_t k = index(level, digit);
+  HCUBE_CHECK_MSG(ent_node_[k].is_valid(), "memo_host() of an empty entry");
+  ent_host_[k] = host;
 }
 
 void NeighborTable::set_state(std::uint32_t level, std::uint32_t digit,
                               NeighborState state) {
-  Entry& e = entries_[index(level, digit)];
-  HCUBE_CHECK_MSG(e.node.is_valid(), "set_state() of an empty entry");
-  e.state = state;
+  const std::size_t k = index(level, digit);
+  HCUBE_CHECK_MSG(ent_node_[k].is_valid(), "set_state() of an empty entry");
+  ent_state_[k] = state;
 }
 
 void NeighborTable::clear(std::uint32_t level, std::uint32_t digit) {
-  Entry& e = entries_[index(level, digit)];
-  if (!e.node.is_valid()) return;
-  e.node = NodeId();
-  e.state = NeighborState::kT;
-  e.host = kNoHost;
+  const std::size_t k = index(level, digit);
+  if (!ent_node_[k].is_valid()) return;
+  ent_node_[k] = NodeId();
+  ent_state_[k] = NeighborState::kT;
+  ent_host_[k] = kNoHost;
   --filled_;
+}
+
+void NeighborTable::backup_range(std::uint32_t slot, std::size_t* lo,
+                                 std::size_t* hi) const {
+  std::size_t i = 0;
+  while (i < backup_slot_.size() && backup_slot_[i] != slot) ++i;
+  *lo = i;
+  while (i < backup_slot_.size() && backup_slot_[i] == slot) ++i;
+  *hi = i;
 }
 
 bool NeighborTable::offer_backup(std::uint32_t level, std::uint32_t digit,
@@ -96,48 +119,45 @@ bool NeighborTable::offer_backup(std::uint32_t level, std::uint32_t digit,
                   "backup does not share the required suffix");
   HCUBE_CHECK_MSG(node.digit(level) == digit,
                   "backup's level-th digit does not match the entry digit");
-  const Entry& primary = entries_[index(level, digit)];
-  if (primary.node.is_valid() && primary.node == node) return false;
-  auto& list = backups_[index(level, digit)];
-  if (list.size() >= max_backups) return false;
-  for (const NodeId& b : list)
-    if (b == node) return false;
-  list.push_back(node);
-  ++total_backups_;
+  const std::uint32_t slot = static_cast<std::uint32_t>(index(level, digit));
+  if (ent_node_[slot] == node) return false;
+  std::size_t lo, hi;
+  backup_range(slot, &lo, &hi);
+  if (hi - lo >= max_backups) return false;
+  for (std::size_t i = lo; i < hi; ++i)
+    if (backup_node_[i] == node) return false;
+  backup_slot_.insert(backup_slot_.begin() + hi, slot);
+  backup_node_.insert(backup_node_.begin() + hi, node);
   return true;
 }
 
 std::span<const NodeId> NeighborTable::backups(std::uint32_t level,
                                                std::uint32_t digit) const {
-  auto it = backups_.find(index(level, digit));
-  if (it == backups_.end()) return {};
-  return it->second;
+  std::size_t lo, hi;
+  backup_range(static_cast<std::uint32_t>(index(level, digit)), &lo, &hi);
+  return {backup_node_.data() + lo, hi - lo};
 }
 
 void NeighborTable::purge_backup(std::uint32_t level, std::uint32_t digit,
                                  const NodeId& node) {
-  auto it = backups_.find(index(level, digit));
-  if (it == backups_.end()) return;
-  auto& list = it->second;
-  for (auto bit = list.begin(); bit != list.end();) {
-    if (*bit == node) {
-      bit = list.erase(bit);
-      --total_backups_;
-    } else {
-      ++bit;
+  std::size_t lo, hi;
+  backup_range(static_cast<std::uint32_t>(index(level, digit)), &lo, &hi);
+  for (std::size_t i = hi; i > lo; --i) {
+    if (backup_node_[i - 1] == node) {
+      backup_node_.erase(backup_node_.begin() + (i - 1));
+      backup_slot_.erase(backup_slot_.begin() + (i - 1));
     }
   }
-  if (list.empty()) backups_.erase(it);
 }
 
 NodeId NeighborTable::take_first_backup(std::uint32_t level,
                                         std::uint32_t digit) {
-  auto it = backups_.find(index(level, digit));
-  if (it == backups_.end()) return NodeId();
-  NodeId first = it->second.front();
-  it->second.erase(it->second.begin());
-  --total_backups_;
-  if (it->second.empty()) backups_.erase(it);
+  std::size_t lo, hi;
+  backup_range(static_cast<std::uint32_t>(index(level, digit)), &lo, &hi);
+  if (lo == hi) return NodeId();
+  const NodeId first = backup_node_[lo];
+  backup_node_.erase(backup_node_.begin() + lo);
+  backup_slot_.erase(backup_slot_.begin() + lo);
   return first;
 }
 
@@ -146,8 +166,8 @@ void NeighborTable::for_each_filled(
                              NeighborState)>& fn) const {
   for (std::uint32_t i = 0; i < params_.num_digits; ++i) {
     for (std::uint32_t j = 0; j < params_.base; ++j) {
-      const Entry& e = entries_[index(i, j)];
-      if (e.node.is_valid()) fn(i, j, e.node, e.state);
+      const std::size_t k = index(i, j);
+      if (ent_node_[k].is_valid()) fn(i, j, ent_node_[k], ent_state_[k]);
     }
   }
 }
@@ -158,35 +178,62 @@ TableSnapshot NeighborTable::snapshot(std::uint32_t level_lo,
   TableSnapshot snap;
   for (std::uint32_t i = level_lo; i <= level_hi; ++i) {
     for (std::uint32_t j = 0; j < params_.base; ++j) {
-      const Entry& e = entries_[index(i, j)];
-      if (e.node.is_valid())
+      const std::size_t k = index(i, j);
+      if (ent_node_[k].is_valid())
         snap.add(static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(j),
-                 e.node, e.state);
+                 ent_node_[k], ent_state_[k]);
     }
   }
   return snap;
 }
 
 BitVec NeighborTable::filled_bitvec() const {
-  BitVec bits(entries_.size());
-  for (std::size_t k = 0; k < entries_.size(); ++k)
-    if (entries_[k].node.is_valid()) bits.set(k);
+  const std::size_t n =
+      static_cast<std::size_t>(params_.num_digits) * params_.base;
+  BitVec bits(n);
+  for (std::size_t k = 0; k < n; ++k)
+    if (ent_node_[k].is_valid()) bits.set(k);
   return bits;
 }
 
-void NeighborTable::add_reverse_neighbor(const NodeId& v, EntryRef where) {
+void NeighborTable::add_reverse_neighbor(const NodeId& v) {
   HCUBE_CHECK(v.is_valid());
   if (v == owner_) return;  // a node is trivially its own neighbor
-  reverse_[v] = where;
+  reverse_.insert(v);
 }
 
-std::vector<NodeId> NeighborTable::distinct_neighbors() const {
-  std::unordered_set<NodeId, NodeIdHash> seen;
-  for_each_filled([&](std::uint32_t, std::uint32_t, const NodeId& node,
-                      NeighborState) {
-    if (node != owner_) seen.insert(node);
-  });
-  return {seen.begin(), seen.end()};
+std::span<const NodeId> NeighborTable::distinct_neighbors() const {
+  // Level-major first-appearance order: deterministic, and O(k^2) on the
+  // handful of distinct 8-byte handles a table holds (k <= d*b, typically
+  // far fewer) — no hashing, no allocation once the scratch has grown.
+  // The scratch is shared by every table (a per-table buffer costs ~0.5 KB
+  // per node at scale for data that is dead between calls); the returned
+  // span is invalidated by the next call on any table.
+  static thread_local std::vector<NodeId> scratch;
+  scratch.clear();
+  const std::size_t n =
+      static_cast<std::size_t>(params_.num_digits) * params_.base;
+  for (std::size_t k = 0; k < n; ++k) {
+    const NodeId& node = ent_node_[k];
+    if (!node.is_valid() || node == owner_) continue;
+    bool seen = false;
+    for (const NodeId& s : scratch)
+      if (s == node) {
+        seen = true;
+        break;
+      }
+    if (!seen) scratch.push_back(node);
+  }
+  return scratch;
+}
+
+std::size_t NeighborTable::bytes_used() const {
+  const std::size_t n =
+      static_cast<std::size_t>(params_.num_digits) * params_.base;
+  return n * (sizeof(NodeId) + sizeof(NeighborState) + sizeof(HostId)) +
+         reverse_.bytes_used() +
+         backup_slot_.capacity() * sizeof(std::uint32_t) +
+         backup_node_.capacity() * sizeof(NodeId);
 }
 
 std::string NeighborTable::to_string() const {
@@ -195,10 +242,10 @@ std::string NeighborTable::to_string() const {
   for (std::uint32_t i = 0; i < params_.num_digits; ++i) {
     os << "  level " << i << ":";
     for (std::uint32_t j = 0; j < params_.base; ++j) {
-      const Entry& e = entries_[index(i, j)];
-      if (!e.node.is_valid()) continue;
-      os << " (" << j << ")=" << e.node.to_string(params_)
-         << (e.state == NeighborState::kS ? "/S" : "/T");
+      const std::size_t k = index(i, j);
+      if (!ent_node_[k].is_valid()) continue;
+      os << " (" << j << ")=" << ent_node_[k].to_string(params_)
+         << (ent_state_[k] == NeighborState::kS ? "/S" : "/T");
     }
     os << "\n";
   }

@@ -7,19 +7,31 @@
 // S-node, S = in system) and the reverse-neighbor bookkeeping that
 // InSysNotiMsg delivery needs.
 //
+// Storage layout (DESIGN.md §13): the d*b entries are structure-of-arrays —
+// three parallel level-major columns (node handle, state, host) allocated
+// from the owning overlay's arena (or a private exact-fit buffer when the
+// table is built standalone, as tests do). IDs are 8-byte interned handles;
+// the reverse side is a dense insertion-ordered FlatNodeSet and backups are
+// two parallel grouped vectors. Nothing in the table hashes NodeIds through
+// std::unordered_* — iteration order is insertion/level order everywhere,
+// which the deterministic-replay digests rely on.
+//
 // The class enforces the suffix invariant on every write: a table can never
 // hold a node in an entry whose required suffix the node's ID does not have.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "ids/node_id.h"
+#include "ids/node_set.h"
 #include "proto/messages.h"
+#include "util/arena.h"
 #include "util/host.h"
 
 namespace hcube {
@@ -31,21 +43,35 @@ struct EntryRef {
 
 class NeighborTable {
  public:
-  NeighborTable(const IdParams& params, NodeId owner);
+  // Columns come from `arena` when given (Overlay passes its own); a null
+  // arena means a private exact-fit allocation (standalone tables).
+  NeighborTable(const IdParams& params, NodeId owner, Arena* arena = nullptr);
+
+  NeighborTable(NeighborTable&&) = default;
+  NeighborTable& operator=(NeighborTable&&) = default;
 
   const IdParams& params() const { return params_; }
   const NodeId& owner() const { return owner_; }
 
+  // Re-empties the table in place (crash/restart path). Keeps the column
+  // storage — arena memory is never returned.
+  void reset();
+
   // The paper's N_x(i, j); nullptr when the entry is empty.
-  const NodeId* neighbor(std::uint32_t level, std::uint32_t digit) const;
+  const NodeId* neighbor(std::uint32_t level, std::uint32_t digit) const {
+    const NodeId& n = ent_node_[index(level, digit)];
+    return n.is_valid() ? &n : nullptr;
+  }
   NeighborState state(std::uint32_t level, std::uint32_t digit) const;
   bool is_empty(std::uint32_t level, std::uint32_t digit) const {
-    return neighbor(level, digit) == nullptr;
+    return !ent_node_[index(level, digit)].is_valid();
   }
 
   // Returns true if entry (level, digit) holds exactly this node.
   bool holds(std::uint32_t level, std::uint32_t digit,
-             const NodeId& node) const;
+             const NodeId& node) const {
+    return ent_node_[index(level, digit)] == node && node.is_valid();
+  }
 
   // Sets N_x(level, digit) = node with the given state. Checks the suffix
   // invariant: csuf(node, owner) >= level and node[level] == digit.
@@ -56,7 +82,9 @@ class NeighborTable {
 
   // Cached transport endpoint of the entry's neighbor (the envelope a
   // deployment would store alongside the ID); kNoHost when never resolved.
-  HostId host(std::uint32_t level, std::uint32_t digit) const;
+  HostId host(std::uint32_t level, std::uint32_t digit) const {
+    return ent_host_[index(level, digit)];
+  }
   // Memoizes the host of a filled entry after a lazy resolve.
   void memo_host(std::uint32_t level, std::uint32_t digit, HostId host);
 
@@ -84,7 +112,8 @@ class NeighborTable {
   bool offer_backup(std::uint32_t level, std::uint32_t digit,
                     const NodeId& node, std::size_t max_backups);
 
-  // Backups for an entry, in offer order (empty span if none).
+  // Backups for an entry, in offer order (empty span if none). The span is
+  // invalidated by the next backup mutation on this table.
   std::span<const NodeId> backups(std::uint32_t level,
                                   std::uint32_t digit) const;
 
@@ -95,7 +124,7 @@ class NeighborTable {
   // Pops the first backup of the entry (invalid NodeId if none).
   NodeId take_first_backup(std::uint32_t level, std::uint32_t digit);
 
-  std::size_t total_backups() const { return total_backups_; }
+  std::size_t total_backups() const { return backup_node_.size(); }
 
   std::size_t filled_count() const { return filled_; }
 
@@ -118,39 +147,57 @@ class NeighborTable {
   // ---- Reverse neighbors ----
   // v is a reverse neighbor of x when v stores x (x learns this from
   // RvNghNotiMsg or by filling v in response to a JoinWaitMsg). A given v
-  // stores x in exactly one entry, so a flat map suffices.
-  void add_reverse_neighbor(const NodeId& v, EntryRef where);
+  // stores x in exactly one entry — (k, x[k]) with k = |csuf(v, x)| — so
+  // the entry location is derivable from the two IDs and only the set of
+  // storers is kept (8 bytes per storer; an EntryRef value would double
+  // that for data no reader uses). Iteration is in insertion order
+  // (deterministic).
+  void add_reverse_neighbor(const NodeId& v);
   // v stopped storing the owner (leave protocol). No-op if unknown.
   void remove_reverse_neighbor(const NodeId& v) { reverse_.erase(v); }
-  const std::unordered_map<NodeId, EntryRef, NodeIdHash>& reverse_neighbors()
-      const {
-    return reverse_;
-  }
+  const FlatNodeSet& reverse_neighbors() const { return reverse_; }
 
-  // The set of distinct nodes (other than the owner) appearing in the table.
-  std::vector<NodeId> distinct_neighbors() const;
+  // The set of distinct nodes (other than the owner) appearing in the
+  // table, in level-major first-appearance order. The span aliases a
+  // thread-local scratch buffer shared by all tables: it is invalidated by
+  // the next call to distinct_neighbors() on ANY table (callers that need
+  // the set across table mutations copy it, e.g. into a FlatNodeSet).
+  std::span<const NodeId> distinct_neighbors() const;
+
+  // Approximate heap/arena bytes behind this table (columns + reverse +
+  // backups + scratch), for bytes/node accounting.
+  std::size_t bytes_used() const;
 
   std::string to_string() const;
 
  private:
-  struct Entry {
-    NodeId node;  // invalid (default) = empty
-    NeighborState state = NeighborState::kT;
-    HostId host = kNoHost;  // resolved transport endpoint of `node`
-  };
+  std::size_t index(std::uint32_t level, std::uint32_t digit) const {
+    HCUBE_DCHECK(level < params_.num_digits);
+    HCUBE_DCHECK(digit < params_.base);
+    return static_cast<std::size_t>(level) * params_.base + digit;
+  }
 
-  std::size_t index(std::uint32_t level, std::uint32_t digit) const;
+  // Locates the backup group for an entry slot: [lo, hi) in backup_node_.
+  void backup_range(std::uint32_t slot, std::size_t* lo, std::size_t* hi) const;
 
   IdParams params_;
   NodeId owner_;
-  std::vector<Entry> entries_;  // level-major, d*b
+
+  // SoA columns, level-major, d*b each. Either arena memory or
+  // self_storage_; raw pointers are stable for the table's lifetime.
+  NodeId* ent_node_ = nullptr;
+  NeighborState* ent_state_ = nullptr;
+  HostId* ent_host_ = nullptr;
+  std::unique_ptr<std::byte[]> self_storage_;  // null when arena-backed
+
   std::size_t filled_ = 0;
-  std::unordered_map<NodeId, EntryRef, NodeIdHash> reverse_;
-  // Sparse backup store: most entries have none, so a side map keyed by
-  // entry index beats a per-entry vector (which would dominate the table's
-  // memory at paper scale).
-  std::unordered_map<std::size_t, std::vector<NodeId>> backups_;
-  std::size_t total_backups_ = 0;
+  FlatNodeSet reverse_;
+  // Backups, grouped by entry slot: backup_slot_[k] is the level*b+digit
+  // slot of backup_node_[k], groups contiguous in first-offer order.
+  // Sparse and tiny in practice (most entries have none), so two parallel
+  // vectors beat any per-entry structure.
+  std::vector<std::uint32_t> backup_slot_;
+  std::vector<NodeId> backup_node_;
 };
 
 }  // namespace hcube

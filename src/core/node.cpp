@@ -15,8 +15,8 @@ Overloaded(Ts...) -> Overloaded<Ts...>;
 }  // namespace
 
 Node::Node(NodeId id, const IdParams& params, const ProtocolOptions& options,
-           NodeEnv& env)
-    : core_(std::move(id), params, options, env),
+           NodeEnv& env, Arena* arena)
+    : core_(id, params, options, env, arena),
       leave_(core_),
       repair_(core_, leave_),
       join_(core_, leave_) {}
@@ -53,8 +53,8 @@ void Node::finish_install() {
   core_.stats.t_begin = core_.stats.t_end = core_.env.now();
 }
 
-void Node::install_reverse_neighbor(const NodeId& v, EntryRef where) {
-  core_.table.add_reverse_neighbor(v, where);
+void Node::install_reverse_neighbor(const NodeId& v) {
+  core_.table.add_reverse_neighbor(v);
 }
 
 void Node::rebind_entry(std::uint32_t level, std::uint32_t digit,

@@ -22,8 +22,10 @@ namespace hcube {
 
 class Node {
  public:
+  // `arena` backs the neighbor table's columns when given (Overlay passes
+  // its own); null = the table owns a private exact-fit buffer.
   Node(NodeId id, const IdParams& params, const ProtocolOptions& options,
-       NodeEnv& env);
+       NodeEnv& env, Arena* arena = nullptr);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -68,7 +70,7 @@ class Node {
 
   // Registers a reverse neighbor directly (used by NetworkBuilder so that
   // pre-built networks have complete reverse-neighbor sets).
-  void install_reverse_neighbor(const NodeId& v, EntryRef where);
+  void install_reverse_neighbor(const NodeId& v);
 
   // ---- Offline optimization hooks (core/optimize.h) ----
   // Rebinds a filled entry to another member of the same suffix class and

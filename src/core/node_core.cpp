@@ -14,15 +14,18 @@ const char* to_string(SnapshotPolicy p) {
 }
 
 NodeCore::NodeCore(NodeId id_arg, const IdParams& params_arg,
-                   const ProtocolOptions& options_arg, NodeEnv& env_arg)
-    : id(std::move(id_arg)),
+                   const ProtocolOptions& options_arg, NodeEnv& env_arg,
+                   Arena* arena)
+    : id(id_arg),
       params(params_arg),
       options(options_arg),
       env(env_arg),
-      table(params, id) {}
+      table(params, id, arena) {}
 
 void NodeCore::reset_for_restart() {
-  table = NeighborTable(params, id);
+  // In-place wipe: the table's column storage (possibly arena memory that
+  // is never returned) is reused by the new incarnation.
+  table.reset();
   // Direct write, not set_status: the kCrashed -> kCopying flip is part of
   // reviving the core, not a protocol transition. The span tracer sees the
   // new incarnation when the rejoin's begin_attempt() reports kCopying.

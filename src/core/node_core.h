@@ -11,9 +11,9 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 
 #include "core/neighbor_table.h"
+#include "ids/node_set.h"
 #include "core/options.h"
 #include "ids/node_id.h"
 #include "obs/metric.h"
@@ -38,8 +38,11 @@ HCUBE_METRIC(kMetricJoinBytesSent, "join.bytes_sent");
 // Per-join bookkeeping the benchmarks read out (Section 5.2 quantities),
 // plus the robustness counters of the fault-tolerance extension.
 struct JoinStats {
-  std::array<std::uint64_t, kNumMessageTypes> sent{};
-  std::array<std::uint64_t, kNumMessageTypes> received{};
+  // 32-bit per-node counters: a single node's per-incarnation message
+  // counts never approach 2^32, and at scale these two arrays are live on
+  // every node (160 B each saved matters at n=100k). Aggregations widen.
+  std::array<std::uint32_t, kNumMessageTypes> sent{};
+  std::array<std::uint32_t, kNumMessageTypes> received{};
   std::uint64_t bytes_sent = 0;
   SimTime t_begin = -1.0;  // t^b_x: when the node began joining
   SimTime t_end = -1.0;    // t^e_x: when it became an S-node
@@ -131,13 +134,17 @@ class NodeEnv {
   }
 };
 
-using NodeIdSet = std::unordered_set<NodeId, NodeIdHash>;
+// Dense insertion-ordered set (ids/node_set.h): deterministic iteration —
+// protocol loops over these sets schedule same-time events, so their order
+// is part of replay determinism — and no per-element heap nodes.
+using NodeIdSet = FlatNodeSet;
 
 // The state every protocol module shares. Plain struct by design: the
 // modules are the behavior, this is the data they agree on.
 struct NodeCore {
   NodeCore(NodeId id_arg, const IdParams& params_arg,
-           const ProtocolOptions& options_arg, NodeEnv& env_arg);
+           const ProtocolOptions& options_arg, NodeEnv& env_arg,
+           Arena* arena = nullptr);
 
   NodeId id;
   IdParams params;

@@ -60,8 +60,7 @@ OptimizeResult optimize_tables(Overlay& overlay, LatencyModel& latency,
             if (n == r.from) still_stored = true;
           });
       if (!still_stored) overlay.at(r.from).drop_reverse_neighbor(x);
-      overlay.at(r.to).install_reverse_neighbor(
-          x, {r.level, static_cast<std::uint32_t>(r.digit)});
+      overlay.at(r.to).install_reverse_neighbor(x);
     }
   }
   return result;

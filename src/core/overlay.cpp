@@ -21,8 +21,8 @@ Overlay::Overlay(const IdParams& params, const ProtocolOptions& options,
 }
 
 Node& Overlay::add_node(const NodeId& id) {
-  HCUBE_CHECK_MSG(!registry_.contains(id), "duplicate node ID");
-  auto node = std::make_unique<Node>(id, params_, options_, *this);
+  HCUBE_CHECK_MSG(find(id) == nullptr, "duplicate node ID");
+  auto node = std::make_unique<Node>(id, params_, options_, *this, &arena_);
   Node* raw = node.get();
   const HostId host = transport_.add_endpoint(
       [raw](HostId from, const Message& msg) { raw->handle(from, msg); });
@@ -30,24 +30,28 @@ Node& Overlay::add_node(const NodeId& id) {
                   "overlay must be the transport's only endpoint registrant");
   raw->bind_host(host);
   nodes_.push_back(std::move(node));
-  registry_.emplace(id, host);
+  if (id.ref() >= registry_.size()) registry_.resize(id.ref() + 1, kNoHost);
+  registry_[id.ref()] = host;
   return *raw;
 }
 
 HostId Overlay::host_of(const NodeId& id) const {
-  auto it = registry_.find(id);
-  HCUBE_CHECK_MSG(it != registry_.end(), "unknown node ID");
-  return it->second;
+  const HostId host =
+      id.ref() < registry_.size() ? registry_[id.ref()] : kNoHost;
+  HCUBE_CHECK_MSG(host != kNoHost, "unknown node ID");
+  return host;
 }
 
 Node* Overlay::find(const NodeId& id) {
-  auto it = registry_.find(id);
-  return it == registry_.end() ? nullptr : nodes_[it->second].get();
+  if (!id.is_valid() || id.ref() >= registry_.size()) return nullptr;
+  const HostId host = registry_[id.ref()];
+  return host == kNoHost ? nullptr : nodes_[host].get();
 }
 
 const Node* Overlay::find(const NodeId& id) const {
-  auto it = registry_.find(id);
-  return it == registry_.end() ? nullptr : nodes_[it->second].get();
+  if (!id.is_valid() || id.ref() >= registry_.size()) return nullptr;
+  const HostId host = registry_[id.ref()];
+  return host == kNoHost ? nullptr : nodes_[host].get();
 }
 
 Node& Overlay::at(const NodeId& id) {

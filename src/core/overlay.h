@@ -19,7 +19,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/node.h"
@@ -62,6 +61,10 @@ class Overlay : public NodeEnv {
 
   const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
   std::size_t size() const { return nodes_.size(); }
+
+  // The arena every node's neighbor-table columns are drawn from (see
+  // util/arena.h and DESIGN.md §13); exposed for bytes/node accounting.
+  const Arena& table_arena() const { return arena_; }
 
   // ---- joins ----
 
@@ -171,10 +174,15 @@ class Overlay : public NodeEnv {
   ProtocolOptions options_;
   std::unique_ptr<Transport> owned_transport_;  // convenience ctor only
   Transport& transport_;
+  // Backing store for every node's neighbor-table columns. Declared before
+  // nodes_ for the usual member-order reason, though nothing in a Node's
+  // destructor touches column memory.
+  Arena arena_;
   // nodes_ is dense, indexed by HostId; registry_ resolves NodeId -> host
-  // once at registration (and on cold kNoHost sends).
+  // as a dense array indexed by the ID's interner ref (no hashing even on
+  // cold lookups). kNoHost = that ref is not a member of this overlay.
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::unordered_map<NodeId, HostId, NodeIdHash> registry_;
+  std::vector<HostId> registry_;
   Totals totals_;
   ConformanceStats conformance_;
 };

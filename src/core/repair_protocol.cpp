@@ -21,12 +21,11 @@ void RepairProtocol::start_repair(SimTime ping_timeout_ms) {
   NodeIdSet probe_set;
   for (const NodeId& u : core_.table.distinct_neighbors())
     probe_set.insert(u);
-  for (const auto& [v, where] : core_.table.reverse_neighbors()) {
-    (void)where;
+  for (const NodeId& v : core_.table.reverse_neighbors()) {
     probe_set.insert(v);
   }
   for (const NodeId& u : probe_set) {
-    pending_pings_[u] = generation;
+    pending_pings_.put(u, generation);
     core_.send(u, PingMsg{});
     core_.env.schedule(ping_timeout_ms, [this, u, generation] {
       on_ping_timeout(u, generation);
@@ -36,10 +35,10 @@ void RepairProtocol::start_repair(SimTime ping_timeout_ms) {
 
 void RepairProtocol::on_ping_timeout(const NodeId& u,
                                      std::uint64_t generation) {
-  auto it = pending_pings_.find(u);
-  if (it == pending_pings_.end() || it->second != generation)
+  const std::uint64_t* pending = pending_pings_.find(u);
+  if (pending == nullptr || *pending != generation)
     return;  // answered, or a newer probe superseded this one
-  pending_pings_.erase(it);
+  pending_pings_.erase(u);
   // u is presumed dead. It occupies exactly one entry of our table:
   // (k, u[k]) with k = |csuf|.
   core_.table.remove_reverse_neighbor(u);
@@ -61,7 +60,7 @@ void RepairProtocol::begin_entry_repair(std::uint32_t level,
   if (promoted.is_valid()) {
     core_.fill_if_empty(level, digit, promoted, NeighborState::kS);
     const std::uint64_t generation = ++ping_generation_;
-    pending_pings_[promoted] = generation;
+    pending_pings_.put(promoted, generation);
     core_.send(promoted, PingMsg{});
     core_.env.schedule(repair_timeout_ms_, [this, promoted, generation] {
       on_ping_timeout(promoted, generation);
@@ -101,8 +100,7 @@ void RepairProtocol::announce_table() {
                   "announce runs on settled S-nodes");
   NodeIdSet targets;
   for (const NodeId& u : core_.table.distinct_neighbors()) targets.insert(u);
-  for (const auto& [v, where] : core_.table.reverse_neighbors()) {
-    (void)where;
+  for (const NodeId& v : core_.table.reverse_neighbors()) {
     targets.insert(v);
   }
   const TableSnapshot snap = core_.table.snapshot_full();
@@ -125,9 +123,8 @@ void RepairProtocol::on_announce(const NodeId& x, const AnnounceMsg& m) {
   // restarted node with its pre-crash storers (their announcements name
   // it) and what unregisters a peer that vacated our entry while a
   // partition made us look dead to it.
-  const auto k = static_cast<std::uint32_t>(core_.id.csuf_len(x));
   if (sender_stores_us) {
-    core_.table.add_reverse_neighbor(x, {k, core_.id.digit(k)});
+    core_.table.add_reverse_neighbor(x);
     if (core_.status == NodeStatus::kLeaving && !leave_.has_notified(x)) {
       // Same cross-protocol edge as RvNghNotiMsg during a leave: a storer
       // we did not know about must be told to repair before we depart.

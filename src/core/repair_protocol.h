@@ -70,7 +70,11 @@ class RepairProtocol {
     std::size_t replies_expected;
     NodeId dead;
   };
-  std::unordered_map<NodeId, std::uint64_t, NodeIdHash> pending_pings_;
+  // Insertion-ordered: start_repair schedules every probe's timeout at the
+  // same instant, so this map's order is the timeout firing order.
+  FlatNodeMap<std::uint64_t> pending_pings_;
+  // Keyed by packed entry slot (not NodeId) and never iterated, so a heap
+  // hash map costs nothing deterministic here; it is transient repair state.
   std::unordered_map<std::uint64_t, RepairState> pending_repairs_;
   std::uint64_t ping_generation_ = 0;
   // Last effective ping timeout; seeded from ProtocolOptions::

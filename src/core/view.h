@@ -6,11 +6,11 @@
 // means (e.g. the multicast-join baseline or hand-built fixtures).
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "core/neighbor_table.h"
 #include "ids/node_id.h"
+#include "ids/node_set.h"
 
 namespace hcube {
 
@@ -23,7 +23,7 @@ class NetworkView {
   void add(const NeighborTable* table) {
     HCUBE_CHECK(table != nullptr);
     tables_.push_back(table);
-    by_id_.emplace(table->owner(), table);
+    by_id_.put(table->owner(), table);
   }
 
   const IdParams& params() const { return params_; }
@@ -31,15 +31,15 @@ class NetworkView {
   const std::vector<const NeighborTable*>& tables() const { return tables_; }
 
   const NeighborTable* find(const NodeId& id) const {
-    auto it = by_id_.find(id);
-    return it == by_id_.end() ? nullptr : it->second;
+    const NeighborTable* const* t = by_id_.find(id);
+    return t == nullptr ? nullptr : *t;
   }
   bool contains(const NodeId& id) const { return by_id_.contains(id); }
 
  private:
   IdParams params_;
   std::vector<const NeighborTable*> tables_;
-  std::unordered_map<NodeId, const NeighborTable*, NodeIdHash> by_id_;
+  FlatNodeMap<const NeighborTable*> by_id_;
 };
 
 // View over all nodes currently in an overlay.

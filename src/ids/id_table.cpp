@@ -1,0 +1,76 @@
+#include "ids/id_table.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hcube {
+
+IdTable& IdTable::instance() {
+  static IdTable table;
+  return table;
+}
+
+std::uint64_t IdTable::hash_digits(std::span<const Digit> digits) {
+  // FNV-1a, the same function NodeId::hash() historically used.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (Digit d : digits) {
+    h ^= d;
+    h *= 1099511628211ULL;
+  }
+  // Mix the length so "0" and "00" (same byte prefix) split cleanly.
+  h ^= digits.size();
+  h *= 1099511628211ULL;
+  return h;
+}
+
+void IdTable::grow_index() {
+  const std::size_t new_cap = slots_.empty() ? 1024 : slots_.size() * 2;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_cap, Slot{});
+  const std::size_t mask = new_cap - 1;
+  for (const Slot& s : old) {
+    if (s.ref == kInvalidRef) continue;
+    const std::uint64_t h = hash_digits(
+        std::span<const Digit>(digits_of(s.ref), locs_[s.ref].len));
+    std::size_t i = static_cast<std::size_t>(h) & mask;
+    while (slots_[i].ref != kInvalidRef) i = (i + 1) & mask;
+    slots_[i] = s;
+  }
+}
+
+IdTable::Ref IdTable::intern(std::span<const Digit> digits) {
+  HCUBE_CHECK(!digits.empty() && digits.size() <= 255);
+  if (slots_.empty() || locs_.size() * 10 >= slots_.size() * 7) grow_index();
+
+  const std::uint64_t h = hash_digits(digits);
+  const std::uint8_t tag = static_cast<std::uint8_t>(h >> 56);
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(h) & mask;
+  for (;;) {
+    Slot& s = slots_[i];
+    if (s.ref == kInvalidRef) {
+      // New string: append to the current slab (never straddling one).
+      const std::uint32_t len = static_cast<std::uint32_t>(digits.size());
+      if ((next_off_ & kBlockMask) + len > kBlockSize)
+        next_off_ = (next_off_ | kBlockMask) + 1;  // pad to the next slab
+      while ((next_off_ >> kBlockShift) >= blocks_.size()) {
+        blocks_.push_back(std::make_unique<Digit[]>(kBlockSize));
+        block_ptrs_.push_back(blocks_.back().get());
+      }
+      const Ref ref = static_cast<Ref>(locs_.size());
+      std::memcpy(blocks_[next_off_ >> kBlockShift].get() +
+                      (next_off_ & kBlockMask),
+                  digits.data(), len);
+      locs_.push_back(EntryLoc{next_off_, static_cast<std::uint8_t>(len)});
+      next_off_ += len;
+      s = Slot{ref, tag};
+      return ref;
+    }
+    if (s.tag == tag && locs_[s.ref].len == digits.size() &&
+        std::memcmp(digits_of(s.ref), digits.data(), digits.size()) == 0)
+      return s.ref;
+    i = (i + 1) & mask;
+  }
+}
+
+}  // namespace hcube

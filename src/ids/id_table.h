@@ -1,0 +1,109 @@
+// The ID interner: every distinct digit string lives exactly once in an
+// arena of append-only slabs, and a NodeId is an 8-byte handle into it.
+//
+// Rationale (ROADMAP item 1): at paper scale the old 65-byte inline-array
+// NodeId dominated table memory — d*b entries × 65 bytes before any
+// bookkeeping. Interning makes the per-entry cost the handle (4-byte ref +
+// length), turns equality into an integer compare (interning is canonical:
+// equal digit strings always receive equal refs), and keeps digit reads a
+// contiguous slab access for csuf scans.
+//
+// Properties the rest of the codebase relies on:
+//   * Stability — slabs are never moved or freed, so a digit span obtained
+//     from a handle stays valid for the life of the process. A node that
+//     crashes, restarts and rejoins re-interns the same digit string and
+//     gets the same ref back (pinned by id_table_test).
+//   * Determinism — refs are assigned in first-intern order; no pointer
+//     values or randomized hashing enter the data structure, so runs are
+//     reproducible (the chaos digest tests depend on this).
+//   * Single-threaded — the process-global table is not locked. The
+//     simulator is single-threaded by design; sharding the table is the
+//     sharded-simulator PR's problem, not this one's.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hcube {
+
+using Digit = std::uint8_t;
+
+class IdTable {
+ public:
+  using Ref = std::uint32_t;
+  static constexpr Ref kInvalidRef = 0xffffffffu;
+
+  // The process-global instance every NodeId resolves against.
+  static IdTable& instance();
+
+  // Returns the canonical ref for this digit string, interning it on first
+  // sight. Refs are DENSE: the k-th distinct string interned gets ref k,
+  // so a per-overlay side table indexed by ref is an exact-fit array.
+  // len must be in [1, 255].
+  Ref intern(std::span<const Digit> digits);
+
+  // Digits of an interned string. O(1): entry record + slab load.
+  const Digit* digits_of(Ref ref) const {
+    HCUBE_DCHECK(ref < locs_.size());
+    const EntryLoc loc = locs_[ref];
+    return block_ptrs_[loc.off >> kBlockShift] + (loc.off & kBlockMask);
+  }
+
+  std::uint8_t len_of(Ref ref) const {
+    HCUBE_DCHECK(ref < locs_.size());
+    return locs_[ref].len;
+  }
+
+  // Number of distinct strings interned == the exclusive upper bound of
+  // all refs handed out so far.
+  std::size_t size() const { return locs_.size(); }
+
+  // Heap footprint (slabs + entry records + hash index), for bytes/node
+  // accounting.
+  std::size_t bytes_used() const {
+    return blocks_.size() * kBlockSize + slots_.size() * sizeof(Slot) +
+           locs_.capacity() * sizeof(EntryLoc) +
+           blocks_.size() * sizeof(void*);
+  }
+
+  IdTable(const IdTable&) = delete;
+  IdTable& operator=(const IdTable&) = delete;
+
+ private:
+  // 64 KiB of digits per slab: large enough that per-slab overhead is
+  // noise, small enough that a test process interning a handful of IDs
+  // doesn't pin megabytes.
+  static constexpr std::uint32_t kBlockShift = 16;
+  static constexpr std::uint32_t kBlockSize = 1u << kBlockShift;
+  static constexpr std::uint32_t kBlockMask = kBlockSize - 1;
+
+  // Where an interned string's digits live in the slabs.
+  struct EntryLoc {
+    std::uint32_t off;  // global digit offset (block | offset-in-block)
+    std::uint8_t len;
+  };
+
+  // Open-addressed index slot: ref + a hash tag so most probe misses never
+  // touch the slab.
+  struct Slot {
+    Ref ref = kInvalidRef;
+    std::uint8_t tag = 0;
+  };
+
+  IdTable() = default;
+
+  static std::uint64_t hash_digits(std::span<const Digit> digits);
+  void grow_index();
+
+  std::vector<std::unique_ptr<Digit[]>> blocks_;
+  std::vector<const Digit*> block_ptrs_;  // blocks_[i].get(), flat for reads
+  std::uint32_t next_off_ = 0;            // next free global digit offset
+  std::vector<EntryLoc> locs_;            // ref -> digit location
+  std::vector<Slot> slots_;               // power-of-two OA index
+};
+
+}  // namespace hcube

@@ -20,21 +20,33 @@ int char_to_digit(char c) {
 }  // namespace
 
 std::size_t NodeId::csuf_len(const NodeId& other) const {
-  HCUBE_DCHECK(size_ == other.size_);
+  HCUBE_DCHECK(num_digits() == other.num_digits());
+  if (ref_ == other.ref_) return num_digits();
+  const auto a = digits();
+  const auto b = other.digits();
   std::size_t k = 0;
-  while (k < size_ && digits_[k] == other.digits_[k]) ++k;
+  while (k < a.size() && a[k] == b[k]) ++k;
   return k;
 }
 
 bool NodeId::has_suffix(std::span<const Digit> suffix) const {
-  if (suffix.size() > size_) return false;
-  return std::equal(suffix.begin(), suffix.end(), digits_.begin());
+  const auto ds = digits();
+  if (suffix.size() > ds.size()) return false;
+  return std::equal(suffix.begin(), suffix.end(), ds.begin());
 }
 
 Suffix NodeId::suffix_of_len(std::size_t len) const {
-  HCUBE_DCHECK(len <= size_);
-  return Suffix(digits_.begin(),
-                digits_.begin() + static_cast<std::ptrdiff_t>(len));
+  HCUBE_DCHECK(len <= num_digits());
+  const auto ds = digits();
+  return Suffix(ds.begin(), ds.begin() + static_cast<std::ptrdiff_t>(len));
+}
+
+std::strong_ordering NodeId::operator<=>(const NodeId& o) const {
+  if (ref_ == o.ref_) return std::strong_ordering::equal;
+  const auto a = digits();
+  const auto b = o.digits();
+  return std::lexicographical_compare_three_way(a.begin(), a.end(), b.begin(),
+                                                b.end());
 }
 
 std::string NodeId::to_string(const IdParams& params) const {
@@ -87,7 +99,8 @@ std::optional<NodeId> NodeId::from_string(const std::string& text,
 }
 
 std::size_t NodeId::hash() const {
-  // FNV-1a over the digit bytes.
+  // FNV-1a over the digit bytes (the historical NodeId hash, kept so
+  // digit-keyed hashing outside the dense-index containers is unchanged).
   std::size_t h = 1469598103934665603ULL;
   for (Digit d : digits()) {
     h ^= d;
@@ -106,12 +119,12 @@ NodeId random_id(Rng& rng, const IdParams& params) {
 NodeId UniqueIdGenerator::next() {
   for (;;) {
     NodeId id = random_id(rng_, params_);
-    if (used_.insert(id).second) return id;
+    if (used_.insert(id.ref()).second) return id;
   }
 }
 
 bool UniqueIdGenerator::reserve(const NodeId& id) {
-  return used_.insert(id).second;
+  return used_.insert(id.ref()).second;
 }
 
 std::string suffix_to_string(const Suffix& s, const IdParams& params) {

@@ -2,28 +2,32 @@
 //
 // Following PRR and the paper, an ID is d digits of base b, and digits are
 // counted from the RIGHT: digit(0) is the rightmost digit. Routing matches
-// successively longer suffixes. We therefore store digits least-significant
-// first: digits_[i] == the paper's x[i].
+// successively longer suffixes. Digits are stored least-significant first:
+// digits()[i] == the paper's x[i].
+//
+// A NodeId is an 8-byte handle (ref + length) into the process-global
+// IdTable interner; the digit bytes live once in the interner's slabs.
+// Interning is canonical, so equality is a single integer compare and a
+// NodeId is trivially copyable — message envelopes and table writes stay
+// allocation-free, and a d*b neighbor table stores d*b*8 bytes of IDs
+// instead of d*b*65 (see id_table.h for the layout and lifetime rules).
 #pragma once
 
-#include <algorithm>
-#include <array>
 #include <cmath>
 #include <compare>
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <unordered_set>
 #include <vector>
 
+#include "ids/id_table.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace hcube {
-
-using Digit = std::uint8_t;
 
 // Shape of the ID space. b and d are runtime parameters: the paper's
 // experiments use b = 16 with d = 8 and d = 40.
@@ -54,35 +58,41 @@ using Suffix = std::vector<Digit>;
 
 class NodeId {
  public:
-  // Upper bound of IdParams::num_digits; lets IDs live inline (no heap).
-  // Copying a NodeId is a fixed-size memcpy, which keeps message envelopes
-  // and table writes allocation-free on the simulator's hot path.
+  // Upper bound of IdParams::num_digits.
   static constexpr std::size_t kMaxDigits = 64;
 
   NodeId() = default;  // empty/invalid; use is_valid() to test
 
-  NodeId(std::span<const Digit> digits_lsb_first, const IdParams& params)
-      : size_(static_cast<std::uint8_t>(digits_lsb_first.size())) {
+  NodeId(std::span<const Digit> digits_lsb_first, const IdParams& params) {
     HCUBE_CHECK(digits_lsb_first.size() == params.num_digits);
-    for (std::size_t i = 0; i < digits_lsb_first.size(); ++i) {
+    for (std::size_t i = 0; i < digits_lsb_first.size(); ++i)
       HCUBE_CHECK(digits_lsb_first[i] < params.base);
-      digits_[i] = digits_lsb_first[i];
-    }
+    ref_ = IdTable::instance().intern(digits_lsb_first);
+    len_ = static_cast<std::uint8_t>(digits_lsb_first.size());
   }
 
   NodeId(const std::vector<Digit>& digits_lsb_first, const IdParams& params)
       : NodeId(std::span<const Digit>(digits_lsb_first), params) {}
 
-  bool is_valid() const { return size_ != 0; }
-  std::size_t num_digits() const { return size_; }
+  bool is_valid() const { return len_ != 0; }
+  std::size_t num_digits() const { return len_; }
+
+  // The interner handle; dense, first-intern-order. Used as an array index
+  // by the dense-index containers (FlatNodeSet/FlatNodeMap, Overlay's
+  // registry).
+  IdTable::Ref ref() const { return ref_; }
 
   // The paper's x[i]: the i-th digit counted from the right.
   Digit digit(std::size_t i) const {
-    HCUBE_DCHECK(i < size_);
-    return digits_[i];
+    HCUBE_DCHECK(i < len_);
+    return IdTable::instance().digits_of(ref_)[i];
   }
 
-  std::span<const Digit> digits() const { return {digits_.data(), size_}; }
+  // Digit bytes in the interner slab: stable for the life of the process.
+  std::span<const Digit> digits() const {
+    if (len_ == 0) return {};
+    return {IdTable::instance().digits_of(ref_), len_};
+  }
 
   // Length of the longest common suffix with another ID: the paper's
   // |csuf(x.ID, y.ID)|.
@@ -99,25 +109,21 @@ class NodeId {
   static std::optional<NodeId> from_string(const std::string& text,
                                            const IdParams& params);
 
-  // Same ordering/equality semantics as the previous std::vector storage:
+  // Canonical interning: equal digit strings hold equal refs.
+  bool operator==(const NodeId& o) const { return ref_ == o.ref_; }
+  // Same ordering semantics as the historical std::vector storage:
   // lexicographic over the LSB-first digit sequences.
-  bool operator==(const NodeId& o) const {
-    return size_ == o.size_ &&
-           std::equal(digits_.begin(), digits_.begin() + size_,
-                      o.digits_.begin());
-  }
-  std::strong_ordering operator<=>(const NodeId& o) const {
-    return std::lexicographical_compare_three_way(
-        digits_.begin(), digits_.begin() + size_, o.digits_.begin(),
-        o.digits_.begin() + o.size_);
-  }
+  std::strong_ordering operator<=>(const NodeId& o) const;
 
   std::size_t hash() const;
 
  private:
-  std::array<Digit, kMaxDigits> digits_{};
-  std::uint8_t size_ = 0;
+  IdTable::Ref ref_ = IdTable::kInvalidRef;
+  std::uint8_t len_ = 0;
 };
+
+static_assert(sizeof(NodeId) == 8, "NodeId must stay a dense 8-byte handle");
+static_assert(std::is_trivially_copyable_v<NodeId>);
 
 // Uniform random ID.
 NodeId random_id(Rng& rng, const IdParams& params);
@@ -138,13 +144,10 @@ class UniqueIdGenerator {
   const IdParams& params() const { return params_; }
 
  private:
-  struct IdHash {
-    std::size_t operator()(const NodeId& id) const { return id.hash(); }
-  };
-
   IdParams params_;
   Rng rng_;
-  std::unordered_set<NodeId, IdHash> used_;
+  // Interned refs are canonical, so uniqueness tracking is a set of ints.
+  std::unordered_set<IdTable::Ref> used_;
 };
 
 struct NodeIdHash {

@@ -248,7 +248,9 @@ static_assert(conformance_detail::crashed_receives_nothing(),
 HCUBE_METRIC(kMetricConformanceRejected, "conformance.rejected");
 
 struct ConformanceStats {
-  std::array<std::uint64_t, kNumMessageTypes> rejected{};
+  // 32-bit: rejection counts are tiny (ideally zero) even network-wide,
+  // and one of these lives on every node. Accessors widen to 64 bits.
+  std::array<std::uint32_t, kNumMessageTypes> rejected{};
 
   std::uint64_t rejected_of(MessageType t) const {
     return rejected[static_cast<std::size_t>(t)];

@@ -1,0 +1,77 @@
+// Bump-allocating arena for dense per-overlay storage.
+//
+// NeighborTable's SoA columns are fixed-size at construction and live until
+// the overlay dies; allocating them from one arena packs every table's
+// columns into a handful of large chunks (cache-dense, one malloc per
+// chunk) instead of thousands of small heap blocks. Nothing is ever freed
+// individually — the arena releases everything at once on destruction, so
+// allocations must not outlive it (Overlay owns the arena and the nodes
+// whose tables point into it; see DESIGN.md §13 for the lifetime rules).
+//
+// Pointers handed out are stable: chunks are never moved or reallocated.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hcube {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 1u << 20;  // 1 MiB
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Uninitialized storage for n objects of T. T must be trivially
+  // destructible (nothing runs destructors on arena memory).
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    HCUBE_DCHECK((align & (align - 1)) == 0);
+    std::uintptr_t p = (cursor_ + align - 1) & ~(std::uintptr_t{align} - 1);
+    if (p + bytes > limit_) {
+      grow(bytes + align);
+      p = (cursor_ + align - 1) & ~(std::uintptr_t{align} - 1);
+    }
+    cursor_ = p + bytes;
+    used_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  // Bytes handed out / bytes reserved from the heap (for accounting).
+  std::size_t bytes_used() const { return used_; }
+  std::size_t bytes_reserved() const { return reserved_; }
+
+ private:
+  void grow(std::size_t min_bytes) {
+    const std::size_t size = min_bytes > chunk_bytes_ ? min_bytes
+                                                      : chunk_bytes_;
+    chunks_.push_back(std::make_unique<std::byte[]>(size));
+    cursor_ = reinterpret_cast<std::uintptr_t>(chunks_.back().get());
+    limit_ = cursor_ + size;
+    reserved_ += size;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace hcube

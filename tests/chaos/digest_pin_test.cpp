@@ -1,0 +1,53 @@
+// Pinned chaos digests: the engine is a pure function of (seed, profile,
+// steps), so these exact FNV-1a folds must reproduce on every build. A
+// mismatch means event ordering changed somewhere — a new container with a
+// different iteration order, a scheduling tweak, a protocol edit — and is
+// either a bug or a deliberate change that must re-pin these constants and
+// say so in its change notes.
+//
+// Current values date from the dense-index storage refactor (interned
+// NodeIds + flat insertion-ordered containers), which replaced the
+// allocator-order iteration of the old unordered_map/set storage and
+// legitimately moved every digest.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "chaos/engine.h"
+#include "chaos/schedule.h"
+
+namespace hcube::chaos {
+namespace {
+
+struct PinnedRun {
+  const char* profile;
+  std::uint64_t seed;
+  std::uint64_t digest;
+};
+
+constexpr PinnedRun kPins[] = {
+    {"mixed", 1, 0x4e708fdad6a6665cULL},
+    {"mixed", 2, 0x6bbc038815a4f76dULL},
+    {"mixed", 3, 0xe06503c059d04504ULL},
+    {"mixed", 4, 0xc3f27e3891256abcULL},
+    {"partition", 1, 0x2c4a2dd36f6c6c6aULL},
+    {"partition", 2, 0xf5616b696e009800ULL},
+    {"partition", 3, 0x9a1af6644c43f196ULL},
+    {"partition", 4, 0x09752f6f7ab1f620ULL},
+};
+
+TEST(DigestPin, FortyStepRunsMatchPinnedValues) {
+  for (const PinnedRun& pin : kPins) {
+    const ChurnProfile* profile = find_profile(pin.profile);
+    ASSERT_NE(profile, nullptr) << pin.profile;
+    const ChurnScript script = sample_script(pin.seed, *profile, 40);
+    const ChaosResult result = run_script(script);
+    EXPECT_EQ(result.digest, pin.digest)
+        << pin.profile << " seed " << pin.seed << ": got 0x" << std::hex
+        << result.digest << ", pinned 0x" << pin.digest
+        << " — see the header comment before re-pinning";
+  }
+}
+
+}  // namespace
+}  // namespace hcube::chaos

@@ -63,8 +63,7 @@ TEST(Optimize, ReverseNeighborBookkeepingStaysExact) {
 
   // u in reverse set of v  <=>  u stores v somewhere.
   for (const auto& v : world.overlay.nodes()) {
-    for (const auto& [u, where] : v->table().reverse_neighbors()) {
-      (void)where;
+    for (const NodeId& u : v->table().reverse_neighbors()) {
       bool stores = false;
       world.overlay.at(u).table().for_each_filled(
           [&](std::uint32_t, std::uint32_t, const NodeId& n, NeighborState) {

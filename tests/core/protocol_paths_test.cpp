@@ -13,20 +13,22 @@ using testing::audit;
 using testing::make_ids;
 
 TEST(ProtocolPaths, SpeNotiPathExercisedAndRare) {
-  // Seed 29 of this exact workload drives a joiner through the
+  // Seed 62 of this exact workload drives a joiner through the
   // SpeNotiMsg/SpeNotiRlyMsg path (Figures 10-12): an S-node y sets the
   // flag because the notifier's entry holds a competitor, and the notifier
   // announces y to that competitor. The paper's footnote 8 observes that
-  // "SpeNotiMsg is rarely sent" — across 30 seeds of this workload we see
-  // it exactly once, reproducing that rarity.
+  // "SpeNotiMsg is rarely sent" — across the first 100 seeds of this
+  // workload we see it on exactly two, reproducing that rarity. (The
+  // triggering seed is ordering-sensitive; the dense-index storage refactor
+  // changed container iteration orders and moved it from 29 to 62.)
   const IdParams params{4, 6};
-  World world(params, 120, {}, 29);
-  UniqueIdGenerator gen(params, 2900);
+  World world(params, 120, {}, 62);
+  UniqueIdGenerator gen(params, 6200);
   std::vector<NodeId> v, w;
   for (int i = 0; i < 30; ++i) v.push_back(gen.next());
   for (int i = 0; i < 60; ++i) w.push_back(gen.next());
   build_consistent_network(world.overlay, v);
-  Rng rng(29);
+  Rng rng(62);
   join_concurrently(world.overlay, w, v, rng);
 
   EXPECT_GT(world.overlay.sent_of(MessageType::kSpeNoti), 0u);

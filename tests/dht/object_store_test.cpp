@@ -11,6 +11,14 @@ namespace {
 using testing::World;
 using testing::make_ids;
 
+// Builds "prefix<i>" without operator+(const char*, std::string&&), which
+// trips a GCC 12 -Wrestrict false positive under -Werror.
+std::string key(const char* prefix, int i) {
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
+
 class ObjectStoreTest : public ::testing::Test {
  protected:
   static constexpr std::size_t kNodes = 40;
@@ -59,7 +67,7 @@ TEST_F(ObjectStoreTest, HopsBoundedByDigits) {
   ObjectStore store(view_of(world_.overlay));
   for (int i = 0; i < 50; ++i) {
     const auto r =
-        store.publish(ids_[i % ids_.size()], "obj" + std::to_string(i), "v");
+        store.publish(ids_[i % ids_.size()], key("obj", i), "v");
     ASSERT_TRUE(r.success);
     EXPECT_LE(r.hops, params_.num_digits);
   }
@@ -73,7 +81,7 @@ TEST_F(ObjectStoreTest, LoadSpreadsAcrossNodes) {
   constexpr int kObjects = 400;
   for (int i = 0; i < kObjects; ++i)
     ASSERT_TRUE(
-        store.publish(ids_[0], "obj" + std::to_string(i), "v").success);
+        store.publish(ids_[0], key("obj", i), "v").success);
   EXPECT_EQ(store.objects_stored(), kObjects);
   std::size_t peak = 0, roots = 0;
   for (const NodeId& id : ids_) {
@@ -101,7 +109,7 @@ TEST(ObjectStoreRebalance, ObjectsFollowTheirRootsAcrossJoins) {
   ObjectStore store(view_of(world.overlay));
   constexpr int kObjects = 200;
   for (int i = 0; i < kObjects; ++i)
-    ASSERT_TRUE(store.publish(v[0], "obj" + std::to_string(i), "v").success);
+    ASSERT_TRUE(store.publish(v[0], key("obj", i), "v").success);
 
   // 50 joins shift many surrogate roots.
   Rng rng(6);
@@ -117,7 +125,7 @@ TEST(ObjectStoreRebalance, ObjectsFollowTheirRootsAcrossJoins) {
     for (std::size_t p = 0; p < ids.size(); p += 11) {
       std::string value;
       ASSERT_TRUE(
-          store.lookup(ids[p], "obj" + std::to_string(i), &value).success);
+          store.lookup(ids[p], key("obj", i), &value).success);
       EXPECT_EQ(value, "v");
     }
   }
@@ -130,7 +138,7 @@ TEST(ObjectStoreRebalance, SurvivesLeaves) {
   build_consistent_network(world.overlay, ids);
   ObjectStore store(view_of(world.overlay));
   for (int i = 0; i < 100; ++i)
-    ASSERT_TRUE(store.publish(ids[0], "o" + std::to_string(i), "v").success);
+    ASSERT_TRUE(store.publish(ids[0], key("o", i), "v").success);
 
   // The heaviest-loaded node departs; its objects must find new roots.
   NodeId heaviest = ids[0];
@@ -147,7 +155,7 @@ TEST(ObjectStoreRebalance, SurvivesLeaves) {
   EXPECT_EQ(store.objects_stored(), 100u);
   for (int i = 0; i < 100; i += 9) {
     NodeId origin = ids[1] == heaviest ? ids[2] : ids[1];
-    EXPECT_TRUE(store.lookup(origin, "o" + std::to_string(i)).success);
+    EXPECT_TRUE(store.lookup(origin, key("o", i)).success);
   }
 }
 
@@ -158,7 +166,7 @@ TEST(ObjectStoreRebalance, NoMembershipChangeNoMoves) {
   build_consistent_network(world.overlay, ids);
   ObjectStore store(view_of(world.overlay));
   for (int i = 0; i < 50; ++i)
-    ASSERT_TRUE(store.publish(ids[0], "k" + std::to_string(i), "v").success);
+    ASSERT_TRUE(store.publish(ids[0], key("k", i), "v").success);
   EXPECT_EQ(store.rebalance(view_of(world.overlay)), 0u);
 }
 

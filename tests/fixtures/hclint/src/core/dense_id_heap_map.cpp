@@ -1,0 +1,30 @@
+// Fixture: NodeId-keyed heap containers inside src/core/ (the path of this
+// fixture file is what puts it in scope for dense-id-no-heap-map).
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hcube {
+
+struct NodeId {};
+struct NodeIdSet {};  // dense-index type: its name must never match the rule
+
+struct Bad {
+  std::unordered_map<NodeId, int> by_node;   // flagged
+  std::unordered_set<NodeId> nodes;          // flagged
+  std::map<NodeId, int> ordered;             // flagged
+  std::set<NodeId> members;                  // flagged
+};
+
+struct Fine {
+  // Keyed by something other than NodeId: not the rule's business.
+  std::unordered_map<std::uint64_t, int> by_slot;
+  std::set<int> ints;
+  NodeIdSet dense;
+  // Waived legacy use.
+  std::set<NodeId> legacy;  // hclint: allow(dense-id-no-heap-map)
+};
+
+}  // namespace hcube

@@ -124,6 +124,24 @@ TEST(HclintFixtures, AllowCommentSuppresses) {
   EXPECT_TRUE(issues.empty()) << format_issues(issues);
 }
 
+TEST(HclintFixtures, DenseIdHeapMapInCore) {
+  // The fixture lives under .../src/core/ so the path gate puts it in
+  // scope. Four NodeId-keyed containers are flagged; uint64-keyed maps,
+  // NodeIdSet and the waived line are not.
+  const auto issues = lint_fixture("src/core/dense_id_heap_map.cpp");
+  EXPECT_EQ(4u, count_rule(issues, "dense-id-no-heap-map"))
+      << format_issues(issues);
+  EXPECT_EQ(4u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintScanner, DenseIdRuleScopedToCore) {
+  // The same text outside src/core/ is none of the rule's business (other
+  // layers may keep NodeId-keyed heap maps until they migrate).
+  const std::vector<SourceFile> files = {
+      {"src/dht/store.h", "std::unordered_map<NodeId, int> by_node;\n"}};
+  EXPECT_TRUE(lint_files(files).empty());
+}
+
 TEST(HclintFixtures, MetricBadName) {
   const auto issues = lint_fixture("metric_bad_name.cpp");
   EXPECT_EQ(1u, count_rule(issues, "obs-metric-registered"))

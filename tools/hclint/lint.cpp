@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -212,6 +213,7 @@ class Linter {
     check_metric_registrations();
     for (const StrippedFile& f : stripped_) {
       check_determinism_tokens(f);
+      check_dense_id_containers(f);
       check_dcheck_side_effects(f);
     }
     // Drop issues suppressed by an "hclint: allow(<rule>)" comment on the
@@ -473,6 +475,38 @@ class Linter {
                "naked delete: ownership goes through containers/unique_ptr");
       }
       from = pos + 6;
+    }
+  }
+
+  // Node-keyed heap hash/tree containers are banned in src/core/: their
+  // iteration order is either allocator-dependent (unordered_*, leaking
+  // nondeterminism into event ordering) or log-time pointer-chasing
+  // (map/set), and the dense-index refactor provides FlatNodeSet /
+  // FlatNodeMap with deterministic insertion-order iteration and
+  // cache-friendly storage. Fires on `std::unordered_map<NodeId, ...>`,
+  // `std::unordered_set<NodeId>`, `std::map<NodeId, ...>`, `std::set<NodeId>`
+  // (containers keyed by something else are fine).
+  void check_dense_id_containers(const StrippedFile& f) {
+    if (f.src->path.find("src/core/") == std::string::npos) return;
+    static const char* const kContainers[] = {"unordered_map", "unordered_set",
+                                              "map", "set"};
+    for (const char* container : kContainers) {
+      std::size_t from = 0;
+      while (true) {
+        const std::size_t pos = find_word(f.code, container, from);
+        if (pos == std::string::npos) break;
+        from = pos + std::strlen(container);
+        const std::size_t open = skip_ws(f.code, from);
+        if (open >= f.code.size() || f.code[open] != '<') continue;
+        const std::size_t key = skip_ws(f.code, open + 1);
+        if (find_word(f.code, "NodeId", key) != key) continue;
+        // `NodeIdSet` etc. must not match; find_word already rejects a
+        // longer identifier, so reaching here means the key type is NodeId.
+        report(f.src, line_of(f.code, pos), "dense-id-no-heap-map",
+               std::string("std::") + container +
+                   "<NodeId, ...> in src/core/: use FlatNodeSet/FlatNodeMap "
+                   "(ids/node_set.h) for deterministic dense-index storage");
+      }
     }
   }
 

@@ -24,6 +24,10 @@
 //   no-naked-delete          naked delete expression ("= delete" is fine)
 //   dcheck-side-effect       HCUBE_DCHECK argument contains ++/--/assignment
 //                            (the expression vanishes under NDEBUG)
+//   dense-id-no-heap-map     std::unordered_map/set or std::map/set keyed by
+//                            NodeId in src/core/ (allocator-order iteration
+//                            leaks nondeterminism and wastes memory; use
+//                            FlatNodeSet/FlatNodeMap from ids/node_set.h)
 //   obs-metric-registered    an HCUBE_METRIC(...) declaration site whose
 //                            name is not a ^[a-z0-9_.]+$ string literal, or
 //                            whose name collides with another declaration
