@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <sstream>
 
+#include "chaos/adversary.h"
 #include "chaos/oracles.h"
 #include "core/builder.h"
 #include "net/fault_plan.h"
@@ -25,11 +27,16 @@ std::string ChaosResult::summary() const {
   out << "chaos: " << (ok ? "PASS" : "FAIL") << "\n";
   out << "  steps: " << counts.joins << " joins, " << counts.leaves
       << " leaves, " << counts.crashes << " crashes, " << counts.restarts
-      << " restarts, " << counts.partitions << " partitions, " << counts.noops
-      << " no-ops\n";
+      << " restarts, " << counts.partitions << " partitions, "
+      << counts.misbehaves << " misbehaves, " << counts.noops << " no-ops\n";
   out << "  membership: " << settled << " settled, " << departed
       << " departed, " << crashed << " crashed, " << abandoned_joins
       << " abandoned join(s)\n";
+  if (adversaries > 0) {
+    out << "  adversary: " << adversaries << " marked, " << adv_intercepted
+        << " intercepted, " << adv_stale_replies << " stale replies, "
+        << adv_swallowed << " swallowed, " << adv_delayed << " delayed\n";
+  }
   out << "  traffic: " << messages << " messages, " << bytes << " bytes, "
       << events << " events\n";
   out << "  faults: " << faults_injected << " injected, " << partition_drops
@@ -73,17 +80,19 @@ class Runner {
       : script_(script),
         cfg_(script.config),
         num_hosts_(cfg_.n_seed + script.num_join_ids()),
-        latency_(num_hosts_, 5.0, 120.0, cfg_.latency_seed),
-        inner_(queue_, latency_),
+        latency_(make_latency(cfg_, num_hosts_)),
+        inner_(queue_, *latency_),
         plan_(cfg_.fault_seed),
         rel_(inner_, ReliabilityConfig{cfg_.rto_ms, cfg_.backoff,
                                        cfg_.max_retries}),
-        overlay_(cfg_.params, protocol_options(cfg_), rel_) {
+        overlay_(cfg_.params, protocol_options(cfg_), rel_),
+        adversary_(overlay_) {
     FaultPlan::Spec base;
     base.drop = cfg_.drop;
     base.duplicate = cfg_.duplicate;
     plan_.set_default(base);
     plan_.attach(inner_);
+    if (cfg_.adv_drop_mask != 0) adversary_.set_drop_mask(cfg_.adv_drop_mask);
   }
 
   ChaosResult run(const ObserveOverlay& observe) {
@@ -114,7 +123,27 @@ class Runner {
     o.join_max_restarts = cfg.join_max_restarts;
     o.leave_watchdog_ms = cfg.leave_watchdog_ms;
     o.leave_max_retries = cfg.leave_max_retries;
+    if (cfg.defend != 0) {
+      // Misbehaving-peer hardening (core/options.h): ping-validate repair
+      // candidates, evict notification-phase peers that never reply (a
+      // quarter of the watchdog interval, so several janitor rounds fit in
+      // one watchdog attempt), and rotate gateways away from suspects.
+      o.validate_repair_candidates = true;
+      o.reply_timeout_ms =
+          cfg.join_watchdog_ms > 0 ? cfg.join_watchdog_ms / 4.0 : 1000.0;
+      o.suspect_aware_rotation = true;
+    }
     return o;
+  }
+
+  // latency_model 0 = the classic synthetic band; 1 = the planet map the
+  // adversary/flashcrowd scenario pack runs on.
+  static std::unique_ptr<LatencyModel> make_latency(const ChaosConfig& cfg,
+                                                    std::uint32_t num_hosts) {
+    if (cfg.latency_model == 1)
+      return std::make_unique<PlanetLatency>(num_hosts, cfg.latency_seed);
+    return std::make_unique<SyntheticLatency>(num_hosts, 5.0, 120.0,
+                                              cfg.latency_seed);
   }
 
   void seed_world() {
@@ -198,6 +227,24 @@ class Runner {
         ++result_.counts.partitions;
         return;
       }
+      case StepKind::kMisbehave: {
+        // Mark a live settled node misbehaving; id_index carries the profile
+        // mask, duration_ms (when > 0) overrides the slow-peer delay. Picks
+        // resolve against the *unmarked* settled population so a script's
+        // k-th misbehave step marks a k-th distinct node, and shrunk
+        // subsets stay meaningful.
+        Node* victim = pick_node(step.pick, [this](const Node& n) {
+          return n.is_s_node() && !adversary_.is_marked(n.id());
+        });
+        const double slow =
+            step.duration_ms > 0.0 ? step.duration_ms : cfg_.adv_slow_ms;
+        if (victim == nullptr || !adversary_.mark(*victim, step.id_index, slow)) {
+          ++result_.counts.noops;
+          return;
+        }
+        ++result_.counts.misbehaves;
+        return;
+      }
       case StepKind::kBarrier:
         HCUBE_CHECK_MSG(false, "barriers are not scheduled as events");
         return;
@@ -227,6 +274,7 @@ class Runner {
     // Abandon joins whose watchdog budget ran out: the process gives up
     // and exits, i.e. fail-stops. Repair then reclaims any pointer other
     // nodes still hold to it (it would keep answering pings otherwise).
+    std::vector<std::string> quarantine_failures;
     for (const auto& node : overlay_.nodes()) {
       const NodeStatus st = node->status();
       const bool joining = st == NodeStatus::kCopying ||
@@ -234,6 +282,30 @@ class Runner {
                            st == NodeStatus::kNotifying;
       if (joining &&
           node->join_stats().watchdog_restarts >= cfg_.join_max_restarts) {
+        // Under quarantine, an *honest* join that burned its whole restart
+        // budget is a convergence-around-faults failure: the adversary tier
+        // must degrade latency, never liveness. Attribution first, though —
+        // a joiner whose silent-past-deadline suspects include a node that
+        // genuinely fail-stopped can abandon without any adversary's help
+        // (the clean-abort contract retry_exhaustion_test pins), so only
+        // the abandons crashes cannot explain are charged to the tier.
+        if (!adversary_.marked().empty() &&
+            !adversary_.is_marked(node->id())) {
+          bool crash_explains = false;
+          for (const NodeId& s : node->join_suspects()) {
+            const Node* peer = overlay_.find(s);
+            if (peer == nullptr || peer->status() == NodeStatus::kCrashed) {
+              crash_explains = true;
+              break;
+            }
+          }
+          if (!crash_explains) {
+            quarantine_failures.push_back(
+                "quarantine: honest join " +
+                node->id().to_string(overlay_.params()) +
+                " exhausted its watchdog restart budget");
+          }
+        }
         node->mark_crashed();
         ++result_.abandoned_joins;
       }
@@ -244,7 +316,9 @@ class Runner {
     BarrierVerdict verdict;
     verdict.step_index = step_index;
     verdict.at_ms = queue_.now();
-    verdict.failures = run_oracles(overlay_).failures;
+    verdict.failures = run_oracles(overlay_, adversary_.marked()).failures;
+    for (std::string& f : quarantine_failures)
+      verdict.failures.push_back(std::move(f));
     if (rel_.in_flight() != 0) {
       verdict.failures.push_back(
           "transport: " + std::to_string(rel_.in_flight()) +
@@ -269,6 +343,12 @@ class Runner {
       if (node->has_departed()) ++result_.departed;
       if (node->is_crashed()) ++result_.crashed;
     }
+    result_.adversaries = adversary_.marked().size();
+    const AdversaryEngine::Counters& ac = adversary_.counters();
+    result_.adv_intercepted = ac.intercepted;
+    result_.adv_stale_replies = ac.stale_replies;
+    result_.adv_swallowed = ac.swallowed;
+    result_.adv_delayed = ac.delayed;
     Digest d;
     d.add(result_.events);
     d.add(result_.messages);
@@ -281,6 +361,11 @@ class Runner {
     d.add(result_.departed);
     d.add(result_.crashed);
     d.add(result_.abandoned_joins);
+    d.add(result_.adversaries);
+    d.add(result_.adv_intercepted);
+    d.add(result_.adv_stale_replies);
+    d.add(result_.adv_swallowed);
+    d.add(result_.adv_delayed);
     for (const BarrierVerdict& b : result_.barriers) {
       d.add(b.step_index);
       d.add(static_cast<std::uint64_t>(b.at_ms * 1000.0));
@@ -293,11 +378,12 @@ class Runner {
   const ChaosConfig& cfg_;
   std::uint32_t num_hosts_;
   EventQueue queue_;
-  SyntheticLatency latency_;
+  std::unique_ptr<LatencyModel> latency_;
   SimTransport inner_;
   FaultPlan plan_;
   ReliableTransport rel_;
   Overlay overlay_;
+  AdversaryEngine adversary_;
   std::vector<NodeId> join_ids_;
   SimTime partition_end_ = 0.0;
   ChaosResult result_;

@@ -57,6 +57,7 @@ struct StepCounts {
   std::uint32_t crashes = 0;
   std::uint32_t restarts = 0;
   std::uint32_t partitions = 0;
+  std::uint32_t misbehaves = 0;
   std::uint32_t noops = 0;
 };
 
@@ -73,6 +74,11 @@ HCUBE_METRIC(kMetricChaosSettled, "chaos.settled");
 HCUBE_METRIC(kMetricChaosDeparted, "chaos.departed");
 HCUBE_METRIC(kMetricChaosCrashed, "chaos.crashed");
 HCUBE_METRIC(kMetricChaosAbandonedJoins, "chaos.abandoned_joins");
+HCUBE_METRIC(kMetricChaosAdversaries, "chaos.adversaries");
+HCUBE_METRIC(kMetricChaosAdvIntercepted, "chaos.adv_intercepted");
+HCUBE_METRIC(kMetricChaosAdvStaleReplies, "chaos.adv_stale_replies");
+HCUBE_METRIC(kMetricChaosAdvSwallowed, "chaos.adv_swallowed");
+HCUBE_METRIC(kMetricChaosAdvDelayed, "chaos.adv_delayed");
 
 struct ChaosResult {
   bool ok = true;  // every barrier passed every oracle
@@ -92,6 +98,13 @@ struct ChaosResult {
   // Joins abandoned at a barrier after exhausting the watchdog's restart
   // budget (the engine fail-stops them so repair reclaims references).
   std::uint64_t abandoned_joins = 0;
+  // Misbehaving-node tier (chaos/adversary.h): nodes marked, and the
+  // AdversaryEngine interception counters.
+  std::uint64_t adversaries = 0;
+  std::uint64_t adv_intercepted = 0;
+  std::uint64_t adv_stale_replies = 0;
+  std::uint64_t adv_swallowed = 0;
+  std::uint64_t adv_delayed = 0;
   // FNV-1a over every verdict and counter above: two runs of the same
   // script produce the same digest, byte for byte.
   std::uint64_t digest = 0;
@@ -115,6 +128,11 @@ struct ChaosResult {
     fn(kMetricChaosDeparted, departed);
     fn(kMetricChaosCrashed, crashed);
     fn(kMetricChaosAbandonedJoins, abandoned_joins);
+    fn(kMetricChaosAdversaries, adversaries);
+    fn(kMetricChaosAdvIntercepted, adv_intercepted);
+    fn(kMetricChaosAdvStaleReplies, adv_stale_replies);
+    fn(kMetricChaosAdvSwallowed, adv_swallowed);
+    fn(kMetricChaosAdvDelayed, adv_delayed);
   }
 };
 

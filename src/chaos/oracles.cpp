@@ -7,10 +7,14 @@
 
 namespace hcube::chaos {
 
-NetworkView view_of_settled(const Overlay& overlay) {
+NetworkView view_of_settled(const Overlay& overlay,
+                            const FlatNodeSet* quarantined) {
   NetworkView view(overlay.params());
-  for (const auto& node : overlay.nodes())
-    if (node->is_s_node()) view.add(&node->table());
+  for (const auto& node : overlay.nodes()) {
+    if (!node->is_s_node()) continue;
+    if (quarantined != nullptr && quarantined->contains(node->id())) continue;
+    view.add(&node->table());
+  }
   return view;
 }
 
@@ -24,25 +28,72 @@ std::string name_of(const Node& n, const IdParams& params) {
   return n.id().to_string(params);
 }
 
-void check_consistency_oracle(const Overlay& overlay, OracleReport& report) {
-  const ConsistencyReport rep = check_consistency(view_of_settled(overlay));
+// True when the entry a violation names may be excused under quarantine:
+// honest tables are allowed to point at a live settled adversary (it exists
+// and routes; only its table lies). A dead or mid-transition adversary must
+// still be purged by honest repair, so those stay violations.
+bool excused_by_quarantine(const ConsistencyViolation& v,
+                           const Overlay& overlay,
+                           const FlatNodeSet& quarantined) {
+  if (!v.present.is_valid() || !quarantined.contains(v.present)) return false;
+  const Node* peer = overlay.find(v.present);
+  return peer != nullptr && peer->is_s_node();
+}
+
+void check_consistency_oracle(const Overlay& overlay,
+                              const FlatNodeSet& quarantined,
+                              OracleReport& report) {
+  if (quarantined.empty()) {
+    const ConsistencyReport rep = check_consistency(view_of_settled(overlay));
+    if (rep.consistent()) return;
+    std::string line = "consistency: " + std::to_string(rep.total_violations) +
+                       " violation(s) across " +
+                       std::to_string(rep.entries_checked) + " entries";
+    for (std::size_t i = 0; i < rep.violations.size() && i < kMaxDetails; ++i)
+      line += "; " + rep.violations[i].describe(overlay.params());
+    report.failures.push_back(std::move(line));
+    return;
+  }
+  // Quarantine mode: audit the honest settled view, then drop violations
+  // whose named entry is a live settled adversary (see header). Keep every
+  // violation so the excusal filter sees the full set, not a capped sample.
+  ConsistencyCheckOptions opts;
+  opts.max_violations_kept = std::size_t{1} << 16;
+  const ConsistencyReport rep =
+      check_consistency(view_of_settled(overlay, &quarantined), opts);
   if (rep.consistent()) return;
-  std::string line = "consistency: " + std::to_string(rep.total_violations) +
-                     " violation(s) across " +
-                     std::to_string(rep.entries_checked) + " entries";
-  for (std::size_t i = 0; i < rep.violations.size() && i < kMaxDetails; ++i)
-    line += "; " + rep.violations[i].describe(overlay.params());
+  std::vector<const ConsistencyViolation*> kept;
+  for (const ConsistencyViolation& v : rep.violations)
+    if (!excused_by_quarantine(v, overlay, quarantined)) kept.push_back(&v);
+  // The excusal filter only sees the retained sample; if the checker
+  // overflowed its (raised) cap, surface that rather than under-count.
+  const std::uint64_t overflow =
+      rep.total_violations - static_cast<std::uint64_t>(rep.violations.size());
+  if (kept.empty() && overflow == 0) return;
+  std::string line =
+      "consistency: " + std::to_string(kept.size() + overflow) +
+      " honest violation(s) across " + std::to_string(rep.entries_checked) +
+      " entries (quarantine of " + std::to_string(quarantined.size()) +
+      " applied)";
+  for (std::size_t i = 0; i < kept.size() && i < kMaxDetails; ++i)
+    line += "; " + kept[i]->describe(overlay.params());
   report.failures.push_back(std::move(line));
 }
 
-void check_symmetry_oracle(const Overlay& overlay, OracleReport& report) {
+void check_symmetry_oracle(const Overlay& overlay,
+                           const FlatNodeSet& quarantined,
+                           OracleReport& report) {
   std::uint64_t missing = 0;
   std::string first;
   for (const auto& node : overlay.nodes()) {
     if (!node->is_s_node()) continue;
+    if (quarantined.contains(node->id())) continue;
     node->table().for_each_filled([&](std::uint32_t level, std::uint32_t digit,
                                       const NodeId& y, NeighborState) {
       if (y == node->id()) return;
+      // An adversary's reverse bookkeeping is exactly what the selective-
+      // mute profile rots; edges touching the marked set are exempt.
+      if (quarantined.contains(y)) return;
       const Node* peer = overlay.find(y);
       // Entries naming non-settled nodes are the consistency oracle's
       // domain; symmetry audits only settled-to-settled edges.
@@ -88,11 +139,14 @@ void check_liveness_oracle(const Overlay& overlay, OracleReport& report) {
   }
 }
 
-void check_leaked_state_oracle(const Overlay& overlay, OracleReport& report) {
+void check_leaked_state_oracle(const Overlay& overlay,
+                               const FlatNodeSet& quarantined,
+                               OracleReport& report) {
   std::uint64_t leaked = 0;
   std::string first;
   for (const auto& node : overlay.nodes()) {
     if (!node->is_s_node() || node->join_idle()) continue;
+    if (quarantined.contains(node->id())) continue;
     ++leaked;
     if (first.empty()) first = name_of(*node, overlay.params());
   }
@@ -117,11 +171,17 @@ void check_layering_oracle(const Overlay& overlay, OracleReport& report) {
 }  // namespace
 
 OracleReport run_oracles(const Overlay& overlay) {
+  static const FlatNodeSet kNoQuarantine;
+  return run_oracles(overlay, kNoQuarantine);
+}
+
+OracleReport run_oracles(const Overlay& overlay,
+                         const FlatNodeSet& quarantined) {
   OracleReport report;
-  check_consistency_oracle(overlay, report);
-  check_symmetry_oracle(overlay, report);
+  check_consistency_oracle(overlay, quarantined, report);
+  check_symmetry_oracle(overlay, quarantined, report);
   check_liveness_oracle(overlay, report);
-  check_leaked_state_oracle(overlay, report);
+  check_leaked_state_oracle(overlay, quarantined, report);
   check_layering_oracle(overlay, report);
   return report;
 }

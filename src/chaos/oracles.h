@@ -26,6 +26,17 @@
 //     conversation (Figure 3 queues all empty).
 //   * Transport layering: no RelAck ever reached a protocol handler
 //     (ConformanceStats); the ARQ decorator must consume them all.
+//
+// Quarantine mode (misbehaving-node tier, DESIGN.md §14): when a run marks
+// adversaries, run_oracles takes the marked set and asserts that the
+// *honest remainder* converges around it. Membership ground truth becomes
+// the honest settled nodes; honest tables are permitted to point at a live
+// settled adversary (it is a real, routable node — its table is wrong, not
+// its existence), so violations whose named entry is a live marked node are
+// excused. Entries naming a *dead* adversary stay violations: honest repair
+// must purge dead pointers whoever they name. Symmetry skips edges touching
+// the marked set (an adversary's reverse bookkeeping is exactly what the
+// mute profile rots), and the leaked-state audit skips marked nodes.
 #pragma once
 
 #include <string>
@@ -33,6 +44,7 @@
 
 #include "core/overlay.h"
 #include "core/view.h"
+#include "ids/node_set.h"
 
 namespace hcube::chaos {
 
@@ -45,9 +57,15 @@ struct OracleReport {
 // truth Definition 3.8 is audited against at a chaos barrier. view_of
 // (core/view.h) also includes nodes mid-join and mid-leave, whose tables
 // are legitimately partial; under churn only the settled subnetwork is
-// required to be consistent.
-NetworkView view_of_settled(const Overlay& overlay);
+// required to be consistent. A non-null `quarantined` set further excludes
+// those nodes — the honest settled view of quarantine mode.
+NetworkView view_of_settled(const Overlay& overlay,
+                            const FlatNodeSet* quarantined = nullptr);
 
 OracleReport run_oracles(const Overlay& overlay);
+// Quarantine oracles: audits the honest remainder around the marked set
+// (AdversaryEngine::marked()). An empty set is exactly run_oracles.
+OracleReport run_oracles(const Overlay& overlay,
+                         const FlatNodeSet& quarantined);
 
 }  // namespace hcube::chaos

@@ -16,6 +16,7 @@ const char* to_string(StepKind k) {
     case StepKind::kCrash: return "crash";
     case StepKind::kRestart: return "restart";
     case StepKind::kPartition: return "partition";
+    case StepKind::kMisbehave: return "misbehave";
     case StepKind::kBarrier: return "barrier";
   }
   return "?";
@@ -67,6 +68,12 @@ std::string ChurnScript::serialize() const {
   out << "leaveretries " << config.leave_max_retries << "\n";
   out << "healrounds " << config.heal_rounds << "\n";
   out << "minlive " << config.min_live << "\n";
+  // Misbehaving-node tier (parser-optional keys, appended after the
+  // original set so pre-adversary tooling diffs stay aligned).
+  out << "defend " << config.defend << "\n";
+  out << "advdropmask " << config.adv_drop_mask << "\n";
+  out << "advslow " << fmt(config.adv_slow_ms) << "\n";
+  out << "latencymodel " << config.latency_model << "\n";
   for (const ChurnStep& s : steps) {
     out << "step " << to_string(s.kind) << " " << fmt(s.gap_ms) << " "
         << s.id_index << " " << s.pick << " " << fmt(s.duration_ms) << "\n";
@@ -133,6 +140,10 @@ std::optional<ChurnScript> ChurnScript::parse(const std::string& text,
       else if (key == "leaveretries") ok = want(c.leave_max_retries);
       else if (key == "healrounds") ok = want(c.heal_rounds);
       else if (key == "minlive") ok = want(c.min_live);
+      else if (key == "defend") ok = want(c.defend);
+      else if (key == "advdropmask") ok = want(c.adv_drop_mask);
+      else if (key == "advslow") ok = want(c.adv_slow_ms);
+      else if (key == "latencymodel") ok = want(c.latency_model);
       else return fail(where + ": unknown key " + key);
       if (!ok) return fail(where + ": bad value for " + key);
     }
@@ -174,6 +185,45 @@ const std::vector<ChurnProfile>& profiles() {
       p.config.duplicate = 0.005;
       v.push_back(p);
     }
+    {
+      // Mixed churn with a misbehaving-node tier: settled S-nodes are
+      // progressively marked stale-responder/reply-dropper while joins,
+      // leaves and crashes continue around them. Defensive hardening is on
+      // (the quarantine oracles require the honest remainder to converge),
+      // partitions are off (a partitioned dropper is indistinguishable
+      // from a partition), latency is the planet map.
+      ChurnProfile p;
+      p.name = "adversary";
+      p.w_join = 5;
+      p.w_leave = 2;
+      p.w_crash = 2;
+      p.w_restart = 1;
+      p.w_partition = 0;
+      p.w_misbehave = 2;
+      p.mean_gap_ms = 30.0;
+      p.barrier_every = 12;
+      p.config.n_seed = 30;
+      p.config.drop = 0.01;
+      p.config.duplicate = 0.005;
+      p.config.defend = 1;
+      p.config.latency_model = 1;
+      v.push_back(p);
+    }
+    {
+      // Flash crowd: a pure join flood onto a tiny seed overlay over
+      // planet-scale latencies. --steps 4·n_seed gives the m ≫ n regime
+      // (the CI quick mode runs --steps 32 against n_seed = 8).
+      ChurnProfile p;
+      p.name = "flashcrowd";
+      p.w_join = 1;
+      p.mean_gap_ms = 8.0;
+      p.barrier_every = 16;
+      p.config.n_seed = 8;
+      p.config.drop = 0.01;
+      p.config.duplicate = 0.005;
+      p.config.latency_model = 1;
+      v.push_back(p);
+    }
     return v;
   }();
   return kProfiles;
@@ -198,9 +248,12 @@ ChurnScript sample_script(std::uint64_t seed, const ChurnProfile& profile,
   script.config.fault_seed = splitmix64_next(sm);
   Rng rng(splitmix64_next(sm));
 
-  const std::uint64_t weights[] = {profile.w_join, profile.w_leave,
-                                   profile.w_crash, profile.w_restart,
-                                   profile.w_partition};
+  // Enum order (the drawn index casts straight to StepKind). Profiles with
+  // w_misbehave = 0 draw exactly as they did before the misbehave kind
+  // existed — the total is unchanged and the new weight is never reached.
+  const std::uint64_t weights[] = {profile.w_join,      profile.w_leave,
+                                   profile.w_crash,     profile.w_restart,
+                                   profile.w_partition, profile.w_misbehave};
   std::uint64_t total = 0;
   for (std::uint64_t w : weights) total += w;
   HCUBE_CHECK_MSG(total > 0, "churn profile has no step weights");
@@ -221,6 +274,11 @@ ChurnScript sample_script(std::uint64_t seed, const ChurnProfile& profile,
     s.pick = rng();
     if (s.kind == StepKind::kJoin) s.id_index = next_join_id++;
     if (s.kind == StepKind::kPartition) s.duration_ms = profile.partition_ms;
+    if (s.kind == StepKind::kMisbehave) {
+      // Profile mask draw, 2:1 stale-responder (mask 1) to reply-dropper
+      // (mask 2) — matching AdversaryEngine::kStaleTable/kReplyDropper.
+      s.id_index = rng.next_below(3) < 2 ? 1u : 2u;
+    }
     script.steps.push_back(s);
     if (profile.barrier_every > 0 && ++since_barrier >= profile.barrier_every) {
       since_barrier = 0;

@@ -43,9 +43,12 @@ enum class StepKind : std::uint8_t {
   kCrash,      // a random live S-node fail-stops
   kRestart,    // a random crashed node rejoins via a random live S-node
   kPartition,  // cut the hosts into two groups for duration_ms
+  kMisbehave,  // mark a live honest S-node misbehaving: id_index is the
+               // AdversaryEngine profile mask, duration_ms the slow-peer
+               // delay (0 = ChaosConfig::adv_slow_ms)
   kBarrier,    // quiesce, heal, repair, then run the invariant oracles
 };
-inline constexpr std::size_t kNumStepKinds = 6;
+inline constexpr std::size_t kNumStepKinds = 7;
 
 const char* to_string(StepKind k);
 std::optional<StepKind> step_kind_from(std::string_view token);
@@ -54,8 +57,10 @@ struct ChurnStep {
   StepKind kind = StepKind::kBarrier;
   SimTime gap_ms = 0.0;       // delay after the previous step's action time
   std::uint32_t id_index = 0; // kJoin: which pool ID joins
+                              // kMisbehave: adversary profile mask
   std::uint64_t pick = 0;     // deterministic victim/gateway/cut selector
   SimTime duration_ms = 0.0;  // kPartition: window length
+                              // kMisbehave: slow-peer delay (0 = config)
 };
 
 // World configuration of a run. Every field is serialized with the script,
@@ -77,6 +82,25 @@ struct ChaosConfig {
   std::uint32_t leave_max_retries = 4;
   std::uint32_t heal_rounds = 2;     // repair_all rounds at each barrier
   std::uint32_t min_live = 4;        // leave/crash no-op below this floor
+
+  // ---- misbehaving-node tier (chaos/adversary.h) ----
+  // Parser-optional keys with these defaults, so every pre-adversary
+  // artifact still parses (and an adversary-free script serializes to a
+  // superset of the old form).
+  //
+  // defend != 0 turns on the defensive-hardening ProtocolOptions
+  // (validate_repair_candidates, the reply janitor, suspect-aware gateway
+  // rotation; see DESIGN.md §14) for every node in the run.
+  std::uint32_t defend = 0;
+  // kReplyDropper's swallowed inbound type mask; 0 means
+  // AdversaryEngine::kDefaultDropMask.
+  std::uint32_t adv_drop_mask = 0;
+  // kSlowPeer delay for kMisbehave steps whose duration_ms is 0.
+  double adv_slow_ms = 40.0;
+  // Which LatencyModel the runner builds: 0 = SyntheticLatency (uniform
+  // i.i.d., the original), 1 = PlanetLatency (region-clustered
+  // measured-RTT-style map, topology/latency.h).
+  std::uint32_t latency_model = 0;
 };
 
 struct ChurnScript {
@@ -98,20 +122,24 @@ struct ChurnScript {
 struct ChurnProfile {
   const char* name;
   // Relative step-kind weights (joins, leaves, crashes, restarts,
-  // partition windows).
+  // partition windows, misbehave markings) in enum order.
   std::uint32_t w_join = 1;
   std::uint32_t w_leave = 0;
   std::uint32_t w_crash = 0;
   std::uint32_t w_restart = 0;
   std::uint32_t w_partition = 0;
+  std::uint32_t w_misbehave = 0;
   double mean_gap_ms = 30.0;        // exponential inter-step gap
   double partition_ms = 1200.0;     // partition window length
   std::uint32_t barrier_every = 12; // oracle barrier after this many steps
   ChaosConfig config;
 };
 
-// Built-in profiles: "mixed" (all churn kinds, light loss) and "partition"
-// (partition-heavy). Pointers stay valid for the program lifetime.
+// Built-in profiles: "mixed" (all churn kinds, light loss), "partition"
+// (partition-heavy), "adversary" (mixed churn plus misbehave markings with
+// the defensive hardening on, planet latency), and "flashcrowd" (pure join
+// flood onto a tiny seed overlay — steps=4·n_seed gives the m ≫ n regime —
+// planet latency). Pointers stay valid for the program lifetime.
 const std::vector<ChurnProfile>& profiles();
 const ChurnProfile* find_profile(std::string_view name);
 

@@ -62,6 +62,7 @@ void JoinProtocol::reset() {
   q_join_waiters_.clear();
   q_spe_replies_.clear();
   q_spe_notified_.clear();
+  suspects_.clear();
 }
 
 void JoinProtocol::begin_attempt() {
@@ -90,6 +91,15 @@ void JoinProtocol::on_watchdog(std::uint32_t gen) {
   if (core_.stats.watchdog_restarts >= core_.options.join_max_restarts) return;
   ++core_.stats.watchdog_restarts;
   ++core_.attempt_gen;
+  // Every peer whose reply the aborted attempt was still waiting on stayed
+  // silent for a whole watchdog period: record them as suspects before the
+  // queues are wiped, copy source included (a mid-walk stall means the
+  // current CpRstMsg target never answered). Counting is unconditional —
+  // it is pure bookkeeping — but only suspect_aware_rotation acts on it.
+  for (const NodeId& p : q_replies_) note_suspect(p);
+  for (const NodeId& p : q_spe_replies_) note_suspect(p);
+  if (core_.status == NodeStatus::kCopying && copy_from_.is_valid())
+    note_suspect(copy_from_);
   // A restart through the same gateway cannot help if the gateway itself
   // crashed mid-join; rotate deterministically through the S-state
   // neighbors the aborted attempts already learned (falling back to the
@@ -121,8 +131,52 @@ void JoinProtocol::rotate_gateway() {
     candidates.push_back(n);
   });
   if (candidates.empty()) return;
+  if (core_.options.suspect_aware_rotation) {
+    // Skip peers already recorded silent, when anyone else is available —
+    // rotating back onto a reply-dropper just burns another restart.
+    std::vector<NodeId> trusted;
+    for (const NodeId& c : candidates)
+      if (!suspects_.contains(c)) trusted.push_back(c);
+    if (!trusted.empty()) {
+      if (!suspects_.contains(gateway_)) trusted.push_back(gateway_);
+      gateway_ = trusted[core_.stats.watchdog_restarts % trusted.size()];
+      return;
+    }
+  }
   candidates.push_back(gateway_);
   gateway_ = candidates[core_.stats.watchdog_restarts % candidates.size()];
+}
+
+void JoinProtocol::note_suspect(const NodeId& peer) {
+  ++core_.stats.suspected_peers;
+  suspects_.insert(peer);
+}
+
+void JoinProtocol::arm_reply_janitor(const NodeId& peer, bool spe) {
+  if (core_.options.reply_timeout_ms <= 0.0) return;
+  const std::uint32_t gen = core_.attempt_gen;
+  core_.env.schedule(core_.options.reply_timeout_ms, [this, peer, gen, spe] {
+    on_reply_janitor(peer, gen, spe);
+  });
+}
+
+// The per-reply janitor: a notified peer still unanswered when its timer
+// fires is presumed unhelpful (reply-dropper, or dead in a way the ARQ
+// layer has not yet given up on). Evict it so the join can settle on the
+// replies it did get; a genuinely slow reply arriving later is still
+// processed (reverse-neighbor registration, table merge) — only the
+// blocking dependency is severed. Scoped to the notification phase: a
+// silent JoinWaitMsg target is a structural dependency (Figure 6 decides
+// our notification level) that only the coarse watchdog may abandon.
+void JoinProtocol::on_reply_janitor(const NodeId& peer, std::uint32_t gen,
+                                    bool spe) {
+  if (gen != core_.attempt_gen) return;
+  if (core_.status != NodeStatus::kNotifying) return;
+  NodeIdSet& q = spe ? q_spe_replies_ : q_replies_;
+  if (!q.contains(peer)) return;
+  note_suspect(peer);
+  q.erase(peer);
+  maybe_switch_to_s_node();
 }
 
 bool JoinProtocol::reject_stale_reply() {
@@ -273,6 +327,7 @@ void JoinProtocol::check_ngh_table(const TableSnapshot& snap) {
       send_join_noti(e.node);
       q_notified_.insert(e.node);
       q_replies_.insert(e.node);
+      arm_reply_janitor(e.node, /*spe=*/false);
     }
   }
 }
@@ -364,13 +419,19 @@ void JoinProtocol::on_join_noti_rly(const NodeId& y,
   }
   q_replies_.erase(y);
   if (m.positive) core_.table.add_reverse_neighbor(y);
-  if (m.flag && k > noti_level_ && !q_spe_notified_.contains(y)) {
+  // The kNotifying guard matters once the reply janitor exists: a reply
+  // from an evicted peer can land after we already switched to S-node, and
+  // opening a new SpeNoti conversation then would leak outstanding-reply
+  // state forever (nothing drains Q_sr after the switch).
+  if (core_.status == NodeStatus::kNotifying && m.flag && k > noti_level_ &&
+      !q_spe_notified_.contains(y)) {
     const NodeId* u1 = core_.table.neighbor(k, y.digit(k));
     HCUBE_CHECK_MSG(u1 != nullptr && *u1 != y,
                     "flagged entry must hold a competitor node");
     core_.send(*u1, core_.entry_host(k, y.digit(k)), SpeNotiMsg{core_.id, y});
     q_spe_notified_.insert(y);
     q_spe_replies_.insert(y);
+    arm_reply_janitor(y, /*spe=*/true);
   }
   check_ngh_table(m.table);
   maybe_switch_to_s_node();

@@ -84,11 +84,25 @@ class JoinProtocol {
   void on_rv_ngh_noti(const NodeId& x, HostId x_host, const RvNghNotiMsg& m);
   void on_rv_ngh_noti_rly(const NodeId& y, const RvNghNotiRlyMsg& m);
 
+  // The current attempt's silent-past-deadline peers (see suspects_). The
+  // chaos engine's quarantine oracle reads this to attribute an abandoned
+  // join: a joiner whose suspects include a genuinely crashed node can
+  // abandon without any misbehaving peer's help.
+  const NodeIdSet& suspects() const { return suspects_; }
+
  private:
   void begin_attempt();                                   // (re)start Figure 5
   void arm_watchdog();
   void on_watchdog(std::uint32_t gen);
   void rotate_gateway();                                  // see on_watchdog
+  // Misbehaving-peer hardening (ProtocolOptions::reply_timeout_ms /
+  // suspect_aware_rotation; DESIGN.md §14). note_suspect records a peer
+  // that stayed silent past a deadline; the janitor is a per-notification
+  // timer that evicts such a peer from the outstanding-reply set so a
+  // reply-dropper cannot pin the join in kNotifying.
+  void note_suspect(const NodeId& peer);
+  void arm_reply_janitor(const NodeId& peer, bool spe);
+  void on_reply_janitor(const NodeId& peer, std::uint32_t gen, bool spe);
   // True (and counted) when the message being handled carries the
   // generation of an aborted attempt.
   bool reject_stale_reply();
@@ -120,6 +134,14 @@ class JoinProtocol {
   FlatNodeMap<std::uint32_t> q_join_waiters_;
   NodeIdSet q_spe_replies_;    // Q_sr: SpeNoti replies outstanding (key: y)
   NodeIdSet q_spe_notified_;   // Q_sn: nodes announced via SpeNotiMsg
+
+  // Peers recorded silent-past-deadline (reply-janitor expiry, or left in
+  // an outstanding-reply set when the watchdog aborted an attempt).
+  // Persists across watchdog restarts — that persistence is what lets
+  // suspect-aware rotation route the next attempt around them — and is
+  // wiped only by a crash-restart (reset()). The lifetime count exports as
+  // JoinStats::suspected_peers ("join.suspected_peers").
+  NodeIdSet suspects_;
 };
 
 }  // namespace hcube

@@ -36,6 +36,9 @@ class Node {
   std::uint32_t noti_level() const { return core_.stats.noti_level; }
   const NeighborTable& table() const { return core_.table; }
   const JoinStats& join_stats() const { return core_.stats; }
+  // Silent-past-deadline peers of the current join attempt (join_protocol.h;
+  // read by the chaos quarantine oracle for abandon attribution).
+  const NodeIdSet& join_suspects() const { return join_.suspects(); }
   // Deliveries this node rejected because their (status, type) pair is not
   // declared by the conformance registry (proto/conformance.h).
   const ConformanceStats& conformance_stats() const {

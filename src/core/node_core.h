@@ -34,6 +34,7 @@ HCUBE_METRIC(kMetricJoinWatchdogRestarts, "join.watchdog_restarts");
 HCUBE_METRIC(kMetricJoinStaleRejected, "join.stale_rejected");
 HCUBE_METRIC(kMetricJoinForcedDepartures, "join.forced_departures");
 HCUBE_METRIC(kMetricJoinBytesSent, "join.bytes_sent");
+HCUBE_METRIC(kMetricJoinSuspectedPeers, "join.suspected_peers");
 
 // Per-join bookkeeping the benchmarks read out (Section 5.2 quantities),
 // plus the robustness counters of the fault-tolerance extension.
@@ -55,6 +56,12 @@ struct JoinStats {
   // Departures completed unilaterally by the leave-stall watchdog after
   // its re-notification budget ran out (see ProtocolOptions).
   std::uint32_t forced_departures = 0;
+  // Misbehaving-peer hardening: peers recorded as suspects because they
+  // stayed silent past a generation-tagged deadline (an unanswered
+  // notification at reply-janitor expiry, or the outstanding-reply set of
+  // an attempt the watchdog aborted). Counts recordings, not distinct
+  // peers; lifetime counter like the other robustness stats.
+  std::uint32_t suspected_peers = 0;
 
   std::uint64_t sent_of(MessageType t) const {
     return sent[static_cast<std::size_t>(t)];
@@ -85,6 +92,7 @@ struct JoinStats {
     fn(kMetricJoinForcedDepartures,
        static_cast<std::uint64_t>(forced_departures));
     fn(kMetricJoinBytesSent, bytes_sent);
+    fn(kMetricJoinSuspectedPeers, static_cast<std::uint64_t>(suspected_peers));
   }
 };
 

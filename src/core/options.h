@@ -50,6 +50,33 @@ struct ProtocolOptions {
   // through a permanently dead gateway cannot loop forever).
   std::uint32_t join_max_restarts = 8;
 
+  // ---- Misbehaving-peer hardening (alive-but-wrong tier; see
+  // ---- docs/PROTOCOL.md "failure model" and DESIGN.md §14). All three
+  // ---- default off: the paper's fail-stop model never needs them, and the
+  // ---- chaos digests of fail-stop schedules must not move.
+
+  // Cross-validate repair candidates before installing them: a RepairRlyMsg
+  // naming a candidate triggers a liveness probe (PingMsg) and the entry is
+  // filled only when the candidate answers. Defends against stale-table
+  // responders serving long-dead nodes as replacements; a failed validation
+  // leaves the entry empty for the next repair/announce round.
+  bool validate_repair_candidates = false;
+
+  // Per-reply janitor for the notification phase: a peer that was sent a
+  // JoinNotiMsg (or an SpeNotiMsg chain) and stays silent this long is
+  // presumed unhelpful — it is recorded as a suspect, dropped from the
+  // outstanding-reply set, and the join proceeds without it. Defends
+  // against reply-droppers that would otherwise pin the joiner in
+  // kNotifying until the coarse watchdog burns its whole restart budget.
+  // 0 disables the janitor (the paper's reliable-delivery regime).
+  double reply_timeout_ms = 0.0;
+
+  // Watchdog gateway rotation skips peers already recorded as suspects
+  // (unanswered notifications, silent copy sources) when an unsuspected
+  // candidate exists. Off, rotation cycles all learned S-neighbors as
+  // before.
+  bool suspect_aware_rotation = false;
+
   // Leave-stall watchdog (robustness extension): a leaver still missing
   // LeaveRly acks this many milliseconds after notifying its reverse
   // neighbors re-sends the unanswered LeaveMsgs (idempotent on the

@@ -24,8 +24,15 @@ Node& Overlay::add_node(const NodeId& id) {
   HCUBE_CHECK_MSG(find(id) == nullptr, "duplicate node ID");
   auto node = std::make_unique<Node>(id, params_, options_, *this, &arena_);
   Node* raw = node.get();
-  const HostId host = transport_.add_endpoint(
-      [raw](HostId from, const Message& msg) { raw->handle(from, msg); });
+  // Deliveries pass through the interception seam before the node sees
+  // them; `this` is captured (not the current interceptor value) so an
+  // interceptor installed after add_node still covers this endpoint.
+  const HostId host =
+      transport_.add_endpoint([this, raw](HostId from, const Message& msg) {
+        if (delivery_interceptor && delivery_interceptor(*raw, from, msg))
+          return;
+        raw->handle(from, msg);
+      });
   HCUBE_CHECK_MSG(host == nodes_.size(),
                   "overlay must be the transport's only endpoint registrant");
   raw->bind_host(host);

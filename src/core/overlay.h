@@ -159,6 +159,18 @@ class Overlay : public NodeEnv {
                      std::uint32_t attempt_gen)>
       on_status_change;
 
+  // Interposition seam at the delivery boundary: consulted for every
+  // message arriving at a node's transport endpoint, before Node::handle.
+  // Return true to consume the delivery (the node never sees it) — the
+  // interceptor may instead answer as the node, delay it, or drop it. The
+  // chaos layer's AdversaryEngine (chaos/adversary.h) installs its
+  // misbehavior profiles here so honest protocol code stays untouched;
+  // unset (the default) the delivery path is byte-identical to before the
+  // seam existed. Chain rather than replace when attaching a second
+  // interceptor.
+  std::function<bool(Node& node, HostId from, const Message& msg)>
+      delivery_interceptor;
+
   // Failure injection for tests: messages for which the filter returns true
   // are silently lost. The protocol assumes reliable delivery (assumption
   // (iii) in Section 3.1); this hook exists to demonstrate what that

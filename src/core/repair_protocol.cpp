@@ -84,7 +84,29 @@ void RepairProtocol::begin_entry_repair(std::uint32_t level,
   }
 }
 
-void RepairProtocol::on_pong(const NodeId& u) { pending_pings_.erase(u); }
+void RepairProtocol::on_pong(const NodeId& u) {
+  pending_pings_.erase(u);
+  // A validated repair candidate answered its probe: it is alive, install
+  // it if the slot is still vacant (another reply round or an AnnounceMsg
+  // may have filled it meanwhile).
+  const Validation* v = pending_validations_.find(u);
+  if (v != nullptr) {
+    if (core_.table.is_empty(v->level, v->digit))
+      core_.fill_if_empty(v->level, v->digit, u, NeighborState::kS);
+    pending_validations_.erase(u);
+  }
+}
+
+void RepairProtocol::on_validation_timeout(const NodeId& candidate,
+                                           std::uint64_t generation) {
+  const Validation* v = pending_validations_.find(candidate);
+  if (v == nullptr || v->generation != generation) return;
+  // The offered candidate never answered: presumably as dead as the node
+  // it was meant to replace (a stale-table responder serving from a frozen
+  // snapshot). Leave the entry empty — the next repair round or a
+  // neighbor's AnnounceMsg fills it from live state.
+  pending_validations_.erase(candidate);
+}
 
 void RepairProtocol::reset() {
   // Outstanding ping timeouts and repair replies reference generations /
@@ -92,6 +114,7 @@ void RepairProtocol::reset() {
   // arrive they find nothing and return.
   pending_pings_.clear();
   pending_repairs_.clear();
+  pending_validations_.clear();
   repair_timeout_ms_ = core_.options.repair_ping_timeout_ms;
 }
 
@@ -161,9 +184,26 @@ void RepairProtocol::on_repair_rly(const NodeId& z, const RepairRlyMsg& m) {
   if (m.candidate.is_valid() && m.candidate != core_.id &&
       m.candidate != it->second.dead &&
       core_.table.is_empty(m.level, m.digit)) {
-    core_.fill_if_empty(m.level, m.digit, m.candidate, NeighborState::kS);
-    pending_repairs_.erase(it);
-    return;
+    if (!core_.options.validate_repair_candidates) {
+      core_.fill_if_empty(m.level, m.digit, m.candidate, NeighborState::kS);
+      pending_repairs_.erase(it);
+      return;
+    }
+    // Hardened path: probe before installing — the replier may be serving
+    // from a stale snapshot and its candidate long dead. The repair
+    // conversation stays open (decremented, not erased) so replies naming
+    // other candidates can race this validation; whichever candidate pongs
+    // first with the slot still empty wins.
+    if (!pending_validations_.contains(m.candidate)) {
+      const std::uint64_t generation = ++ping_generation_;
+      pending_validations_.put(
+          m.candidate, Validation{m.level, m.digit, generation});
+      core_.send(m.candidate, PingMsg{});
+      core_.env.schedule(
+          repair_timeout_ms_, [this, c = m.candidate, generation] {
+            on_validation_timeout(c, generation);
+          });
+    }
   }
   if (exhausted) pending_repairs_.erase(it);
 }

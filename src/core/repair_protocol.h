@@ -38,9 +38,11 @@ class RepairProtocol {
   // Crash-recovery lifecycle: forgets every outstanding probe and repair
   // conversation (their timers become stale and ignore themselves).
   void reset();
-  // True while pings or repair queries are outstanding.
+  // True while pings, repair queries or candidate validations are
+  // outstanding.
   bool in_progress() const {
-    return !pending_pings_.empty() || !pending_repairs_.empty();
+    return !pending_pings_.empty() || !pending_repairs_.empty() ||
+           !pending_validations_.empty();
   }
   // Push phase of a repair round: sends AnnounceMsg(table) to every
   // neighbor and reverse neighbor so they can fill entries whose class
@@ -58,6 +60,8 @@ class RepairProtocol {
   void on_ping_timeout(const NodeId& u, std::uint64_t generation);
   void begin_entry_repair(std::uint32_t level, std::uint32_t digit,
                           const NodeId& dead);
+  void on_validation_timeout(const NodeId& candidate,
+                             std::uint64_t generation);
 
   NodeCore& core_;
   LeaveProtocol& leave_;
@@ -76,6 +80,17 @@ class RepairProtocol {
   // Keyed by packed entry slot (not NodeId) and never iterated, so a heap
   // hash map costs nothing deterministic here; it is transient repair state.
   std::unordered_map<std::uint64_t, RepairState> pending_repairs_;
+  // Misbehaving-peer hardening (ProtocolOptions::validate_repair_candidates,
+  // DESIGN.md §14): candidates offered by RepairRlyMsg awaiting their
+  // liveness probe before installation. Keyed by candidate — a candidate
+  // covers exactly one of our slots, (|csuf|, candidate[|csuf|]) — with the
+  // slot and probe generation as the value.
+  struct Validation {
+    std::uint32_t level;
+    std::uint32_t digit;
+    std::uint64_t generation;
+  };
+  FlatNodeMap<Validation> pending_validations_;
   std::uint64_t ping_generation_ = 0;
   // Last effective ping timeout; seeded from ProtocolOptions::
   // repair_ping_timeout_ms and overridden by explicit start_repair args.

@@ -40,7 +40,7 @@ void FaultPlan::partition(const std::vector<std::vector<HostId>>& groups,
 bool FaultPlan::partitioned(HostId a, HostId b) const {
   const SimTime t = now();
   for (const PartitionWindow& w : partitions_) {
-    if (t < w.t0 || t >= w.t1) continue;
+    if (!window_contains(t, w.t0, w.t1)) continue;
     const auto ga = w.group.find(a);
     if (ga == w.group.end()) continue;
     const auto gb = w.group.find(b);

@@ -109,6 +109,16 @@ class FaultPlan {
 
   explicit FaultPlan(std::uint64_t seed) : rng_(seed) {}
 
+  // The one time-window containment rule of the whole plan, shared by rule
+  // activation windows and partition windows: half-open [from, until). A
+  // rule is active at exactly t == from and inactive at exactly t == until,
+  // so back-to-back windows [a, b) + [b, c) compose with neither a gap nor
+  // a double-match at the seam. Pinned by fault_plan_test's
+  // WindowEdgesAreHalfOpen regression.
+  static bool window_contains(SimTime t, SimTime from, SimTime until) {
+    return t >= from && t < until;
+  }
+
   // Default rule for messages no per-pair / per-type rule matches.
   void set_default(const Spec& spec) { default_ = spec; }
   // Rule for one message type (matched after per-pair rules).
@@ -161,7 +171,7 @@ class FaultPlan {
 
   SimTime now() const;
   static bool active(const Spec& spec, SimTime t) {
-    return t >= spec.active_from_ms && t < spec.active_until_ms;
+    return window_contains(t, spec.active_from_ms, spec.active_until_ms);
   }
   FaultDecision apply(Spec& spec);
 

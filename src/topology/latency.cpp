@@ -15,6 +15,62 @@ double SyntheticLatency::latency_ms(HostId a, HostId b) {
   return lo_ + (hi_ - lo_) * unit;
 }
 
+namespace {
+
+// One-way inter-region delays in milliseconds, loosely shaped after public
+// inter-continental RTT tables (RTT/2): regions 0..7 read as NA-East,
+// NA-West, SA, EU-West, EU-East, Asia-East, Asia-South, Oceania. Symmetric
+// by construction; only the upper triangle is authored.
+constexpr double kRegionBase[PlanetLatency::kNumRegions]
+                            [PlanetLatency::kNumRegions] = {
+    //  NAE    NAW    SA     EUW    EUE    ASE    ASS    OC
+    {4.0, 30.0, 60.0, 40.0, 55.0, 90.0, 110.0, 95.0},    // NA-East
+    {30.0, 4.0, 80.0, 65.0, 80.0, 60.0, 110.0, 70.0},    // NA-West
+    {60.0, 80.0, 5.0, 95.0, 110.0, 150.0, 160.0, 150.0}, // SA
+    {40.0, 65.0, 95.0, 4.0, 15.0, 100.0, 70.0, 140.0},   // EU-West
+    {55.0, 80.0, 110.0, 15.0, 5.0, 85.0, 60.0, 150.0},   // EU-East
+    {90.0, 60.0, 150.0, 100.0, 85.0, 4.0, 45.0, 60.0},   // Asia-East
+    {110.0, 110.0, 160.0, 70.0, 60.0, 45.0, 5.0, 75.0},  // Asia-South
+    {95.0, 70.0, 150.0, 140.0, 150.0, 60.0, 75.0, 5.0},  // Oceania
+};
+
+std::uint64_t planet_hash(std::uint64_t seed, std::uint64_t v) {
+  std::uint64_t s = seed ^ (v * 0x9e3779b97f4a7c15ULL);
+  return splitmix64_next(s);
+}
+
+}  // namespace
+
+std::uint32_t PlanetLatency::region_of(HostId h) const {
+  return static_cast<std::uint32_t>(planet_hash(seed_, h) % kNumRegions);
+}
+
+double PlanetLatency::access_ms(HostId h) const {
+  // Last-mile access link: 1..16 ms, skewed low (min of two draws).
+  const std::uint64_t r = planet_hash(seed_ ^ 0x5bd1e995ULL, h);
+  const double d1 = 1.0 + 15.0 * (static_cast<double>(r >> 43) * 0x1.0p-21);
+  const double d2 =
+      1.0 + 15.0 * (static_cast<double>(r & 0x1fffffULL) * 0x1.0p-21);
+  return d1 < d2 ? d1 : d2;
+}
+
+double PlanetLatency::latency_ms(HostId a, HostId b) {
+  if (a == b) return 0.0;
+  const std::uint32_t ra = region_of(a);
+  const std::uint32_t rb = region_of(b);
+  const double base = kRegionBase[ra][rb];
+  // Unordered-pair jitter of up to ±10% on the region base keeps distinct
+  // same-region pairs from colliding at identical delays (event-order ties
+  // would otherwise be common) while preserving symmetry.
+  const std::uint64_t lo_id = a < b ? a : b;
+  const std::uint64_t hi_id = a < b ? b : a;
+  const std::uint64_t j =
+      planet_hash(seed_ ^ (hi_id * 0xc2b2ae3d27d4eb4fULL), lo_id);
+  const double jitter =
+      0.9 + 0.2 * (static_cast<double>(j >> 11) * 0x1.0p-53);
+  return access_ms(a) + base * jitter + access_ms(b);
+}
+
 TopologyLatency::TopologyLatency(Graph graph,
                                  const std::vector<std::uint32_t>& attach_points,
                                  std::uint32_t num_hosts, double access_lo,

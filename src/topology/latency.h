@@ -8,6 +8,10 @@
 //   - TopologyLatency: hosts attached to routers of a (transit-stub) graph;
 //     latency = access(a) + shortest_path(router(a), router(b)) + access(b).
 //     Per-source router distances are computed lazily and cached.
+//   - PlanetLatency: measured-RTT-style heterogeneous map — hosts hash into
+//     geographic regions with a fixed continental inter-region delay matrix
+//     plus per-host access jitter. No storage per pair, no router graph;
+//     the planet-scale scenario pack's default underlay.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +59,32 @@ class SyntheticLatency final : public LatencyModel {
  private:
   std::uint32_t num_hosts_;
   double lo_, hi_;
+  std::uint64_t seed_;
+};
+
+// Measured-RTT-style planet map: every host hashes (seed-deterministically)
+// into one of kNumRegions geographic regions; one-way latency is
+//   access(a) + inter_region(region(a), region(b)) + access(b)
+// with a symmetric per-pair jitter of up to ±10% on the region base. The
+// region matrix is a fixed continental-scale table (intra-region ~4 ms,
+// antipodal ~150 ms one-way), so the distribution is strongly bimodal —
+// near peers are 10–30 ms, far peers 100–300 ms — unlike SyntheticLatency's
+// uniform band. Deterministic, symmetric, no per-pair storage.
+class PlanetLatency final : public LatencyModel {
+ public:
+  static constexpr std::uint32_t kNumRegions = 8;
+
+  PlanetLatency(std::uint32_t num_hosts, std::uint64_t seed)
+      : num_hosts_(num_hosts), seed_(seed) {}
+  double latency_ms(HostId a, HostId b) override;
+  std::uint32_t num_hosts() const override { return num_hosts_; }
+
+  std::uint32_t region_of(HostId h) const;
+
+ private:
+  double access_ms(HostId h) const;
+
+  std::uint32_t num_hosts_;
   std::uint64_t seed_;
 };
 

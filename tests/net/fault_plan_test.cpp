@@ -155,6 +155,70 @@ TEST(FaultPlanPartition, CutsCrossGroupTrafficForTheWindow) {
       << "partition drops must not be charged to per-rule fault budgets";
 }
 
+TEST(FaultPlanWindows, WindowEdgesAreHalfOpen) {
+  // Regression pin for the exact closing-edge semantics: every time window
+  // in the plan — rule activation and partition alike — is half-open
+  // [start, end). In particular t == start is inside, t == end is outside,
+  // and back-to-back windows [a, b) + [b, c) hand off at the seam with
+  // neither a gap nor a double-match. All three layers are exercised at the
+  // exact edges: the shared helper, a windowed rule, and a partition.
+  EXPECT_FALSE(FaultPlan::window_contains(99.999, 100.0, 200.0));
+  EXPECT_TRUE(FaultPlan::window_contains(100.0, 100.0, 200.0));   // open edge
+  EXPECT_FALSE(FaultPlan::window_contains(200.0, 100.0, 200.0));  // close edge
+  EXPECT_FALSE(FaultPlan::window_contains(200.001, 100.0, 200.0));
+
+  EventQueue queue;
+  FaultPlan plan(8);
+  plan.bind_clock(queue);
+  FaultPlan::Spec rule = drop_always();
+  rule.active_from_ms = 100.0;
+  rule.active_until_ms = 200.0;
+  plan.set_for_type(MessageType::kPing, rule);
+  plan.partition({{0}, {1}}, 100.0, 200.0);
+
+  const IdParams params{4, 4};
+  const auto ids = make_ids(params, 1, 8);
+  queue.schedule_at(100.0, [&] {  // opening edge: both layers active
+    EXPECT_TRUE(plan.partitioned(0, 1));
+    EXPECT_EQ(plan.decide(2, 3, ping(ids[0])).action, FaultAction::kDrop);
+  });
+  queue.schedule_at(200.0, [&] {  // closing edge: both layers inactive
+    EXPECT_FALSE(plan.partitioned(0, 1));
+    EXPECT_EQ(plan.decide(2, 3, ping(ids[0])).action, FaultAction::kDeliver);
+  });
+  queue.run();
+  EXPECT_EQ(plan.drops_injected(), 1u);
+}
+
+TEST(FaultPlanWindows, BackToBackWindowsHandOffAtTheSeam) {
+  // [0, 100) drops, [100, 200) delivers explicitly: exactly one rule owns
+  // t == 100. Were the close edge inclusive, both would match and tier
+  // order would decide — the half-open contract makes the seam unambiguous.
+  EventQueue queue;
+  FaultPlan plan(9);
+  plan.bind_clock(queue);
+  FaultPlan::Spec first = drop_always();
+  first.active_until_ms = 100.0;
+  plan.set_for_pair(0, 1, first);
+  FaultPlan::Spec second;  // deliver-everything
+  second.active_from_ms = 100.0;
+  second.active_until_ms = 200.0;
+  plan.set_for_type(MessageType::kPing, second);
+  plan.set_default(drop_always());
+
+  const IdParams params{4, 4};
+  const auto ids = make_ids(params, 1, 9);
+  queue.schedule_at(100.0, [&] {
+    // Pair rule just closed; the type rule just opened and wins the seam.
+    EXPECT_EQ(plan.decide(0, 1, ping(ids[0])).action, FaultAction::kDeliver);
+  });
+  queue.schedule_at(200.0, [&] {
+    // Type rule closed too: fall through to the always-on default.
+    EXPECT_EQ(plan.decide(0, 1, ping(ids[0])).action, FaultAction::kDrop);
+  });
+  queue.run();
+}
+
 TEST(FaultPlanPartition, OverlappingWindowsEachSeparate) {
   EventQueue queue;
   FaultPlan plan(6);

@@ -3,6 +3,11 @@
 // Modes:
 //   hchaos --seed S --profile P --steps N      sample a churn script from
 //                                              (seed, profile) and run it
+//   ... --adversary-frac F                     prepend ceil(F * n_seed)
+//                                              misbehave markings to the
+//                                              sampled script (0 <= F <= 0.5)
+//   ... --adversary-mode M                     their profile: stale |
+//                                              dropper | mixed (2:1 default)
 //   hchaos --replay FILE                       re-execute a serialized
 //                                              schedule (e.g. a CI artifact)
 //   ... --shrink                               on failure, ddmin-minimize
@@ -11,17 +16,24 @@
 //                                              (minimized, with --shrink)
 //                                              schedule artifact
 //
+// The adversary flags only shape sampling — a replayed artifact already
+// carries its misbehave steps, so combining them with --replay is a usage
+// error rather than a silent no-op.
+//
 // Identical invocations produce identical output, including the run digest
 // printed in the summary — the engine is a pure function of the schedule.
 // Exit status: 0 every oracle passed, 1 an oracle failed, 2 usage or
 // parse error.
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 
+#include "chaos/adversary.h"
 #include "chaos/engine.h"
 #include "chaos/schedule.h"
 #include "chaos/shrink.h"
@@ -37,9 +49,39 @@ int usage() {
     names += std::string(names.empty() ? "" : "|") + p.name;
   std::fprintf(stderr,
                "usage: hchaos [--seed <s=1>] [--profile <%s>] [--steps <n=40>]\n"
+               "              [--adversary-frac <0..0.5>]\n"
+               "              [--adversary-mode stale|dropper|mixed]\n"
                "              [--replay <file>] [--shrink] [--out <file>]\n",
                names.c_str());
   return 2;
+}
+
+// --adversary-frac F: prepend ceil(F * n_seed) kMisbehave steps to a
+// sampled script, before any churn, so the fraction is in place when the
+// wave hits. pick = i strides the markings across the live set, and the
+// profile mask follows --adversary-mode (mixed = the 2:1 stale:dropper
+// blend bench_adversary uses).
+void inject_adversaries(ChurnScript& script, double frac,
+                        const std::string& mode) {
+  const auto k = static_cast<std::size_t>(
+      std::ceil(frac * static_cast<double>(script.config.n_seed)));
+  std::vector<ChurnStep> marked;
+  marked.reserve(k + script.steps.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    std::uint32_t mask = AdversaryEngine::kStaleTable;
+    if (mode == "dropper")
+      mask = AdversaryEngine::kReplyDropper;
+    else if (mode == "mixed")
+      mask = (i % 3) < 2 ? AdversaryEngine::kStaleTable
+                         : AdversaryEngine::kReplyDropper;
+    marked.push_back({.kind = StepKind::kMisbehave,
+                      .gap_ms = 1.0,
+                      .id_index = mask,
+                      .pick = i,
+                      .duration_ms = 0.0});
+  }
+  marked.insert(marked.end(), script.steps.begin(), script.steps.end());
+  script.steps = std::move(marked);
 }
 
 }  // namespace
@@ -60,8 +102,39 @@ int main(int argc, char** argv) {
   for (const auto& [key, value] : kv) {
     (void)value;
     if (key != "seed" && key != "profile" && key != "steps" &&
-        key != "replay" && key != "out")
+        key != "replay" && key != "out" && key != "adversary-frac" &&
+        key != "adversary-mode")
       return usage();
+  }
+  if (kv.contains("replay") &&
+      (kv.contains("adversary-frac") || kv.contains("adversary-mode"))) {
+    std::fprintf(stderr,
+                 "hchaos: --adversary-* shapes sampling only; a replayed "
+                 "artifact already carries its misbehave steps\n");
+    return 2;
+  }
+  if (kv.contains("adversary-mode") && !kv.contains("adversary-frac")) {
+    std::fprintf(stderr,
+                 "hchaos: --adversary-mode requires --adversary-frac\n");
+    return 2;
+  }
+  const std::string adversary_mode =
+      kv.contains("adversary-mode") ? kv["adversary-mode"] : "mixed";
+  if (adversary_mode != "stale" && adversary_mode != "dropper" &&
+      adversary_mode != "mixed")
+    return usage();
+  double adversary_frac = 0.0;
+  if (kv.contains("adversary-frac")) {
+    char* end = nullptr;
+    adversary_frac = std::strtod(kv["adversary-frac"].c_str(), &end);
+    if (end == kv["adversary-frac"].c_str() || *end != '\0' ||
+        !(adversary_frac >= 0.0 && adversary_frac <= 0.5)) {
+      std::fprintf(stderr,
+                   "hchaos: --adversary-frac must be in [0, 0.5] — a "
+                   "misbehaving majority has no honest remainder to "
+                   "converge\n");
+      return 2;
+    }
   }
 
   ChurnScript script;
@@ -101,6 +174,8 @@ int main(int argc, char** argv) {
                   std::strtoull(kv["steps"].c_str(), nullptr, 10))
             : 40u;
     script = sample_script(seed, *profile, steps);
+    if (adversary_frac > 0.0)
+      inject_adversaries(script, adversary_frac, adversary_mode);
     std::printf("seed %llu, profile %s, %zu steps (incl. barriers)\n",
                 static_cast<unsigned long long>(seed), profile->name,
                 script.steps.size());

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,6 +32,35 @@ bool read_file(const std::string& path, std::string* out) {
   buf << in.rdbuf();
   *out = buf.str();
   return true;
+}
+
+// Bench-specific required-metric checks, beyond the generic schema. The
+// "adversary" report (bench_adversary) must carry, for every misbehaving
+// fraction it swept, the full per-fraction row — completion rate, p99
+// gauge, latency histogram, notification overhead — and must include the
+// f = 0 guardrail row. CI's bench-trend job depends on these names.
+std::string validate_adversary_metrics(const hcube::obs::MetricsRegistry& reg) {
+  std::set<std::string> names;
+  reg.for_each([&](const std::string& name, hcube::obs::MetricKind,
+                   std::uint64_t, double, const hcube::obs::LogHistogram&) {
+    names.insert(name);
+  });
+  if (!names.count("adv.f0.completion_rate"))
+    return "missing adv.f0.completion_rate (the f=0 guardrail row)";
+  for (const std::string& name : names) {
+    const std::string prefix = "adv.f";
+    const std::string suffix = ".completion_rate";
+    if (name.rfind(prefix, 0) != 0 || name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    const std::string row = name.substr(0, name.size() - suffix.size());
+    for (const char* member :
+         {".join_latency_ms", ".p99_latency_ms", ".noti_per_join"}) {
+      if (!names.count(row + member))
+        return "fraction row " + row + " lacks " + member;
+    }
+  }
+  return "";
 }
 
 int process(const std::string& path, bool as_json) {
@@ -57,6 +87,15 @@ int process(const std::string& path, bool as_json) {
   const JsonValue* metrics = doc->get("metrics");
   const auto reg = MetricsRegistry::from_json(json_render(*metrics));
   if (!reg.has_value()) return 1;  // validate_bench_json already vouched
+
+  if (doc->get("bench")->text == "adversary") {
+    const std::string missing = validate_adversary_metrics(*reg);
+    if (!missing.empty()) {
+      std::fprintf(stderr, "hcstat: %s: adversary schema: %s\n", path.c_str(),
+                   missing.c_str());
+      return 1;
+    }
+  }
 
   if (as_json) {
     std::printf("%s\n", reg->to_json().c_str());
