@@ -33,7 +33,7 @@
 #include <vector>
 
 #include "chaos/schedule.h"
-#include "obs/metric.h"
+#include "util/metric.h"
 
 namespace hcube {
 class Overlay;

@@ -162,6 +162,10 @@ class NeighborTable {
   // thread-local scratch buffer shared by all tables: it is invalidated by
   // the next call to distinct_neighbors() on ANY table (callers that need
   // the set across table mutations copy it, e.g. into a FlatNodeSet).
+  // hclint's scratch-no-escape rule flags call sites that let the span
+  // outlive a statement (returning it, stashing it in a member); the
+  // invalidation itself is pinned by the SecondCallInvalidatesFirstSpan
+  // regression test.
   std::span<const NodeId> distinct_neighbors() const;
 
   // Approximate heap/arena bytes behind this table (columns + reverse +

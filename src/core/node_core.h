@@ -16,7 +16,7 @@
 #include "ids/node_set.h"
 #include "core/options.h"
 #include "ids/node_id.h"
-#include "obs/metric.h"
+#include "util/metric.h"
 #include "proto/conformance.h"
 #include "proto/messages.h"
 #include "sim/event_queue.h"

@@ -37,7 +37,7 @@
 #include <vector>
 
 #include "net/transport.h"
-#include "obs/metric.h"
+#include "util/metric.h"
 #include "sim/event_queue.h"
 
 namespace hcube {

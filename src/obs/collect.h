@@ -12,7 +12,7 @@
 
 #include <string>
 
-#include "obs/metric.h"
+#include "util/metric.h"
 #include "obs/metrics.h"
 #include "proto/messages.h"
 

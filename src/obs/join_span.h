@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "ids/node_id.h"
-#include "obs/metric.h"
+#include "util/metric.h"
 #include "proto/conformance.h"
 #include "proto/messages.h"
 #include "sim/event_queue.h"

@@ -99,6 +99,7 @@ void LogHistogram::restore_moments(double sum, double mn, double mx) {
 
 MetricsRegistry::Id MetricsRegistry::intern(std::string_view name,
                                             MetricKind kind) {
+  owner_.assert_held();
   const auto it = index_.find(std::string(name));
   if (it != index_.end()) {
     HCUBE_CHECK_MSG(entries_[it->second].kind == kind,
@@ -118,6 +119,7 @@ MetricsRegistry::Id MetricsRegistry::intern(std::string_view name,
 
 const MetricsRegistry::Entry* MetricsRegistry::lookup(
     std::string_view name) const {
+  owner_.assert_held();
   const auto it = index_.find(std::string(name));
   return it == index_.end() ? nullptr : &entries_[it->second];
 }
@@ -151,6 +153,8 @@ const LogHistogram* MetricsRegistry::histogram_named(
 }
 
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  owner_.assert_held();
+  other.owner_.assert_held();
   for (const Entry& e : other.entries_) {
     const Id id = intern(e.name, e.kind);
     switch (e.kind) {
@@ -162,6 +166,7 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
 }
 
 void MetricsRegistry::reset() {
+  owner_.assert_held();
   for (Entry& e : entries_) {
     e.count = 0;
     e.gauge = 0.0;
@@ -170,6 +175,7 @@ void MetricsRegistry::reset() {
 }
 
 std::string MetricsRegistry::to_json() const {
+  owner_.assert_held();
   std::vector<const Entry*> sorted;
   sorted.reserve(entries_.size());
   for (const Entry& e : entries_) sorted.push_back(&e);
@@ -322,6 +328,7 @@ std::optional<MetricsRegistry> MetricsRegistry::from_json(
 
 void MetricsRegistry::hist_restore(std::string_view name,
                                    const LogHistogram& h) {
+  owner_.assert_held();
   entries_[intern(name, MetricKind::kHistogram)].hist.merge_from(h);
 }
 

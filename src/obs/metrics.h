@@ -17,8 +17,13 @@
 //
 // Registries are per-scope: each node's stats structs export into one via
 // obs/collect.h, the Overlay aggregate is the merge of all of them, and
-// benches build their own. Nothing here is thread-aware; the simulator is
-// single-threaded by design.
+// benches build their own. A registry is externally synchronized — exactly
+// one owner (today the single-threaded simulator, tomorrow one shard)
+// touches it at a time. That contract is machine-checked: every member is
+// HCUBE_GUARDED_BY(owner_) and every method asserts the ownership
+// capability, so a new accessor that forgets the assertion fails the CI
+// thread-safety job (util/thread_safety.h, DESIGN.md §15). Cross-shard
+// aggregation stays a merge of per-shard registries, never shared writes.
 #pragma once
 
 #include <array>
@@ -29,7 +34,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "obs/metric.h"
+#include "util/metric.h"
+#include "util/thread_safety.h"
 
 namespace hcube::obs {
 
@@ -91,9 +97,19 @@ class MetricsRegistry {
   }
 
   // ---- hot path: plain array updates, no allocation, no hashing ----
-  void add(Id id, std::uint64_t delta = 1) { entries_[id].count += delta; }
-  void set(Id id, double v) { entries_[id].gauge = v; }
-  void observe(Id id, double v) { entries_[id].hist.observe(v); }
+  // (assert_held() is a compile-time ownership claim, a no-op at runtime.)
+  void add(Id id, std::uint64_t delta = 1) {
+    owner_.assert_held();
+    entries_[id].count += delta;
+  }
+  void set(Id id, double v) {
+    owner_.assert_held();
+    entries_[id].gauge = v;
+  }
+  void observe(Id id, double v) {
+    owner_.assert_held();
+    entries_[id].hist.observe(v);
+  }
 
   // ---- cold-path conveniences (collection, tooling) ----
   void add_named(std::string_view name, std::uint64_t delta = 1) {
@@ -104,7 +120,10 @@ class MetricsRegistry {
     observe(histogram(name), v);
   }
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const {
+    owner_.assert_held();
+    return entries_.size();
+  }
   bool contains(std::string_view name) const;
   std::optional<MetricKind> kind_of(std::string_view name) const;
   // 0 / 0.0 / nullptr when the name is not registered (or another kind).
@@ -120,6 +139,7 @@ class MetricsRegistry {
 
   template <class Fn>  // fn(name, kind, entry accessors) — export order
   void for_each(Fn&& fn) const {
+    owner_.assert_held();
     for (const Entry& e : entries_) fn(e.name, e.kind, e.count, e.gauge, e.hist);
   }
 
@@ -143,8 +163,9 @@ class MetricsRegistry {
   Id intern(std::string_view name, MetricKind kind);
   const Entry* lookup(std::string_view name) const;
 
-  std::vector<Entry> entries_;
-  std::unordered_map<std::string, Id> index_;
+  ExternallySynchronized owner_;  // single-owner capability (see header)
+  std::vector<Entry> entries_ HCUBE_GUARDED_BY(owner_);
+  std::unordered_map<std::string, Id> index_ HCUBE_GUARDED_BY(owner_);
 };
 
 }  // namespace hcube::obs

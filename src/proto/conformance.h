@@ -37,7 +37,7 @@
 #include <cstdint>
 #include <variant>
 
-#include "obs/metric.h"
+#include "util/metric.h"
 #include "proto/messages.h"
 
 namespace hcube {

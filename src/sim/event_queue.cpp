@@ -49,12 +49,14 @@ std::uint32_t EventQueue::acquire_timer_slot(std::function<void()> fn) {
 }
 
 void EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
+  owner_.assert_held();
   HCUBE_CHECK_MSG(t >= now_, "cannot schedule into the past");
   const std::uint32_t slot = acquire_timer_slot(std::move(fn));
   push_event(Event{t, next_seq_++, nullptr, 0, 0, slot, EventKind::kClosure});
 }
 
 void EventQueue::schedule_after(SimTime delay, std::function<void()> fn) {
+  owner_.assert_held();
   HCUBE_CHECK(delay >= 0.0);
   schedule_at(now_ + delay, std::move(fn));
 }
@@ -62,6 +64,7 @@ void EventQueue::schedule_after(SimTime delay, std::function<void()> fn) {
 void EventQueue::schedule_delivery_at(SimTime t, DeliverySink* sink,
                                       HostId from, HostId to,
                                       std::uint32_t payload_slot) {
+  owner_.assert_held();
   HCUBE_CHECK_MSG(t >= now_, "cannot schedule into the past");
   HCUBE_DCHECK(sink != nullptr);
   push_event(
@@ -71,12 +74,14 @@ void EventQueue::schedule_delivery_at(SimTime t, DeliverySink* sink,
 void EventQueue::schedule_delivery_after(SimTime delay, DeliverySink* sink,
                                          HostId from, HostId to,
                                          std::uint32_t payload_slot) {
+  owner_.assert_held();
   HCUBE_CHECK(delay >= 0.0);
   schedule_delivery_at(now_ + delay, sink, from, to, payload_slot);
 }
 
 void EventQueue::schedule_timer_at(SimTime t, TimerSink* sink, std::uint32_t a,
                                    std::uint32_t b, std::uint32_t c) {
+  owner_.assert_held();
   HCUBE_CHECK_MSG(t >= now_, "cannot schedule into the past");
   HCUBE_DCHECK(sink != nullptr);
   push_event(Event{t, next_seq_++, sink, a, b, c, EventKind::kTimer});
@@ -85,6 +90,7 @@ void EventQueue::schedule_timer_at(SimTime t, TimerSink* sink, std::uint32_t a,
 void EventQueue::schedule_timer_after(SimTime delay, TimerSink* sink,
                                       std::uint32_t a, std::uint32_t b,
                                       std::uint32_t c) {
+  owner_.assert_held();
   HCUBE_CHECK(delay >= 0.0);
   schedule_timer_at(now_ + delay, sink, a, b, c);
 }
@@ -110,6 +116,7 @@ void EventQueue::dispatch(const Event& ev) {
 }
 
 bool EventQueue::run_next() {
+  owner_.assert_held();
   if (heap_.empty()) return false;
   const Event ev = pop_event();
   now_ = ev.time;
@@ -119,12 +126,14 @@ bool EventQueue::run_next() {
 }
 
 std::uint64_t EventQueue::run(std::uint64_t max_events) {
+  owner_.assert_held();
   std::uint64_t n = 0;
   while (n < max_events && run_next()) ++n;
   return n;
 }
 
 std::uint64_t EventQueue::run_until(SimTime t_end) {
+  owner_.assert_held();
   std::uint64_t n = 0;
   while (!heap_.empty() && heap_.front().time <= t_end && run_next()) ++n;
   if (t_end > now_) now_ = t_end;

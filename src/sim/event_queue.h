@@ -21,6 +21,14 @@
 // and deliveries scheduled for the same instant is exactly the order in
 // which they were scheduled — the same tie-break the closure-based queue
 // had, which keeps pre-refactor event sequences intact.
+//
+// Sharding contract: the queue is externally synchronized PER SHARD — each
+// shard owns one EventQueue, and cross-shard sends go through the epoch/
+// barrier handoff, never by scheduling into another shard's queue. Members
+// are HCUBE_GUARDED_BY(owner_) and every method asserts the ownership
+// capability (a no-op at runtime), so a direct cross-shard schedule_*()
+// call is a `-Wthread-safety` error, not a heisenbug (util/thread_safety.h,
+// DESIGN.md §15).
 #pragma once
 
 #include <cstdint>
@@ -28,6 +36,7 @@
 #include <vector>
 
 #include "util/host.h"
+#include "util/thread_safety.h"
 
 namespace hcube {
 
@@ -58,10 +67,22 @@ class TimerSink {
 
 class EventQueue {
  public:
-  SimTime now() const { return now_; }
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
-  std::uint64_t events_processed() const { return processed_; }
+  SimTime now() const {
+    owner_.assert_held();
+    return now_;
+  }
+  bool empty() const {
+    owner_.assert_held();
+    return heap_.empty();
+  }
+  std::size_t pending() const {
+    owner_.assert_held();
+    return heap_.size();
+  }
+  std::uint64_t events_processed() const {
+    owner_.assert_held();
+    return processed_;
+  }
 
   // Schedules fn at absolute simulated time t (>= now).
   void schedule_at(SimTime t, std::function<void()> fn);
@@ -93,8 +114,14 @@ class EventQueue {
   std::uint64_t run_until(SimTime t_end);
 
   // Pool introspection (tests and benches assert steady-state reuse).
-  std::size_t timer_pool_size() const { return timer_pool_.size(); }
-  std::size_t timer_pool_free() const { return timer_free_.size(); }
+  std::size_t timer_pool_size() const {
+    owner_.assert_held();
+    return timer_pool_.size();
+  }
+  std::size_t timer_pool_free() const {
+    owner_.assert_held();
+    return timer_free_.size();
+  }
 
  private:
   enum class EventKind : std::uint8_t { kClosure, kDelivery, kTimer };
@@ -116,20 +143,23 @@ class EventQueue {
     return a.seq < b.seq;
   }
 
-  void push_event(Event ev);
-  Event pop_event();
-  void dispatch(const Event& ev);
+  void push_event(Event ev) HCUBE_REQUIRES(owner_);
+  Event pop_event() HCUBE_REQUIRES(owner_);
+  void dispatch(const Event& ev) HCUBE_REQUIRES(owner_);
 
-  std::uint32_t acquire_timer_slot(std::function<void()> fn);
+  std::uint32_t acquire_timer_slot(std::function<void()> fn)
+      HCUBE_REQUIRES(owner_);
+
+  ExternallySynchronized owner_;  // per-shard ownership (see header)
 
   // Manual binary min-heap over a vector: push/pop never allocate once
   // capacity has grown to the high-water mark of pending events.
-  std::vector<Event> heap_;
-  std::vector<std::function<void()>> timer_pool_;
-  std::vector<std::uint32_t> timer_free_;
-  SimTime now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t processed_ = 0;
+  std::vector<Event> heap_ HCUBE_GUARDED_BY(owner_);
+  std::vector<std::function<void()>> timer_pool_ HCUBE_GUARDED_BY(owner_);
+  std::vector<std::uint32_t> timer_free_ HCUBE_GUARDED_BY(owner_);
+  SimTime now_ HCUBE_GUARDED_BY(owner_) = 0.0;
+  std::uint64_t next_seq_ HCUBE_GUARDED_BY(owner_) = 0;
+  std::uint64_t processed_ HCUBE_GUARDED_BY(owner_) = 0;
 };
 
 }  // namespace hcube

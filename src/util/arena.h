@@ -9,6 +9,13 @@
 // whose tables point into it; see DESIGN.md §13 for the lifetime rules).
 //
 // Pointers handed out are stable: chunks are never moved or reallocated.
+//
+// Ownership: an arena belongs to exactly one overlay, and in the sharded
+// simulator one shard owns that overlay — so the arena is externally
+// synchronized. Members are HCUBE_GUARDED_BY(owner_) and every method
+// asserts the ownership capability (a no-op at runtime), which makes any
+// future cross-shard access a `-Wthread-safety` error instead of a data
+// race (util/thread_safety.h, DESIGN.md §15).
 #pragma once
 
 #include <cstddef>
@@ -19,6 +26,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/thread_safety.h"
 
 namespace hcube {
 
@@ -41,6 +49,7 @@ class Arena {
   }
 
   void* allocate(std::size_t bytes, std::size_t align) {
+    owner_.assert_held();
     HCUBE_DCHECK((align & (align - 1)) == 0);
     std::uintptr_t p = (cursor_ + align - 1) & ~(std::uintptr_t{align} - 1);
     if (p + bytes > limit_) {
@@ -53,11 +62,17 @@ class Arena {
   }
 
   // Bytes handed out / bytes reserved from the heap (for accounting).
-  std::size_t bytes_used() const { return used_; }
-  std::size_t bytes_reserved() const { return reserved_; }
+  std::size_t bytes_used() const {
+    owner_.assert_held();
+    return used_;
+  }
+  std::size_t bytes_reserved() const {
+    owner_.assert_held();
+    return reserved_;
+  }
 
  private:
-  void grow(std::size_t min_bytes) {
+  void grow(std::size_t min_bytes) HCUBE_REQUIRES(owner_) {
     const std::size_t size = min_bytes > chunk_bytes_ ? min_bytes
                                                       : chunk_bytes_;
     chunks_.push_back(std::make_unique<std::byte[]>(size));
@@ -66,12 +81,13 @@ class Arena {
     reserved_ += size;
   }
 
-  std::size_t chunk_bytes_;
-  std::vector<std::unique_ptr<std::byte[]>> chunks_;
-  std::uintptr_t cursor_ = 0;
-  std::uintptr_t limit_ = 0;
-  std::size_t used_ = 0;
-  std::size_t reserved_ = 0;
+  const std::size_t chunk_bytes_;
+  ExternallySynchronized owner_;  // single-owner capability (see header)
+  std::vector<std::unique_ptr<std::byte[]>> chunks_ HCUBE_GUARDED_BY(owner_);
+  std::uintptr_t cursor_ HCUBE_GUARDED_BY(owner_) = 0;
+  std::uintptr_t limit_ HCUBE_GUARDED_BY(owner_) = 0;
+  std::size_t used_ HCUBE_GUARDED_BY(owner_) = 0;
+  std::size_t reserved_ HCUBE_GUARDED_BY(owner_) = 0;
 };
 
 }  // namespace hcube

@@ -7,8 +7,10 @@
 // the character set is enforced at compile time here, uniqueness by the
 // hclint rule `obs-metric-registered` (tools/hclint).
 //
-// This header is dependency-free on purpose: any layer (proto, net, core,
-// chaos) may declare names without linking against the obs library.
+// This header is dependency-free on purpose and lives in util/ (not obs/)
+// so any layer (proto, net, core, chaos) may declare names without linking
+// against the obs library — and without creating a back-edge in the layer
+// DAG that hclint's `layering-acyclic-includes` rule pins (DESIGN.md §15).
 #pragma once
 
 #include <string_view>

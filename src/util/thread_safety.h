@@ -1,0 +1,125 @@
+// Clang thread-safety capabilities for the structures the sharded
+// simulator will share.
+//
+// The simulator is single-threaded today, but ROADMAP item 1's per-shard
+// event queues put threads underneath state that was audited only for
+// single-threaded determinism. This header makes the sharing contracts
+// machine-checkable *before* the sharding PR lands: every shared mutable
+// structure either carries a real lock (IdTable's writer mutex) or an
+// ownership capability that documents — and lets `-Wthread-safety`
+// enforce — that exactly one shard touches it at a time.
+//
+// All macros expand to Clang's thread-safety attributes under Clang and to
+// nothing elsewhere, so the g++ build is unchanged and the CI
+// `thread-safety` job (clang, `-Wthread-safety -Werror`) is the gate.
+// See DESIGN.md §15 for the capability model.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HCUBE_TS_ATTRIBUTE(x) __attribute__((x))
+#else
+#define HCUBE_TS_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+// A class that is a lockable capability ("mutex", "shard", ...).
+#define HCUBE_CAPABILITY(x) HCUBE_TS_ATTRIBUTE(capability(x))
+
+// An RAII type that acquires a capability in its constructor and releases
+// it in its destructor.
+#define HCUBE_SCOPED_CAPABILITY HCUBE_TS_ATTRIBUTE(scoped_lockable)
+
+// Data members: reads and writes require holding the named capability.
+#define HCUBE_GUARDED_BY(x) HCUBE_TS_ATTRIBUTE(guarded_by(x))
+// Pointer members: dereferencing the pointee requires the capability
+// (the pointer itself is unguarded).
+#define HCUBE_PT_GUARDED_BY(x) HCUBE_TS_ATTRIBUTE(pt_guarded_by(x))
+
+// Functions: the caller must hold the capability (exclusively / shared).
+#define HCUBE_REQUIRES(...) \
+  HCUBE_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define HCUBE_REQUIRES_SHARED(...) \
+  HCUBE_TS_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// Functions: acquire / release the capability (lock() and unlock() style).
+#define HCUBE_ACQUIRE(...) HCUBE_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define HCUBE_RELEASE(...) HCUBE_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// Functions: assert the capability is held without acquiring it — the
+// single-owner idiom (see ExternallySynchronized below).
+#define HCUBE_ASSERT_CAPABILITY(...) \
+  HCUBE_TS_ATTRIBUTE(assert_capability(__VA_ARGS__))
+
+// The caller must NOT hold the capability (deadlock prevention).
+#define HCUBE_EXCLUDES(...) HCUBE_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Returns a reference to the named capability.
+#define HCUBE_RETURN_CAPABILITY(x) HCUBE_TS_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Use only in
+// init/teardown code the analysis cannot model; every use is a waiver the
+// sharding PR has to re-audit, and src/ids/ + src/obs/ must stay free of
+// them (CI acceptance).
+#define HCUBE_NO_THREAD_SAFETY_ANALYSIS \
+  HCUBE_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+// Marks a file-scope/static object whose *type* synchronizes internally
+// (e.g. the IdTable singleton: annotated writer lock + lock-free readers).
+// Expands to nothing; the hclint rule `shared-state-annotated` accepts it
+// as the required annotation.
+#define HCUBE_INTERNALLY_SYNCHRONIZED
+
+namespace hcube {
+
+// std::mutex with the capability attribute so members can be
+// HCUBE_GUARDED_BY(mu_) and functions HCUBE_REQUIRES(mu_).
+class HCUBE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HCUBE_ACQUIRE() { mu_.lock(); }
+  void unlock() HCUBE_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock for Mutex.
+class HCUBE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HCUBE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() HCUBE_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Capability for single-owner ("externally synchronized") structures: the
+// per-shard EventQueue, each scope's MetricsRegistry, the per-overlay
+// Arena. These take no lock — the sharding design gives every instance
+// exactly one owning shard — but their members are HCUBE_GUARDED_BY(sync_)
+// so that every access must flow through a method that asserted ownership.
+// Adding an accessor that forgets owner().assert_held() is a
+// -Wthread-safety error, which is exactly the audit trail the sharding PR
+// needs: the set of entry points into shared-able state stays explicit.
+//
+// When sharding lands, assert_held() is the seam where a real owner check
+// (HCUBE_DCHECK(current_shard == owner_shard)) slots in.
+class HCUBE_CAPABILITY("owner") ExternallySynchronized {
+ public:
+  // Copyable on purpose: hosts keep their value semantics (a registry
+  // round-tripped through from_json is a fresh instance with a fresh
+  // owner), and the capability itself carries no runtime state.
+
+  // The calling thread claims (not negotiates) ownership: a no-op at
+  // runtime today, a static fact for the analysis.
+  void assert_held() const HCUBE_ASSERT_CAPABILITY(this) {}
+};
+
+}  // namespace hcube

@@ -126,6 +126,36 @@ TEST_F(NeighborTableTest, DistinctNeighborsExcludesOwner) {
   EXPECT_EQ(distinct.size(), 2u);
 }
 
+TEST_F(NeighborTableTest, DistinctNeighborsSecondCallInvalidatesFirstSpan) {
+  // The span aliases a thread_local scratch buffer shared by ALL tables:
+  // the next call — on any table — rewrites the storage the first span
+  // points into. This pins the invalidation contract the header documents
+  // and hclint's scratch-no-escape rule enforces at call sites: anything
+  // held across a second call must be a copy.
+  table_.set(0, 0, id_of("00000", kQuad5), NeighborState::kT);
+  table_.set(1, 0, id_of("13103", kQuad5), NeighborState::kS);
+  const std::span<const NodeId> first = table_.distinct_neighbors();
+  ASSERT_EQ(first.size(), 2u);
+  const std::vector<NodeId> copy(first.begin(), first.end());
+
+  // A second table with a single, different neighbor. Its distinct set is
+  // no larger than the first, so the scratch vector cannot reallocate and
+  // both spans provably alias the same storage.
+  const NodeId other_owner = id_of("00321", kQuad5);
+  NeighborTable other(kQuad5, other_owner);
+  other.set(0, 1, id_of("33331", kQuad5), NeighborState::kT);
+  const std::span<const NodeId> second = other.distinct_neighbors();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(first.data(), second.data());
+
+  // The first span now shows the second table's data: it is invalid, and
+  // only the copy still holds the original set.
+  EXPECT_EQ(first.front(), id_of("33331", kQuad5));
+  EXPECT_NE(first.front(), copy.front());
+  EXPECT_EQ(copy[0], id_of("00000", kQuad5));
+  EXPECT_EQ(copy[1], id_of("13103", kQuad5));
+}
+
 TEST_F(NeighborTableTest, ToStringShowsEntries) {
   table_.set(1, 0, id_of("13103", kQuad5), NeighborState::kS);
   const std::string s = table_.to_string();

@@ -1,6 +1,6 @@
 // Seeds: obs-metric-registered (bad name). The declared metric name carries
 // uppercase letters and a dash, violating the ^[a-z0-9_.]+$ grammar. The
-// local macro definition mirrors src/obs/metric.h minus the static_assert
+// local macro definition mirrors src/util/metric.h minus the static_assert
 // (which would reject this fixture at compile time — the lint rule exists
 // for exactly the sites a compiler never sees).
 #define HCUBE_METRIC(ident, name) inline constexpr const char* ident = name

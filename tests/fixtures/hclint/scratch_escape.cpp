@@ -1,0 +1,43 @@
+// Fixture: values derived from thread_local scratch escaping the call
+// that produced them. scratch_view() is the accessor pattern used by
+// NeighborTable::distinct_neighbors(): the returned span aliases a static
+// thread_local buffer and dies at the accessor's next call, so it must be
+// consumed in place — never returned onward or stored.
+#include <span>
+#include <vector>
+
+namespace hcube {
+
+std::span<const int> scratch_view() {
+  static thread_local std::vector<int> scratch;
+  scratch.assign(3, 7);
+  return scratch;  // fine: this IS the accessor
+}
+
+std::span<const int> forwarded() {
+  return scratch_view();  // flagged: span returned onward
+}
+
+struct Cache {
+  std::span<const int> view_;
+  void refresh() { view_ = scratch_view(); }  // flagged: member store
+};
+
+std::span<const int> via_local() {
+  auto s = scratch_view();
+  return s;  // flagged: local copy of the span escapes
+}
+
+static thread_local std::vector<int> g_scratch;
+
+std::span<const int> global_return() {
+  return g_scratch;  // flagged: file-scope scratch returned
+}
+
+int consumed_in_place() {
+  int sum = 0;
+  for (int v : scratch_view()) sum += v;  // fine: consumed before return
+  return sum;
+}
+
+}  // namespace hcube

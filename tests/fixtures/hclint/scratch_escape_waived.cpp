@@ -1,0 +1,33 @@
+// Fixture: the scratch_escape.cpp violations, each waived on its line.
+#include <span>
+#include <vector>
+
+namespace hcube {
+
+std::span<const int> scratch_view() {
+  static thread_local std::vector<int> scratch;
+  scratch.assign(3, 7);
+  return scratch;
+}
+
+std::span<const int> forwarded() {
+  return scratch_view();  // hclint: allow(scratch-no-escape)
+}
+
+struct Cache {
+  std::span<const int> view_;
+  void refresh() { view_ = scratch_view(); }  // hclint: allow(scratch-no-escape)
+};
+
+std::span<const int> via_local() {
+  auto s = scratch_view();
+  return s;  // hclint: allow(scratch-no-escape)
+}
+
+static thread_local std::vector<int> g_scratch;
+
+std::span<const int> global_return() {
+  return g_scratch;  // hclint: allow(scratch-no-escape)
+}
+
+}  // namespace hcube

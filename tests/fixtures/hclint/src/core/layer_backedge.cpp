@@ -1,0 +1,12 @@
+// Fixture: an injected core -> chaos back-edge in the layer DAG. The
+// fixture path's src/core/ segment is what makes layering-acyclic-includes
+// treat this file as module core (layer 4); chaos sits in layer 5, so the
+// include below must be flagged.
+#include "chaos/fault_plan.h"  // flagged: back-edge
+#include "ids/node_id.h"       // fine: downward edge (core 4 -> ids 1)
+
+namespace hcube {
+
+int poke() { return 0; }
+
+}  // namespace hcube

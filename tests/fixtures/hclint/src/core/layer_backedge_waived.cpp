@@ -1,0 +1,11 @@
+// Fixture: the same core -> chaos back-edge as layer_backedge.cpp, waived
+// on its line — proving the escape hatch works for layering findings (a
+// real waiver would need a rationale and a migration plan in review).
+#include "chaos/fault_plan.h"  // hclint: allow(layering-acyclic-includes)
+#include "ids/node_id.h"
+
+namespace hcube {
+
+int poke() { return 0; }
+
+}  // namespace hcube

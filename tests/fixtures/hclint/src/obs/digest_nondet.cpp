@@ -1,0 +1,33 @@
+// Fixture: pointer-keyed containers feeding the run digest / JSON export.
+// Their iteration order depends on allocation addresses, which silently
+// breaks the FNV-1a run digest's bit-reproducibility.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace hcube {
+
+struct Site {};
+
+std::uint64_t run_digest(const std::map<const Site*, int>& by_site) {
+  std::uint64_t digest = 1469598103934665603ULL;
+  for (const auto& [site, count] : by_site) {  // flagged: address order
+    digest ^= static_cast<std::uint64_t>(count);
+    digest *= 1099511628211ULL;
+  }
+  return digest;
+}
+
+std::string to_json_dump() {
+  std::set<Site*> dirty;  // flagged: pointer-keyed in an export function
+  std::string out;
+  return out;
+}
+
+int unrelated(const std::map<const Site*, int>& addr_keyed) {
+  // Not a digest/export function: pointer keys are someone else's problem.
+  return static_cast<int>(addr_keyed.size());
+}
+
+}  // namespace hcube

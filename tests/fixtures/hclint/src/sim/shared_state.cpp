@@ -1,0 +1,21 @@
+// Fixture: unannotated mutable static-storage objects under src/. Each
+// needs a capability annotation (util/thread_safety.h), const/constinit,
+// or a waiver before the sharded simulator can trust the audit.
+#include <cstdint>
+
+namespace hcube {
+
+static std::uint64_t g_total_events = 0;  // flagged
+inline int g_mode = 0;                    // flagged
+
+int bump() {
+  static int calls = 0;  // flagged: function-local statics are shared too
+  return ++calls;
+}
+
+// Acceptable forms the rule must stay quiet about:
+static constexpr int kTableSize = 64;
+static const char* const kName = "sim";
+inline constexpr double kAlpha = 0.5;
+
+}  // namespace hcube

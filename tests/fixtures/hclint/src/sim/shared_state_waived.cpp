@@ -1,0 +1,20 @@
+// Fixture: every sanctioned way to keep mutable static-storage state —
+// capability annotations, constinit, internal synchronization, and (last
+// resort) an explicit waiver. None of these may fire shared-state-annotated.
+#include <cstdint>
+#include <vector>
+
+namespace hcube {
+
+struct MutexLike {};
+struct TableLike {};
+
+static MutexLike g_mu HCUBE_INTERNALLY_SYNCHRONIZED;
+static std::vector<int> g_queue HCUBE_GUARDED_BY(g_mu);
+static int* g_cursor HCUBE_PT_GUARDED_BY(g_mu);
+static TableLike g_table HCUBE_INTERNALLY_SYNCHRONIZED;
+constinit static int g_epoch = 0;
+static thread_local int g_depth = 0;
+static int g_legacy = 0;  // hclint: allow(shared-state-annotated)
+
+}  // namespace hcube

@@ -1,0 +1,8 @@
+// Fixture: a waiver that suppresses nothing. Stale waivers rot into false
+// documentation ("this line is known-bad") and must be deleted, so
+// waiver-unused flags them — and is itself not waivable.
+namespace hcube {
+
+int quiet() { return 0; }  // hclint: allow(no-rand)
+
+}  // namespace hcube

@@ -52,6 +52,29 @@ TEST(HclintRealTree, BinaryExitsNonZeroOnSeededViolation) {
   EXPECT_NE(0, std::system(cmd.c_str()));
 }
 
+TEST(HclintRealTree, NoWaiversInSrc) {
+  // The stale-waiver audit: src/ carries zero waivers today, and any new
+  // one must suppress a real finding (waiver-unused) — this pins the
+  // "zero waivers" baseline the thread-safety acceptance relies on.
+  const LintResult result = lint_paths_full({HCLINT_SRC_DIR});
+  EXPECT_TRUE(result.waivers.empty()) << format_waivers(result.waivers);
+}
+
+TEST(HclintRealTree, BinaryFailsOnInjectedLayerBackEdge) {
+  const std::string cmd = std::string(HCLINT_BIN) + " " + HCLINT_FIXTURE_DIR +
+                          "/src/core/layer_backedge.cpp > /dev/null 2>&1";
+  EXPECT_NE(0, std::system(cmd.c_str()));
+}
+
+TEST(HclintRealTree, BinaryReportWaiversExitsZero) {
+  // --report-waivers is a report, not a gate: exits 0 even when the
+  // scanned file's waiver inventory is non-empty.
+  const std::string cmd = std::string(HCLINT_BIN) + " --report-waivers " +
+                          HCLINT_FIXTURE_DIR +
+                          "/suppressed_rand.cpp > /dev/null 2>&1";
+  EXPECT_EQ(0, std::system(cmd.c_str()));
+}
+
 // ---- one fixture per violation class ----
 
 TEST(HclintFixtures, MissingCodecDecodeCase) {
@@ -170,6 +193,110 @@ TEST(HclintScanner, MetricNameMustBeLiteral) {
   const std::vector<SourceFile> files = {
       {"a.h", "HCUBE_METRIC(kA, kSomeOtherName);"}};
   EXPECT_TRUE(has_rule(lint_files(files), "obs-metric-registered"));
+}
+
+// ---- v2 rule families ----
+
+TEST(HclintFixtures, LayeringBackEdge) {
+  const auto issues = lint_fixture("src/core/layer_backedge.cpp");
+  EXPECT_EQ(1u, count_rule(issues, "layering-acyclic-includes"))
+      << format_issues(issues);
+  EXPECT_EQ(1u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, LayeringBackEdgeWaived) {
+  const auto issues = lint_fixture("src/core/layer_backedge_waived.cpp");
+  EXPECT_TRUE(issues.empty()) << format_issues(issues);
+}
+
+TEST(HclintScanner, SameLayerIncludeCycleFlagged) {
+  // net (3) <-> sim (3): legal individually, a cycle together. Both
+  // include sites are flagged.
+  const std::vector<SourceFile> files = {
+      {"src/net/a.h", "#include \"sim/b.h\"\n"},
+      {"src/sim/b.h", "#include \"net/a.h\"\n"}};
+  const auto issues = lint_files(files);
+  EXPECT_EQ(2u, count_rule(issues, "layering-acyclic-includes"))
+      << format_issues(issues);
+}
+
+TEST(HclintScanner, SameLayerAcyclicIncludeIsFine) {
+  const std::vector<SourceFile> files = {
+      {"src/net/a.h", "#include \"sim/b.h\"\n"},
+      {"src/obs/c.h", "#include \"analysis/d.h\"\n"}};
+  EXPECT_TRUE(lint_files(files).empty());
+}
+
+TEST(HclintScanner, LayeringIgnoresFilesOutsideSrc) {
+  // tools/ and tests/ may include anything; only src/ modules are ranked.
+  const std::vector<SourceFile> files = {
+      {"tools/bench.cpp", "#include \"chaos/engine.h\"\n"}};
+  EXPECT_TRUE(lint_files(files).empty());
+}
+
+TEST(HclintFixtures, ScratchNoEscape) {
+  const auto issues = lint_fixture("scratch_escape.cpp");
+  EXPECT_EQ(4u, count_rule(issues, "scratch-no-escape"))
+      << format_issues(issues);
+  EXPECT_EQ(4u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, ScratchNoEscapeWaived) {
+  const auto issues = lint_fixture("scratch_escape_waived.cpp");
+  EXPECT_TRUE(issues.empty()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, SharedStateAnnotated) {
+  const auto issues = lint_fixture("src/sim/shared_state.cpp");
+  EXPECT_EQ(3u, count_rule(issues, "shared-state-annotated"))
+      << format_issues(issues);
+  EXPECT_EQ(3u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, SharedStateAnnotatedOrWaivedIsQuiet) {
+  const auto issues = lint_fixture("src/sim/shared_state_waived.cpp");
+  EXPECT_TRUE(issues.empty()) << format_issues(issues);
+}
+
+TEST(HclintScanner, SharedStateScopedToSrc) {
+  // The same text outside a src/ tree is out of scope (tests and tools
+  // keep their local statics).
+  const std::vector<SourceFile> files = {
+      {"tests/helper.cpp", "static int g_counter = 0;\n"}};
+  EXPECT_TRUE(lint_files(files).empty());
+}
+
+TEST(HclintFixtures, DigestNondeterminism) {
+  const auto issues = lint_fixture("src/obs/digest_nondet.cpp");
+  EXPECT_EQ(2u, count_rule(issues, "digest-nondeterminism"))
+      << format_issues(issues);
+  EXPECT_EQ(2u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, DigestNondeterminismWaived) {
+  const auto issues = lint_fixture("src/obs/digest_nondet_waived.cpp");
+  EXPECT_TRUE(issues.empty()) << format_issues(issues);
+}
+
+TEST(HclintFixtures, StaleWaiverFlagged) {
+  const auto issues = lint_fixture("stale_waiver.cpp");
+  EXPECT_EQ(1u, count_rule(issues, "waiver-unused")) << format_issues(issues);
+  EXPECT_EQ(1u, issues.size()) << format_issues(issues);
+}
+
+TEST(HclintScanner, WaiverUsageTrackedPerLine) {
+  // Line 1's waiver suppresses a real finding; line 2's suppresses
+  // nothing and is flagged as stale.
+  const std::vector<SourceFile> files = {
+      {"f.cpp",
+       "int a = std::rand();  // hclint: allow(no-rand)\n"
+       "int b = 0;  // hclint: allow(no-rand)\n"}};
+  const LintResult result = lint_files_full(files);
+  EXPECT_EQ(1u, count_rule(result.issues, "waiver-unused"))
+      << format_issues(result.issues);
+  ASSERT_EQ(2u, result.waivers.size());
+  EXPECT_TRUE(result.waivers[0].used);
+  EXPECT_FALSE(result.waivers[1].used);
 }
 
 // ---- scanner unit tests ----

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -22,18 +23,6 @@ std::size_t line_of(const std::string& text, std::size_t pos) {
              std::count(text.begin(), text.begin() + static_cast<long>(pos),
                         '\n')) +
          1;
-}
-
-std::string line_text(const std::string& text, std::size_t line) {
-  std::size_t start = 0;
-  for (std::size_t n = 1; n < line; ++n) {
-    start = text.find('\n', start);
-    if (start == std::string::npos) return "";
-    ++start;
-  }
-  const std::size_t end = text.find('\n', start);
-  return text.substr(start, end == std::string::npos ? std::string::npos
-                                                     : end - start);
 }
 
 // Whole-word occurrence of `word` in `code` at or after `from`.
@@ -200,44 +189,300 @@ bool struct_has_empty_body(const std::vector<StrippedFile>& files,
   return false;  // definition not in scanned set: assume it has members
 }
 
+// ---- v2 multi-pass infrastructure ----
+
+// A brace-delimited function definition found textually: a ')' whose
+// backward-matched '(' is preceded by an identifier (not a control
+// keyword), followed — across qualifiers, trailing return types and
+// attribute macros — by '{'. Constructor init-lists yield one extra FnDef
+// per member initializer sharing the ctor's body; harmless for every
+// consumer (rules only ask "which body holds this position" and "does
+// this body mention X").
+struct FnDef {
+  std::string name;
+  std::size_t name_pos = 0;  // index of the identifier
+  std::size_t open = 0;      // index of '{'
+  std::size_t close = 0;     // index just past '}'
+};
+
+bool is_control_keyword(const std::string& w) {
+  static const char* const kWords[] = {"if",     "for",     "while",
+                                       "switch", "catch",   "return",
+                                       "sizeof", "alignof", "decltype",
+                                       "new",    "noexcept"};
+  for (const char* k : kWords)
+    if (w == k) return true;
+  return false;
+}
+
+std::vector<FnDef> collect_function_defs(const std::string& code) {
+  std::vector<FnDef> defs;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] != ')') continue;
+    // Backward-match to the opening '(' of this parameter list.
+    std::size_t depth = 1;
+    std::size_t j = i;
+    while (j > 0 && depth > 0) {
+      --j;
+      if (code[j] == ')')
+        ++depth;
+      else if (code[j] == '(')
+        --depth;
+    }
+    if (depth != 0) continue;
+    // The identifier immediately before '('.
+    std::size_t e = j;
+    while (e > 0 && std::isspace(static_cast<unsigned char>(code[e - 1])) != 0)
+      --e;
+    std::size_t b = e;
+    while (b > 0 && is_ident_char(code[b - 1])) --b;
+    if (b == e) continue;  // lambda, operator symbol, cast, ...
+    const std::string name = code.substr(b, e - b);
+    if (is_control_keyword(name)) continue;
+    // Forward across qualifiers (const noexcept override), ctor
+    // init-lists, trailing return types and attribute macros
+    // (parenthesized groups) to '{'. Any other punctuation (';', '=')
+    // means declaration / initializer, not a definition.
+    std::size_t k = i + 1;
+    bool is_def = false;
+    while (k < code.size()) {
+      const char c = code[k];
+      if (c == '{') {
+        is_def = true;
+        break;
+      }
+      if (c == '(') {
+        const std::size_t m = match_balanced(code, k, '(', ')');
+        if (m == std::string::npos) break;
+        k = m;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0 ||
+          is_ident_char(c) || c == ':' || c == '&' || c == '*' || c == '<' ||
+          c == '>' || c == ',' || c == '-' || c == '[' || c == ']') {
+        ++k;
+        continue;
+      }
+      break;
+    }
+    if (!is_def) continue;
+    const std::size_t end = match_balanced(code, k, '{', '}');
+    if (end == std::string::npos) continue;
+    defs.push_back({name, b, k, end});
+  }
+  return defs;
+}
+
+// Innermost collected definition whose body holds `pos` (nullptr at file
+// or class scope).
+const FnDef* enclosing_def(const std::vector<FnDef>& defs, std::size_t pos) {
+  const FnDef* best = nullptr;
+  for (const FnDef& d : defs)
+    if (d.open < pos && pos < d.close && (!best || d.open > best->open))
+      best = &d;
+  return best;
+}
+
+// ---- the layer DAG (layering-acyclic-includes) ----
+
+// Layer ranks (DESIGN.md §15). An include must never point from a lower
+// rank to a strictly higher one, and same-rank includes must stay acyclic
+// (today: net→sim and obs→analysis, both one-way).
+int layer_rank(const std::string& mod) {
+  struct Entry {
+    const char* mod;
+    int rank;
+  };
+  static constexpr Entry kRanks[] = {
+      {"util", 0},     {"ids", 1},   {"topology", 1}, {"proto", 2},
+      {"sim", 3},      {"net", 3},   {"core", 4},     {"obs", 5},
+      {"analysis", 5}, {"chaos", 5}, {"dht", 5},      {"baseline", 5}};
+  for (const Entry& e : kRanks)
+    if (mod == e.mod) return e.rank;
+  return -1;
+}
+
+// Is this path inside a src/ tree? (The last "src/" segment anchors it, so
+// fixture trees under tests/fixtures/hclint/src/ are in scope on purpose.)
+bool under_src(const std::string& path) {
+  const std::size_t src = path.rfind("src/");
+  return src != std::string::npos && (src == 0 || path[src - 1] == '/');
+}
+
+// The module owning a file: the path segment after the last "src/" (empty
+// when the file is not under src/ or sits directly in src/).
+std::string module_of_path(const std::string& path) {
+  const std::size_t src = path.rfind("src/");
+  if (src == std::string::npos) return "";
+  if (src != 0 && path[src - 1] != '/') return "";
+  const std::size_t begin = src + 4;
+  const std::size_t slash = path.find('/', begin);
+  if (slash == std::string::npos) return "";
+  return path.substr(begin, slash - begin);
+}
+
+// ---- small statement-level helpers (scratch-no-escape) ----
+
+// Start of the statement around `pos`: just past the previous ';', '{'
+// or '}'.
+std::size_t stmt_begin(const std::string& code, std::size_t pos) {
+  const std::size_t b = code.find_last_of(";{}", pos);
+  return b == std::string::npos ? 0 : b + 1;
+}
+
+bool stmt_starts_with_return(const std::string& code, std::size_t begin) {
+  const std::size_t t = skip_ws(code, begin);
+  return code.compare(t, 6, "return") == 0 &&
+         (t + 6 >= code.size() || !is_ident_char(code[t + 6]));
+}
+
+// Is the token at `pos` immediately preceded by the keyword `return`?
+bool preceded_by_return(const std::string& code, std::size_t pos) {
+  std::size_t e = pos;
+  while (e > 0 && std::isspace(static_cast<unsigned char>(code[e - 1])) != 0)
+    --e;
+  return e >= 6 && code.compare(e - 6, 6, "return") == 0 &&
+         (e == 6 || !is_ident_char(code[e - 7]));
+}
+
+// Index of a plain (or compound) assignment '=' in [begin, end), skipping
+// the comparison operators ==, !=, <=, >=. npos when none.
+std::size_t find_assign(const std::string& code, std::size_t begin,
+                        std::size_t end) {
+  for (std::size_t i = begin; i < end && i < code.size(); ++i) {
+    if (code[i] != '=') continue;
+    if (i + 1 < code.size() && code[i + 1] == '=') {
+      ++i;  // '==' comparison
+      continue;
+    }
+    const char prev = i > begin ? code[i - 1] : '\0';
+    if (prev == '=' || prev == '!' || prev == '<' || prev == '>') continue;
+    return i;
+  }
+  return std::string::npos;
+}
+
+struct Lhs {
+  std::string name;
+  bool member = false;  // trailing '_' (repo style) or this->
+};
+
+// The assignment target left of the '=' at `eq` (subscripts and compound
+// operators stripped).
+Lhs lhs_of(const std::string& code, std::size_t eq) {
+  std::size_t e = eq;
+  auto skip_back_ws = [&] {
+    while (e > 0 && std::isspace(static_cast<unsigned char>(code[e - 1])) != 0)
+      --e;
+  };
+  skip_back_ws();
+  while (e > 0 && std::strchr("+-*/%&|^", code[e - 1]) != nullptr) --e;
+  skip_back_ws();
+  if (e > 0 && code[e - 1] == ']') {
+    const std::size_t open = code.rfind('[', e - 1);
+    if (open != std::string::npos) e = open;
+  }
+  skip_back_ws();
+  std::size_t b = e;
+  while (b > 0 && is_ident_char(code[b - 1])) --b;
+  Lhs lhs{code.substr(b, e - b), false};
+  const bool this_arrow = b >= 6 && code.compare(b - 6, 6, "this->") == 0;
+  lhs.member = this_arrow || (!lhs.name.empty() && lhs.name.back() == '_');
+  return lhs;
+}
+
+// The declared name in "... thread_local <type> <name> [init];": the last
+// identifier before the initializer/terminator, trailing [...] stripped.
+std::string declared_name(const std::string& code, std::size_t decl_pos) {
+  std::size_t end = code.find_first_of(";=({", decl_pos);
+  if (end == std::string::npos) return "";
+  std::size_t e = end;
+  auto skip_back_ws = [&] {
+    while (e > decl_pos &&
+           std::isspace(static_cast<unsigned char>(code[e - 1])) != 0)
+      --e;
+  };
+  skip_back_ws();
+  if (e > decl_pos && code[e - 1] == ']') {
+    const std::size_t open = code.rfind('[', e - 1);
+    if (open != std::string::npos && open > decl_pos) e = open;
+  }
+  skip_back_ws();
+  std::size_t b = e;
+  while (b > decl_pos && is_ident_char(code[b - 1])) --b;
+  return code.substr(b, e - b);
+}
+
+// Does [open, close) contain "return <name>"?
+bool returns_name(const std::string& code, std::size_t open, std::size_t close,
+                  const std::string& name) {
+  std::size_t from = open;
+  while (true) {
+    const std::size_t q = find_word(code, name, from);
+    if (q == std::string::npos || q >= close) return false;
+    from = q + name.size();
+    if (preceded_by_return(code, q)) return true;
+  }
+}
+
 class Linter {
  public:
   explicit Linter(const std::vector<SourceFile>& files) {
     for (const SourceFile& f : files)
       stripped_.push_back({&f, strip_comments_and_strings(f.raw)});
+    for (const StrippedFile& f : stripped_)
+      fndefs_.push_back(collect_function_defs(f.code));
   }
 
-  std::vector<Issue> run() {
+  LintResult run() {
+    collect_waivers();
     check_message_type_coverage();
     check_node_status_coverage();
     check_metric_registrations();
+    check_layering();
+    check_scratch_escapes();
+    check_digest_nondeterminism();
     for (const StrippedFile& f : stripped_) {
       check_determinism_tokens(f);
       check_dense_id_containers(f);
       check_dcheck_side_effects(f);
+      check_shared_state(f);
     }
     // Drop issues suppressed by an "hclint: allow(<rule>)" comment on the
-    // offending line, then order deterministically.
+    // offending line — marking the waiver used — then flag stale waivers
+    // and order deterministically.
     std::vector<Issue> kept;
     for (Issue& issue : issues_) {
-      const std::string marker = "hclint: allow(" + issue.rule + ")";
       bool suppressed = false;
-      for (const StrippedFile& f : stripped_) {
-        if (f.src->path == issue.file) {
-          suppressed =
-              line_text(f.src->raw, issue.line).find(marker) !=
-              std::string::npos;
-          break;
+      for (Waiver& w : waivers_) {
+        if (w.file == issue.file && w.line == issue.line &&
+            w.rule == issue.rule) {
+          w.used = true;
+          suppressed = true;
         }
       }
       if (!suppressed) kept.push_back(std::move(issue));
+    }
+    for (const Waiver& w : waivers_) {
+      if (!w.used) {
+        kept.push_back(
+            {w.file, w.line, "waiver-unused",
+             "waiver allow(" + w.rule +
+                 ") suppresses nothing in this run; delete the stale "
+                 "comment (waiver-unused is itself not waivable)"});
+      }
     }
     std::sort(kept.begin(), kept.end(), [](const Issue& a, const Issue& b) {
       if (a.file != b.file) return a.file < b.file;
       if (a.line != b.line) return a.line < b.line;
       return a.rule < b.rule;
     });
-    return kept;
+    std::sort(waivers_.begin(), waivers_.end(),
+              [](const Waiver& a, const Waiver& b) {
+                if (a.file != b.file) return a.file < b.file;
+                return a.line < b.line;
+              });
+    return {std::move(kept), std::move(waivers_)};
   }
 
  private:
@@ -403,6 +648,397 @@ class Linter {
     }
   }
 
+  // ---- v2 multi-pass rules ----
+
+  // Every "hclint: allow(<rule>)" comment in the scanned set, read from
+  // the raw text (stripping blanks comments). Malformed rule names (the
+  // lint.h prose's "<rule>" placeholder, say) are ignored.
+  void collect_waivers() {
+    static const std::string kMarker = "hclint: allow(";
+    for (const StrippedFile& f : stripped_) {
+      const std::string& raw = f.src->raw;
+      std::size_t from = 0;
+      while (true) {
+        const std::size_t pos = raw.find(kMarker, from);
+        if (pos == std::string::npos) break;
+        from = pos + kMarker.size();
+        const std::size_t close = raw.find(')', from);
+        if (close == std::string::npos) break;
+        const std::string rule = raw.substr(from, close - from);
+        const bool well_formed =
+            !rule.empty() && std::all_of(rule.begin(), rule.end(), [](char c) {
+              return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                     c == '-';
+            });
+        if (well_formed)
+          waivers_.push_back({f.src->path, line_of(raw, pos), rule, false});
+      }
+    }
+  }
+
+  // layering-acyclic-includes: back-edges in the layer DAG are errors;
+  // same-rank includes are legal only while that subgraph stays acyclic.
+  // Include paths are read from the RAW text — stripping blanks string
+  // literal contents, which is exactly where the path lives.
+  void check_layering() {
+    struct Edge {
+      const SourceFile* src;
+      std::size_t line;
+      std::string from, to;
+    };
+    std::vector<Edge> same_rank;
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const StrippedFile& f : stripped_) {
+      const std::string mod = module_of_path(f.src->path);
+      const int rank = layer_rank(mod);
+      if (rank < 0) continue;
+      const std::string& raw = f.src->raw;
+      std::size_t from = 0;
+      while (true) {
+        const std::size_t pos = raw.find("#include", from);
+        if (pos == std::string::npos) break;
+        from = pos + 8;
+        const std::size_t q1 = raw.find_first_not_of(" \t", from);
+        if (q1 == std::string::npos || raw[q1] != '"') continue;  // <system>
+        const std::size_t q2 = raw.find('"', q1 + 1);
+        if (q2 == std::string::npos) continue;
+        const std::string inc = raw.substr(q1 + 1, q2 - q1 - 1);
+        const std::size_t slash = inc.find('/');
+        if (slash == std::string::npos) continue;  // sibling header
+        const std::string target = inc.substr(0, slash);
+        const int target_rank = layer_rank(target);
+        if (target_rank < 0 || target == mod) continue;
+        const std::size_t line = line_of(raw, pos);
+        if (target_rank > rank) {
+          report(f.src, line, "layering-acyclic-includes",
+                 "include of \"" + inc + "\" is a layering back-edge: " + mod +
+                     "/ (layer " + std::to_string(rank) +
+                     ") must not depend on " + target + "/ (layer " +
+                     std::to_string(target_rank) +
+                     "); see the layer DAG in DESIGN.md §15");
+        } else if (target_rank == rank) {
+          same_rank.push_back({f.src, line, mod, target});
+          adj[mod].push_back(target);
+        }
+      }
+    }
+    for (const Edge& e : same_rank) {
+      // DFS from e.to over same-rank edges: reaching e.from closes a cycle.
+      std::vector<std::string> stack{e.to};
+      std::set<std::string> seen;
+      bool cyclic = false;
+      while (!stack.empty()) {
+        const std::string cur = stack.back();
+        stack.pop_back();
+        if (cur == e.from) {
+          cyclic = true;
+          break;
+        }
+        if (!seen.insert(cur).second) continue;
+        const auto it = adj.find(cur);
+        if (it != adj.end())
+          for (const std::string& nxt : it->second) stack.push_back(nxt);
+      }
+      if (cyclic) {
+        report(e.src, e.line, "layering-acyclic-includes",
+               "same-layer include cycle: " + e.from + "/ -> " + e.to +
+                   "/ closes a loop back to " + e.from +
+                   "/; break it or move the shared piece down a layer");
+      }
+    }
+  }
+
+  // scratch-no-escape: see lint.h. Pass A finds scratch accessors
+  // (functions returning their own static thread_local buffer) across the
+  // whole scanned set and flags file-scope thread_local returns directly;
+  // pass B checks every accessor call site for return / member-store /
+  // escaping-local misuse.
+  void check_scratch_escapes() {
+    std::set<std::string> accessors;
+    for (std::size_t fi = 0; fi < stripped_.size(); ++fi) {
+      const std::string& code = stripped_[fi].code;
+      std::size_t from = 0;
+      while (true) {
+        const std::size_t pos = find_word(code, "thread_local", from);
+        if (pos == std::string::npos) break;
+        from = pos + 12;
+        const std::string name = declared_name(code, pos);
+        if (name.empty()) continue;
+        const FnDef* def = enclosing_def(fndefs_[fi], pos);
+        if (def != nullptr) {
+          if (returns_name(code, def->open, def->close, name))
+            accessors.insert(def->name);
+        } else {
+          // File-scope scratch: returning it leaks a span that dies at the
+          // next use from this thread — route through a documented
+          // accessor (and copy at the call site) instead.
+          std::size_t rfrom = 0;
+          while (true) {
+            const std::size_t q = find_word(code, name, rfrom);
+            if (q == std::string::npos) break;
+            rfrom = q + name.size();
+            if (preceded_by_return(code, q)) {
+              report(stripped_[fi].src, line_of(code, q), "scratch-no-escape",
+                     "file-scope thread_local \"" + name +
+                         "\" returned: the storage is reused on the next "
+                         "call; copy into owned storage");
+            }
+          }
+        }
+      }
+    }
+    if (accessors.empty()) return;
+    for (std::size_t fi = 0; fi < stripped_.size(); ++fi) {
+      const StrippedFile& f = stripped_[fi];
+      const std::string& code = f.code;
+      for (const std::string& acc : accessors) {
+        std::size_t from = 0;
+        while (true) {
+          const std::size_t pos = find_word(code, acc, from);
+          if (pos == std::string::npos) break;
+          from = pos + acc.size();
+          const std::size_t open = skip_ws(code, pos + acc.size());
+          if (open >= code.size() || code[open] != '(') continue;
+          const std::size_t call_end = match_balanced(code, open, '(', ')');
+          if (call_end == std::string::npos) continue;
+          const FnDef* host = enclosing_def(fndefs_[fi], pos);
+          if (host != nullptr && host->name == acc) continue;  // own body
+          const std::size_t begin = stmt_begin(code, pos);
+          if (stmt_starts_with_return(code, begin)) {
+            report(f.src, line_of(code, pos), "scratch-no-escape",
+                   "span from scratch accessor " + acc +
+                       "() returned onward: it is invalidated by the "
+                       "accessor's next call; copy into owned storage");
+            continue;
+          }
+          const std::size_t eq = find_assign(code, begin, pos);
+          if (eq == std::string::npos) continue;  // consumed in place
+          const Lhs lhs = lhs_of(code, eq);
+          if (host == nullptr) {
+            report(f.src, line_of(code, pos), "scratch-no-escape",
+                   "span from scratch accessor " + acc +
+                       "() stored at static/member-initializer scope; it "
+                       "dies at the accessor's next call");
+          } else if (lhs.member) {
+            report(f.src, line_of(code, pos), "scratch-no-escape",
+                   "span from scratch accessor " + acc +
+                       "() stored into member \"" + lhs.name +
+                       "\": it is invalidated by the accessor's next call");
+          } else if (!lhs.name.empty()) {
+            track_local_escape(f, fi, code, lhs.name, call_end, *host, acc);
+          }
+        }
+      }
+    }
+  }
+
+  // A local span copied out of a scratch accessor: flag later statements
+  // in the same body that return it or store it into a member.
+  void track_local_escape(const StrippedFile& f, std::size_t fi,
+                          const std::string& code, const std::string& local,
+                          std::size_t after, const FnDef& host,
+                          const std::string& acc) {
+    (void)fi;
+    std::size_t from = after;
+    while (true) {
+      const std::size_t q = find_word(code, local, from);
+      if (q == std::string::npos || q >= host.close) return;
+      from = q + local.size();
+      if (preceded_by_return(code, q)) {
+        report(f.src, line_of(code, q), "scratch-no-escape",
+               "local \"" + local + "\" holds a span from scratch accessor " +
+                   acc + "() and is returned; copy into owned storage");
+        continue;
+      }
+      const std::size_t qb = stmt_begin(code, q);
+      const std::size_t qeq = find_assign(code, qb, q);
+      if (qeq == std::string::npos) continue;
+      const Lhs target = lhs_of(code, qeq);
+      if (target.member) {
+        report(f.src, line_of(code, q), "scratch-no-escape",
+               "local \"" + local + "\" holds a span from scratch accessor " +
+                   acc + "() and is stored into member \"" + target.name +
+                   "\"");
+      }
+    }
+  }
+
+  // shared-state-annotated: see lint.h. Function-local statics count —
+  // they are shared across callers just the same (the IdTable singleton
+  // carries HCUBE_INTERNALLY_SYNCHRONIZED for exactly this reason).
+  void check_shared_state(const StrippedFile& f) {
+    if (!under_src(f.src->path)) return;
+    std::set<std::size_t> reported;
+    static const char* const kStorage[] = {"static", "inline"};
+    static const char* const kExempt[] = {
+        "const",    "constexpr", "constinit", "thread_local",
+        "using",    "typedef",   "namespace", "class",
+        "struct",   "union",     "enum",      "template",
+        "extern",   "operator",  "friend"};
+    for (const char* kw : kStorage) {
+      std::size_t from = 0;
+      while (true) {
+        const std::size_t pos = find_word(f.code, kw, from);
+        if (pos == std::string::npos) break;
+        from = pos + std::strlen(kw);
+        const std::size_t decl_end =
+            std::min(f.code.find(';', pos), f.code.find('{', pos));
+        if (decl_end == std::string::npos) continue;
+        // The declaration runs from the statement start (so "constinit
+        // static" and "const static" orderings are seen) to the
+        // initializer or terminator.
+        const std::size_t decl_start = stmt_begin(f.code, pos);
+        const std::size_t head_end = std::min(decl_end, f.code.find('=', pos));
+        const std::string head = f.code.substr(decl_start, head_end - decl_start);
+        bool exempt = false;
+        for (const char* ok : kExempt)
+          if (find_word(head, ok) != std::string::npos) {
+            exempt = true;
+            break;
+          }
+        if (exempt) continue;
+        // Annotated shared state is the whole point — accept it before the
+        // function test (the annotation macros carry parens).
+        const std::string decl = f.code.substr(pos, decl_end - pos);
+        if (find_word(decl, "HCUBE_GUARDED_BY") != std::string::npos ||
+            find_word(decl, "HCUBE_PT_GUARDED_BY") != std::string::npos ||
+            find_word(decl, "HCUBE_INTERNALLY_SYNCHRONIZED") !=
+                std::string::npos)
+          continue;
+        // Functions (a '(' before the initializer / terminator) are fine.
+        if (f.code.find('(', pos) < head_end) continue;
+        const std::size_t line = line_of(f.code, pos);
+        if (!reported.insert(line).second) continue;
+        report(f.src, line, "shared-state-annotated",
+               "mutable static-storage object: annotate with "
+               "HCUBE_GUARDED_BY(...) / HCUBE_INTERNALLY_SYNCHRONIZED "
+               "(util/thread_safety.h), make it const/constinit, or waive "
+               "with a rationale");
+      }
+    }
+  }
+
+  // digest-nondeterminism: see lint.h. Pass A records every name declared
+  // as a pointer-keyed associative container anywhere in the scanned set
+  // (members included); pass B flags digest/export functions that declare
+  // or mention one.
+  void check_digest_nondeterminism() {
+    struct PtrDecl {
+      std::size_t file;
+      std::size_t pos;
+      std::size_t line;
+      std::string name;  // may be empty (parameter-less / anonymous)
+    };
+    std::vector<PtrDecl> decls;
+    std::set<std::string> tainted;
+    static const char* const kContainers[] = {"map",          "set",
+                                              "unordered_map", "unordered_set",
+                                              "multimap",      "multiset"};
+    for (std::size_t fi = 0; fi < stripped_.size(); ++fi) {
+      const std::string& code = stripped_[fi].code;
+      for (const char* cont : kContainers) {
+        std::size_t from = 0;
+        while (true) {
+          const std::size_t pos = find_word(code, cont, from);
+          if (pos == std::string::npos) break;
+          from = pos + std::strlen(cont);
+          const std::size_t open = skip_ws(code, from);
+          if (open >= code.size() || code[open] != '<') continue;
+          // First template argument, at angle-depth 1.
+          std::size_t depth = 1;
+          std::size_t i = open + 1;
+          std::size_t arg_end = std::string::npos;
+          for (; i < code.size(); ++i) {
+            const char c = code[i];
+            if (c == '<') {
+              ++depth;
+            } else if (c == '>') {
+              if (--depth == 0) {
+                arg_end = i;
+                break;
+              }
+            } else if (c == ',' && depth == 1) {
+              arg_end = i;
+              break;
+            }
+          }
+          if (arg_end == std::string::npos) continue;
+          const std::string key = code.substr(open + 1, arg_end - open - 1);
+          if (key.find('*') == std::string::npos) continue;
+          // Pointer-keyed: remember the declared name, if one follows.
+          std::size_t close = i;
+          if (code[i] == ',') {
+            std::size_t d2 = 1;
+            for (close = i; close < code.size(); ++close) {
+              if (code[close] == '<')
+                ++d2;
+              else if (code[close] == '>' && --d2 == 0)
+                break;
+            }
+            if (close >= code.size()) continue;
+          }
+          std::size_t p = skip_ws(code, close + 1);
+          while (p < code.size() && (code[p] == '&' || code[p] == '*'))
+            p = skip_ws(code, p + 1);
+          std::size_t q = p;
+          while (q < code.size() && is_ident_char(code[q])) ++q;
+          PtrDecl d{fi, pos, line_of(code, pos), code.substr(p, q - p)};
+          if (!d.name.empty()) tainted.insert(d.name);
+          decls.push_back(std::move(d));
+        }
+      }
+    }
+    if (decls.empty()) return;
+    std::set<std::pair<std::string, std::size_t>> seen;
+    auto flag = [&](const SourceFile* src, std::size_t line,
+                    const std::string& what) {
+      if (!seen.insert({src->path, line}).second) return;
+      report(src, line, "digest-nondeterminism",
+             what +
+                 " in a digest/export function: iteration order depends on "
+                 "addresses and breaks FNV-1a run-digest reproducibility; "
+                 "key by dense ids or sort before hashing");
+    };
+    for (std::size_t fi = 0; fi < stripped_.size(); ++fi) {
+      const StrippedFile& f = stripped_[fi];
+      std::string lower = f.code;
+      std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+        return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      });
+      for (const FnDef& d : fndefs_[fi]) {
+        std::string lname = d.name;
+        std::transform(lname.begin(), lname.end(), lname.begin(), [](char c) {
+          return static_cast<char>(
+              std::tolower(static_cast<unsigned char>(c)));
+        });
+        const auto body_has = [&](const char* token) {
+          const std::size_t at = lower.find(token, d.open);
+          return at != std::string::npos && at < d.close;
+        };
+        const bool feeds = lname.find("digest") != std::string::npos ||
+                           lname.find("fnv") != std::string::npos ||
+                           lname.find("to_json") != std::string::npos ||
+                           body_has("digest") || body_has("fnv") ||
+                           body_has("to_json");
+        if (!feeds) continue;
+        for (const PtrDecl& pd : decls)
+          if (pd.file == fi && d.open < pd.pos && pd.pos < d.close)
+            flag(f.src, pd.line,
+                 "pointer-keyed container declared (\"" + pd.name + "\")");
+        for (const std::string& name : tainted) {
+          std::size_t from = d.open;
+          while (true) {
+            const std::size_t q = find_word(f.code, name, from);
+            if (q == std::string::npos || q >= d.close) break;
+            from = q + name.size();
+            flag(f.src, line_of(f.code, q),
+                 "pointer-keyed container \"" + name + "\" used");
+          }
+        }
+      }
+    }
+  }
+
   // ---- per-file determinism / pooling hygiene ----
 
   bool called_like_function(const std::string& code, std::size_t pos,
@@ -555,7 +1191,9 @@ class Linter {
   }
 
   std::vector<StrippedFile> stripped_;
+  std::vector<std::vector<FnDef>> fndefs_;  // parallel to stripped_
   std::vector<Issue> issues_;
+  std::vector<Waiver> waivers_;
 };
 
 }  // namespace
@@ -622,11 +1260,17 @@ std::string strip_comments_and_strings(const std::string& src) {
   return out;
 }
 
-std::vector<Issue> lint_files(const std::vector<SourceFile>& files) {
+LintResult lint_files_full(const std::vector<SourceFile>& files) {
   return Linter(files).run();
 }
 
-std::vector<Issue> lint_paths(const std::vector<std::string>& paths) {
+std::vector<Issue> lint_files(const std::vector<SourceFile>& files) {
+  return lint_files_full(files).issues;
+}
+
+namespace {
+
+std::vector<SourceFile> load_paths(const std::vector<std::string>& paths) {
   namespace fs = std::filesystem;
   std::vector<std::string> found;
   auto wants = [](const fs::path& p) {
@@ -651,7 +1295,17 @@ std::vector<Issue> lint_paths(const std::vector<std::string>& paths) {
     content << in.rdbuf();
     files.push_back({path, content.str()});
   }
-  return lint_files(files);
+  return files;
+}
+
+}  // namespace
+
+LintResult lint_paths_full(const std::vector<std::string>& paths) {
+  return lint_files_full(load_paths(paths));
+}
+
+std::vector<Issue> lint_paths(const std::vector<std::string>& paths) {
+  return lint_paths_full(paths).issues;
 }
 
 std::string format_issues(const std::vector<Issue>& issues) {
@@ -659,6 +1313,15 @@ std::string format_issues(const std::vector<Issue>& issues) {
   for (const Issue& issue : issues) {
     os << issue.file << ':' << issue.line << ": [" << issue.rule << "] "
        << issue.message << '\n';
+  }
+  return os.str();
+}
+
+std::string format_waivers(const std::vector<Waiver>& waivers) {
+  std::ostringstream os;
+  for (const Waiver& w : waivers) {
+    os << w.file << ':' << w.line << ": allow(" << w.rule << ") -- "
+       << (w.used ? "used" : "UNUSED") << '\n';
   }
   return os.str();
 }

@@ -34,9 +34,52 @@
 //                            anywhere in the scanned set (registry names
 //                            are canonical and globally unique)
 //
+// v2 adds multi-pass rules (a function-definition index and the cross-file
+// include graph are built first, then rules consume them):
+//
+//   layering-acyclic-includes  an #include whose target module sits in a
+//                            higher layer than the including module, or a
+//                            same-layer include cycle. The layer DAG
+//                            (DESIGN.md §15): util(0) → ids,topology(1) →
+//                            proto(2) → sim,net(3) → core(4) →
+//                            obs,analysis,chaos,dht,baseline(5). A file's
+//                            module is the path segment after the last
+//                            "src/"; files outside src/ are out of scope.
+//   scratch-no-escape        a value obtained from a scratch accessor (a
+//                            function that returns its own static
+//                            thread_local buffer, e.g. NeighborTable::
+//                            distinct_neighbors()) is returned onward,
+//                            stored into a member (trailing-underscore
+//                            LHS / this->), or stored into a local that
+//                            later escapes — the span dies at the next
+//                            call, so it must be consumed in place.
+//                            Returning a file-scope thread_local directly
+//                            is always flagged.
+//   shared-state-annotated   a file-scope / static-storage mutable object
+//                            in src/ with none of: a capability annotation
+//                            (HCUBE_GUARDED_BY / HCUBE_PT_GUARDED_BY /
+//                            HCUBE_INTERNALLY_SYNCHRONIZED), const /
+//                            constexpr / constinit, thread_local, or a
+//                            waiver. Keeps the sharding-readiness audit
+//                            (util/thread_safety.h) exhaustive: no mutable
+//                            static slips in unannotated.
+//   digest-nondeterminism    iteration state from a pointer-keyed
+//                            map/set/unordered_* used inside a function
+//                            that feeds the FNV-1a run digest or the
+//                            metrics export (name or body mentions
+//                            digest / fnv / to_json): iteration order
+//                            depends on addresses and silently breaks
+//                            bit-reproducibility.
+//   waiver-unused            an "hclint: allow(<rule>)" comment that did
+//                            not suppress anything in this run — stale
+//                            waivers rot into false documentation and must
+//                            be deleted (this rule is not waivable).
+//
 // Comments and string/char literals are stripped before any rule runs, so
-// prose never trips a rule. A violation can be suppressed by putting
-// "hclint: allow(<rule>)" in a comment on the offending line.
+// prose never trips a rule (the include scan reads raw lines, since
+// stripping blanks the include path itself). A violation can be suppressed
+// by putting "hclint: allow(<rule>)" in a comment on the offending line;
+// every waiver must suppress at least one finding or waiver-unused fires.
 //
 // The scanner keys on this repo's idioms (function signatures, enum names);
 // exhaustiveness rules simply stay quiet when their anchors (the enum, the
@@ -61,18 +104,39 @@ struct Issue {
   std::string message;
 };
 
+// One "hclint: allow(<rule>)" comment found in the scanned set. `used`
+// records whether it suppressed at least one finding in this run.
+struct Waiver {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  bool used = false;
+};
+
+// Issues plus the full waiver inventory (for `hclint --report-waivers`).
+// Unused waivers also appear in `issues` as waiver-unused.
+struct LintResult {
+  std::vector<Issue> issues;
+  std::vector<Waiver> waivers;
+};
+
 // Replaces //, /* */ comments and string/char literal contents with spaces,
 // preserving line structure. Exposed for tests.
 std::string strip_comments_and_strings(const std::string& src);
 
 // Runs every rule over the given files (cross-file rules see all of them).
 std::vector<Issue> lint_files(const std::vector<SourceFile>& files);
+LintResult lint_files_full(const std::vector<SourceFile>& files);
 
 // Loads every .h/.cpp/.cc under the given paths (files or directories,
 // recursively; deterministic path order) and lints them.
 std::vector<Issue> lint_paths(const std::vector<std::string>& paths);
+LintResult lint_paths_full(const std::vector<std::string>& paths);
 
 // "path:line: [rule] message" per issue.
 std::string format_issues(const std::vector<Issue>& issues);
+
+// "path:line: allow(rule) -- used|UNUSED" per waiver.
+std::string format_waivers(const std::vector<Waiver>& waivers);
 
 }  // namespace hclint

@@ -1,6 +1,10 @@
 // hclint driver: lints the given files/directories (default: src) and exits
 // non-zero when any rule fires. See lint.h for the rule list and DESIGN.md
-// §10 for the rationale.
+// §10/§15 for the rationale.
+//
+// --report-waivers prints every "hclint: allow(<rule>)" comment in the
+// scanned set with its used/UNUSED status instead of linting; stale
+// waivers also fail a normal run via the waiver-unused rule.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -9,25 +13,40 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  bool report_waivers = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: hclint [path...]   (default path: src)\n"
-                  "Lints the hcube source tree; exits 1 when any rule "
-                  "fires.\nSuppress a finding with an \"hclint: "
-                  "allow(<rule>)\" comment on its line.\n");
+      std::printf(
+          "usage: hclint [--report-waivers] [path...]   (default path: src)\n"
+          "Lints the hcube source tree; exits 1 when any rule fires.\n"
+          "Suppress a finding with an \"hclint: allow(<rule>)\" comment on\n"
+          "its line; a waiver that suppresses nothing is itself an error.\n"
+          "--report-waivers lists every waiver with used/UNUSED status.\n");
       return 0;
+    }
+    if (arg == "--report-waivers") {
+      report_waivers = true;
+      continue;
     }
     paths.push_back(arg);
   }
   if (paths.empty()) paths.push_back("src");
 
-  const std::vector<hclint::Issue> issues = hclint::lint_paths(paths);
-  if (issues.empty()) {
+  const hclint::LintResult result = hclint::lint_paths_full(paths);
+  if (report_waivers) {
+    if (result.waivers.empty()) {
+      std::printf("hclint: no waivers\n");
+    } else {
+      std::fputs(hclint::format_waivers(result.waivers).c_str(), stdout);
+    }
+    return 0;
+  }
+  if (result.issues.empty()) {
     std::printf("hclint: clean\n");
     return 0;
   }
-  std::fputs(hclint::format_issues(issues).c_str(), stdout);
-  std::fprintf(stderr, "hclint: %zu issue(s)\n", issues.size());
+  std::fputs(hclint::format_issues(result.issues).c_str(), stdout);
+  std::fprintf(stderr, "hclint: %zu issue(s)\n", result.issues.size());
   return 1;
 }
