@@ -65,8 +65,7 @@ int main() {
   // 3. graceful leaves.
   for (int i = 0; i < 25; ++i) {
     const std::size_t victim = rng.next_below(members.size());
-    overlay.at(members[victim]).start_leave();
-    overlay.run_to_quiescence();
+    leave_and_drain(overlay, members[victim]);
     members.erase(members.begin() + static_cast<long>(victim));
   }
   ok &= audit_phase("3. -25 graceful leaves", overlay);

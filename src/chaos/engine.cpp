@@ -28,10 +28,24 @@ std::string ChaosResult::summary() const {
   out << "  steps: " << counts.joins << " joins, " << counts.leaves
       << " leaves, " << counts.crashes << " crashes, " << counts.restarts
       << " restarts, " << counts.partitions << " partitions, "
-      << counts.misbehaves << " misbehaves, " << counts.noops << " no-ops\n";
+      << counts.misbehaves << " misbehaves, " << counts.rate_windows
+      << " rate windows, " << counts.spikes << " spikes, " << counts.noops
+      << " no-ops\n";
   out << "  membership: " << settled << " settled, " << departed
       << " departed, " << crashed << " crashed, " << abandoned_joins
       << " abandoned join(s)\n";
+  if (eq.probes > 0 || eq.join_arrivals > 0) {
+    char rate_buf[32];
+    std::snprintf(rate_buf, sizeof rate_buf, "%.4f", eq.completion_rate());
+    out << "  equilibrium: " << eq.join_arrivals << " join / "
+        << eq.leave_arrivals << " leave arrivals, " << eq.completed
+        << " completed (rate " << rate_buf << "), " << eq.abandoned
+        << " abandoned, backlog p99 " << eq.backlog.quantile(0.99) << " over "
+        << eq.probes << " probes";
+    if (eq.recovery_ms >= 0.0)
+      out << ", spike recovery " << eq.recovery_ms << "ms";
+    out << "\n";
+  }
   if (adversaries > 0) {
     out << "  adversary: " << adversaries << " marked, " << adv_intercepted
         << " intercepted, " << adv_stale_replies << " stale replies, "
@@ -46,9 +60,11 @@ std::string ChaosResult::summary() const {
   std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
                 static_cast<unsigned long long>(digest));
   out << "  digest: " << digest_hex << "\n";
+  // Failing verdicts: barrier oracles and (in equilibrium runs) the
+  // steady-state probes, both recorded against their step index.
   for (const BarrierVerdict& b : barriers) {
     if (b.ok()) continue;
-    out << "  barrier @step " << b.step_index << " (t=" << b.at_ms << "ms):\n";
+    out << "  verdict @step " << b.step_index << " (t=" << b.at_ms << "ms):\n";
     for (const std::string& f : b.failures) out << "    " << f << "\n";
   }
   return out.str();
@@ -106,6 +122,13 @@ class Runner {
         barrier(i);
         continue;
       }
+      if (is_rate_window(step.kind)) {
+        // Open-loop: schedule the whole window (arrivals + probes) and move
+        // the cursor past it without draining — no quiescence anywhere.
+        schedule_rate_window(i, step, cursor);
+        cursor += std::max(0.0, step.duration_ms);
+        continue;
+      }
       queue_.schedule_at(cursor, [this, &step] { execute(step); });
     }
     if (script_.steps.empty() ||
@@ -132,6 +155,18 @@ class Runner {
       o.reply_timeout_ms =
           cfg.join_watchdog_ms > 0 ? cfg.join_watchdog_ms / 4.0 : 1000.0;
       o.suspect_aware_rotation = true;
+    }
+    if (cfg.degrade != 0) {
+      // Graceful-degradation tier: watchdog restarts back off with jitter
+      // (one RTO base doubling up to 64x) and settled gateways defer
+      // copy-requests while the overlay-wide join backlog is above half the
+      // configured bound. The jitter stream is seeded from the script's
+      // fault seed, so a replay pins it but distinct scripts differ.
+      o.join_backoff_base_ms = cfg.rto_ms;
+      o.overload_defer_threshold =
+          cfg.max_backlog > 0 ? std::max(1u, cfg.max_backlog / 2) : 8;
+      o.overload_defer_ms = cfg.rto_ms;
+      o.backoff_seed = mix(cfg.fault_seed ^ 0x6a17e2b5c3d4ULL);
     }
     return o;
   }
@@ -245,6 +280,10 @@ class Runner {
         ++result_.counts.misbehaves;
         return;
       }
+      case StepKind::kRateWindow:
+      case StepKind::kSpike:
+        HCUBE_CHECK_MSG(false, "rate windows are scheduled inline by run()");
+        return;
       case StepKind::kBarrier:
         HCUBE_CHECK_MSG(false, "barriers are not scheduled as events");
         return;
@@ -261,6 +300,99 @@ class Runner {
         pick_node(pick, [](const Node& n) { return n.is_s_node(); });
     if (victim == nullptr) ++result_.counts.noops;
     return victim;
+  }
+
+  // Schedules a rate window's entire Poisson arrival train plus its
+  // steady-state health probes at absolute times in [start, start + dur).
+  // A spike window additionally snapshots the pre-spike backlog at its
+  // opening edge and lays out a fixed series of recovery probes past its
+  // close (covering the rest of the script plus a few watchdog periods), so
+  // recovery_ms is measured without any self-rescheduling loop.
+  void schedule_rate_window(std::uint32_t step_index, const ChurnStep& step,
+                            SimTime start) {
+    if (step.kind == StepKind::kSpike)
+      ++result_.counts.spikes;
+    else
+      ++result_.counts.rate_windows;
+    for (const Arrival& a : window_arrivals(step)) {
+      queue_.schedule_at(start + a.at_ms,
+                         [this, &step, a] { execute_arrival(step, a); });
+    }
+    const double period =
+        cfg_.probe_every_ms > 0.0 ? cfg_.probe_every_ms : step.duration_ms;
+    if (period <= 0.0) return;  // degenerate (shrunk) window: nothing to do
+    for (double t = period; t <= step.duration_ms; t += period)
+      queue_.schedule_at(start + t, [this, step_index] { probe(step_index); });
+    if (step.kind == StepKind::kSpike && !spike_seen_) {
+      spike_seen_ = true;
+      spike_end_ = start + step.duration_ms;
+      queue_.schedule_at(
+          start, [this] { spike_baseline_backlog_ = overlay_.join_backlog(); });
+      double tail = 4.0 * std::max(cfg_.join_watchdog_ms, 1000.0);
+      for (std::uint32_t j = step_index + 1;
+           j < static_cast<std::uint32_t>(script_.steps.size()); ++j) {
+        tail += std::max(0.0, script_.steps[j].gap_ms) +
+                std::max(0.0, script_.steps[j].duration_ms);
+      }
+      const auto n_probes = static_cast<std::uint32_t>(tail / period) + 1;
+      for (std::uint32_t k = 1; k <= n_probes; ++k)
+        queue_.schedule_at(spike_end_ + k * period,
+                           [this] { recovery_probe(); });
+    }
+  }
+
+  void execute_arrival(const ChurnStep& step, const Arrival& a) {
+    if (a.is_join) {
+      const NodeId& id = join_ids_[step.id_index + a.join_ordinal];
+      Node* gateway =
+          pick_node(a.pick, [](const Node& n) { return n.is_s_node(); });
+      if (overlay_.find(id) != nullptr || gateway == nullptr) {
+        ++result_.counts.noops;
+        return;
+      }
+      overlay_.add_node(id).start_join(gateway->id());
+      eq_joiners_.insert(id);
+      ++result_.counts.joins;
+      ++result_.eq.join_arrivals;
+      return;
+    }
+    Node* victim = churn_victim(a.pick);
+    if (victim == nullptr) return;
+    victim->start_leave();
+    ++result_.counts.leaves;
+    ++result_.eq.leave_arrivals;
+  }
+
+  // One steady-state health probe: sample the in-flight join backlog, bound
+  // it against the configured ceiling, and run the relaxed mid-churn
+  // consistency audit. Only failing probes produce verdicts.
+  void probe(std::uint32_t step_index) {
+    ++result_.eq.probes;
+    const std::uint32_t backlog = overlay_.join_backlog();
+    result_.eq.backlog.observe(static_cast<double>(backlog));
+    std::vector<std::string> failures;
+    if (cfg_.max_backlog > 0 && backlog > cfg_.max_backlog) {
+      failures.push_back(
+          "equilibrium: in-flight join backlog " + std::to_string(backlog) +
+          " exceeds the configured bound " + std::to_string(cfg_.max_backlog));
+    }
+    for (std::string& f :
+         run_probe_oracles(overlay_, adversary_.marked()).failures)
+      failures.push_back(std::move(f));
+    if (failures.empty()) return;
+    BarrierVerdict v;
+    v.step_index = step_index;
+    v.at_ms = queue_.now();
+    v.failures = std::move(failures);
+    result_.ok = false;
+    result_.barriers.push_back(std::move(v));
+  }
+
+  void recovery_probe() {
+    if (recovered_ || overlay_.join_backlog() > spike_baseline_backlog_)
+      return;
+    recovered_ = true;
+    result_.eq.recovery_ms = queue_.now() - spike_end_;
   }
 
   void barrier(std::uint32_t step_index) {
@@ -308,6 +440,7 @@ class Runner {
         }
         node->mark_crashed();
         ++result_.abandoned_joins;
+        if (eq_joiners_.contains(node->id())) ++result_.eq.abandoned;
       }
     }
     if (cfg_.heal_rounds > 0) overlay_.repair_all(0.0, cfg_.heal_rounds);
@@ -343,6 +476,19 @@ class Runner {
       if (node->has_departed()) ++result_.departed;
       if (node->is_crashed()) ++result_.crashed;
     }
+    // Equilibrium ledger: settle the open-loop joiners' fates. Completed
+    // means the join protocol finished (t_end set) — under sustained
+    // turnover a completed joiner may well have been picked as a later
+    // leave arrival's victim, and that departure is not the join's failure.
+    // Latency is t_end - t_begin, spanning every watchdog attempt (and any
+    // backoff waits between them) — the latency a user of the overlay sees.
+    for (const NodeId& id : eq_joiners_) {
+      const Node* n = overlay_.find(id);
+      if (n == nullptr || n->join_stats().t_end < 0.0) continue;
+      ++result_.eq.completed;
+      result_.eq.join_latency_ms.observe(n->join_stats().t_end -
+                                         n->join_stats().t_begin);
+    }
     result_.adversaries = adversary_.marked().size();
     const AdversaryEngine::Counters& ac = adversary_.counters();
     result_.adv_intercepted = ac.intercepted;
@@ -366,6 +512,10 @@ class Runner {
     d.add(result_.adv_stale_replies);
     d.add(result_.adv_swallowed);
     d.add(result_.adv_delayed);
+    // Rate-step scripts fold the whole equilibrium trajectory in too; the
+    // guard keeps every fail-stop schedule's pinned digest unchanged.
+    if (script_.has_rate_steps())
+      result_.eq.fold([&d](std::uint64_t v) { d.add(v); });
     for (const BarrierVerdict& b : result_.barriers) {
       d.add(b.step_index);
       d.add(static_cast<std::uint64_t>(b.at_ms * 1000.0));
@@ -386,6 +536,13 @@ class Runner {
   AdversaryEngine adversary_;
   std::vector<NodeId> join_ids_;
   SimTime partition_end_ = 0.0;
+  // Equilibrium-mode state: the open-loop joiners (for the completion
+  // ledger) and the spike recovery measurement.
+  FlatNodeSet eq_joiners_;
+  bool spike_seen_ = false;
+  bool recovered_ = false;
+  SimTime spike_end_ = 0.0;
+  std::uint32_t spike_baseline_backlog_ = 0;
   ChaosResult result_;
 };
 

@@ -25,6 +25,19 @@
 //   4. runs the invariant oracles (chaos/oracles.h) and records a verdict.
 // A final barrier is appended implicitly when the script does not end with
 // one, so every run terminates in a checked state.
+//
+// Open-loop equilibrium mode (rate-window steps): a kRateWindow/kSpike step
+// schedules its whole Poisson arrival train (window_arrivals) plus periodic
+// health probes, then advances the cursor past the window WITHOUT draining —
+// sustained turnover with no quiescence anywhere before the final barrier.
+// Each probe samples the overlay's in-flight join backlog (bound-checked
+// against config.max_backlog), and runs the relaxed mid-churn consistency
+// audit (run_probe_oracles); failing probes record BarrierVerdicts against
+// the window's step index. A kSpike window additionally snapshots the
+// pre-spike backlog and measures how long after the window closes the
+// backlog first returns to that baseline (ChurnHealth::recovery_ms). The
+// equilibrium ledger folds into the digest only when the script contains
+// rate steps, so every fail-stop schedule's digest is unchanged.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +46,7 @@
 #include <vector>
 
 #include "chaos/schedule.h"
+#include "obs/churn_health.h"
 #include "util/metric.h"
 
 namespace hcube {
@@ -58,6 +72,8 @@ struct StepCounts {
   std::uint32_t restarts = 0;
   std::uint32_t partitions = 0;
   std::uint32_t misbehaves = 0;
+  std::uint32_t rate_windows = 0;
+  std::uint32_t spikes = 0;
   std::uint32_t noops = 0;
 };
 
@@ -105,6 +121,10 @@ struct ChaosResult {
   std::uint64_t adv_stale_replies = 0;
   std::uint64_t adv_swallowed = 0;
   std::uint64_t adv_delayed = 0;
+  // Equilibrium-churn ledger: filled only by rate-window steps, and folded
+  // into the digest only when the script has any (so fail-stop schedules
+  // keep their pinned digests).
+  obs::ChurnHealth eq;
   // FNV-1a over every verdict and counter above: two runs of the same
   // script produce the same digest, byte for byte.
   std::uint64_t digest = 0;

@@ -186,4 +186,43 @@ OracleReport run_oracles(const Overlay& overlay,
   return report;
 }
 
+OracleReport run_probe_oracles(const Overlay& overlay,
+                               const FlatNodeSet& quarantined) {
+  OracleReport report;
+  // Mid-churn, most Definition 3.8 violations are legal transients: a false
+  // negative is a fill still in flight, and an entry naming a joiner,
+  // leaver, or not-yet-repaired crashed node resolves at the final drain.
+  // Two classes no amount of in-flight churn can produce (see header):
+  //   * an entry naming an ID this overlay never registered, and
+  //   * a false positive whose named node is itself a settled member — the
+  //     member exists, so if it really had the entry's suffix the class
+  //     could not be empty; the entry is corrupt.
+  ConsistencyCheckOptions opts;
+  opts.max_violations_kept = std::size_t{1} << 16;
+  const ConsistencyReport rep = check_consistency(
+      view_of_settled(overlay, quarantined.empty() ? nullptr : &quarantined),
+      opts);
+  if (rep.consistent()) return report;
+  std::vector<const ConsistencyViolation*> hard;
+  for (const ConsistencyViolation& v : rep.violations) {
+    if (!v.present.is_valid()) continue;  // false negative: fill in flight
+    if (quarantined.contains(v.present)) continue;  // adversary's entry
+    const Node* peer = overlay.find(v.present);
+    const bool never_registered = peer == nullptr;
+    const bool corrupt_positive =
+        v.kind == ConsistencyViolation::Kind::kFalsePositive &&
+        peer != nullptr && peer->is_s_node() &&
+        !quarantined.contains(peer->id());
+    if (never_registered || corrupt_positive) hard.push_back(&v);
+  }
+  if (hard.empty()) return report;
+  std::string line = "probe-consistency: " + std::to_string(hard.size()) +
+                     " non-transient violation(s) across " +
+                     std::to_string(rep.entries_checked) + " entries";
+  for (std::size_t i = 0; i < hard.size() && i < 3; ++i)
+    line += "; " + hard[i]->describe(overlay.params());
+  report.failures.push_back(std::move(line));
+  return report;
+}
+
 }  // namespace hcube::chaos

@@ -68,4 +68,20 @@ OracleReport run_oracles(const Overlay& overlay);
 OracleReport run_oracles(const Overlay& overlay,
                          const FlatNodeSet& quarantined);
 
+// Steady-state probe oracle (equilibrium-churn tier): a *relaxed*
+// Definition 3.8 audit over the settled snapshot, sound in the middle of
+// open-loop turnover where the barrier oracles are not. At a probe instant
+// nothing has quiesced, so transient states are legal and excused:
+//   * false negatives (an empty entry whose suffix class is non-empty) —
+//     the repair/notification traffic that fills it is still in flight;
+//   * entries naming a node that exists in any non-settled state — it is
+//     mid-join, mid-leave, or awaiting repair, all transients the final
+//     drain resolves.
+// What can NEVER be right, even mid-churn, is a settled table naming a node
+// the overlay has no record of: that pointer can only be protocol damage,
+// and it is the one violation class this audit fails on. Quarantine excusal
+// applies as at barriers.
+OracleReport run_probe_oracles(const Overlay& overlay,
+                               const FlatNodeSet& quarantined);
+
 }  // namespace hcube::chaos

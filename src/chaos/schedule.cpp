@@ -18,6 +18,8 @@ const char* to_string(StepKind k) {
     case StepKind::kPartition: return "partition";
     case StepKind::kMisbehave: return "misbehave";
     case StepKind::kBarrier: return "barrier";
+    case StepKind::kRateWindow: return "rate";
+    case StepKind::kSpike: return "spike";
   }
   return "?";
 }
@@ -32,9 +34,52 @@ std::optional<StepKind> step_kind_from(std::string_view token) {
 
 std::uint32_t ChurnScript::num_join_ids() const {
   std::uint32_t n = 0;
-  for (const ChurnStep& s : steps)
+  for (const ChurnStep& s : steps) {
     if (s.kind == StepKind::kJoin && s.id_index + 1 > n) n = s.id_index + 1;
+    if (is_rate_window(s.kind)) {
+      const std::uint32_t joins = window_join_count(s);
+      if (joins > 0 && s.id_index + joins > n) n = s.id_index + joins;
+    }
+  }
   return n;
+}
+
+bool ChurnScript::has_rate_steps() const {
+  for (const ChurnStep& s : steps)
+    if (is_rate_window(s.kind)) return true;
+  return false;
+}
+
+std::vector<Arrival> window_arrivals(const ChurnStep& step) {
+  std::vector<Arrival> out;
+  if (!is_rate_window(step.kind)) return out;
+  const double total = step.rate_join + step.rate_leave;
+  if (total <= 0.0 || step.duration_ms <= 0.0) return out;
+  // Window-local stream: the merged Poisson process (exponential gaps at
+  // the combined rate, each arrival a join with probability
+  // rate_join/total) depends on this step alone.
+  std::uint64_t sm = step.pick ^ 0xeb41b71a5e11ULL;
+  Rng rng(splitmix64_next(sm));
+  const double mean_gap_ms = 1000.0 / total;
+  std::uint32_t joins = 0;
+  double t = rng.next_exponential(mean_gap_ms);
+  while (t < step.duration_ms) {
+    Arrival a;
+    a.at_ms = t;
+    a.is_join = rng.next_double() * total < step.rate_join;
+    if (a.is_join) a.join_ordinal = joins++;
+    a.pick = rng();
+    out.push_back(a);
+    t += rng.next_exponential(mean_gap_ms);
+  }
+  return out;
+}
+
+std::uint32_t window_join_count(const ChurnStep& step) {
+  std::uint32_t joins = 0;
+  for (const Arrival& a : window_arrivals(step))
+    if (a.is_join) ++joins;
+  return joins;
 }
 
 namespace {
@@ -74,9 +119,19 @@ std::string ChurnScript::serialize() const {
   out << "advdropmask " << config.adv_drop_mask << "\n";
   out << "advslow " << fmt(config.adv_slow_ms) << "\n";
   out << "latencymodel " << config.latency_model << "\n";
+  // Equilibrium-churn tier (parser-optional keys, same contract).
+  out << "degrade " << config.degrade << "\n";
+  out << "maxbacklog " << config.max_backlog << "\n";
+  out << "probeevery " << fmt(config.probe_every_ms) << "\n";
   for (const ChurnStep& s : steps) {
     out << "step " << to_string(s.kind) << " " << fmt(s.gap_ms) << " "
-        << s.id_index << " " << s.pick << " " << fmt(s.duration_ms) << "\n";
+        << s.id_index << " " << s.pick << " " << fmt(s.duration_ms);
+    // Rate-window lines carry their arrival rates as trailing fields; the
+    // kind-token dispatch keeps pre-equilibrium parsers' line shape intact
+    // for every other kind.
+    if (is_rate_window(s.kind))
+      out << " " << fmt(s.rate_join) << " " << fmt(s.rate_leave);
+    out << "\n";
   }
   out << "end\n";
   return out.str();
@@ -119,6 +174,9 @@ std::optional<ChurnScript> ChurnScript::parse(const std::string& text,
       if (!want(s.gap_ms) || !want(s.id_index) || !want(s.pick) ||
           !want(s.duration_ms))
         return fail(where + ": malformed step fields");
+      if (is_rate_window(s.kind) &&
+          (!want(s.rate_join) || !want(s.rate_leave)))
+        return fail(where + ": rate step missing rate fields");
       script.steps.push_back(s);
     } else {
       ChaosConfig& c = script.config;
@@ -144,6 +202,9 @@ std::optional<ChurnScript> ChurnScript::parse(const std::string& text,
       else if (key == "advdropmask") ok = want(c.adv_drop_mask);
       else if (key == "advslow") ok = want(c.adv_slow_ms);
       else if (key == "latencymodel") ok = want(c.latency_model);
+      else if (key == "degrade") ok = want(c.degrade);
+      else if (key == "maxbacklog") ok = want(c.max_backlog);
+      else if (key == "probeevery") ok = want(c.probe_every_ms);
       else return fail(where + ": unknown key " + key);
       if (!ok) return fail(where + ": bad value for " + key);
     }
@@ -224,6 +285,25 @@ const std::vector<ChurnProfile>& profiles() {
       p.config.latency_model = 1;
       v.push_back(p);
     }
+    {
+      // Equilibrium: the open-loop sustained-turnover regime. The step
+      // weights are irrelevant (tools/hchaos feeds this config to
+      // sample_equilibrium_script, not sample_script); what the profile
+      // carries is the world: planet latency, light loss, the defensive
+      // hardening AND the graceful-degradation knobs on, and a watchdog
+      // short enough that restarts genuinely happen mid-window.
+      ChurnProfile p;
+      p.name = "equilibrium";
+      p.w_join = 1;
+      p.config.n_seed = 32;
+      p.config.drop = 0.01;
+      p.config.duplicate = 0.005;
+      p.config.join_watchdog_ms = 2000.0;
+      p.config.defend = 1;
+      p.config.degrade = 1;
+      p.config.latency_model = 1;
+      v.push_back(p);
+    }
     return v;
   }();
   return kProfiles;
@@ -289,6 +369,64 @@ ChurnScript sample_script(std::uint64_t seed, const ChurnProfile& profile,
   if (script.steps.empty() || script.steps.back().kind != StepKind::kBarrier)
     script.steps.push_back(
         ChurnStep{StepKind::kBarrier, profile.mean_gap_ms, 0, 0, 0.0});
+  return script;
+}
+
+ChurnScript sample_equilibrium_script(std::uint64_t seed,
+                                      const EquilibriumSpec& spec) {
+  ChurnScript script;
+  script.config = spec.config;
+  std::uint64_t sm = seed;
+  script.config.id_seed = splitmix64_next(sm);
+  script.config.latency_seed = splitmix64_next(sm);
+  script.config.fault_seed = splitmix64_next(sm);
+  Rng rng(splitmix64_next(sm));
+
+  if (script.config.probe_every_ms <= 0.0)
+    script.config.probe_every_ms = spec.window_ms / 4.0;
+  if (script.config.max_backlog == 0) {
+    // Runaway bound, not a tail bound: 8x the expected arrivals per steady
+    // window. At equilibrium the in-flight backlog hovers around
+    // rate x latency — far below a whole window's worth of arrivals — so
+    // only a genuinely stuck regime (joins arriving faster than they ever
+    // complete) trips this.
+    const double per_window =
+        (spec.rate_join + spec.rate_leave) * spec.window_ms / 1000.0;
+    script.config.max_backlog = static_cast<std::uint32_t>(
+        8.0 * std::max(1.0, per_window) * std::max(1.0, spec.spike_mult)) + 16;
+  }
+
+  std::uint32_t next_join_id = 0;
+  const auto push_window = [&](StepKind kind, double rj, double rl) {
+    ChurnStep s;
+    s.kind = kind;
+    s.gap_ms = 0.0;
+    s.id_index = next_join_id;
+    s.pick = rng();
+    s.duration_ms = spec.window_ms;
+    s.rate_join = rj;
+    s.rate_leave = rl;
+    next_join_id += window_join_count(s);
+    script.steps.push_back(s);
+  };
+  // Linear ramp: window w of R runs at (w+1)/R of the steady rates, ending
+  // exactly at them so the steady phase starts from a warmed-up backlog.
+  for (std::uint32_t w = 0; w < spec.ramp_windows; ++w) {
+    const double f = static_cast<double>(w + 1) /
+                     static_cast<double>(spec.ramp_windows + 1);
+    push_window(StepKind::kRateWindow, spec.rate_join * f,
+                spec.rate_leave * f);
+  }
+  for (std::uint32_t w = 0; w < spec.steady_windows; ++w)
+    push_window(StepKind::kRateWindow, spec.rate_join, spec.rate_leave);
+  if (spec.spike_mult > 1.0) {
+    push_window(StepKind::kSpike, spec.rate_join * spec.spike_mult,
+                spec.rate_leave * spec.spike_mult);
+    for (std::uint32_t w = 0; w < spec.recovery_windows; ++w)
+      push_window(StepKind::kRateWindow, spec.rate_join, spec.rate_leave);
+  }
+  // The one barrier: final drain, strict oracles, leaked-state audit.
+  script.steps.push_back(ChurnStep{StepKind::kBarrier, 0.0, 0, 0, 0.0});
   return script;
 }
 

@@ -47,8 +47,24 @@ enum class StepKind : std::uint8_t {
                // AdversaryEngine profile mask, duration_ms the slow-peer
                // delay (0 = ChaosConfig::adv_slow_ms)
   kBarrier,    // quiesce, heal, repair, then run the invariant oracles
+
+  // ---- equilibrium-churn tier (open-loop rate windows) ----
+  // Appended after kBarrier so pre-equilibrium artifacts keep their kind
+  // tokens; the parser dispatches on the token, and rate-window step lines
+  // carry two extra trailing fields (rate_join, rate_leave).
+  kRateWindow,  // open-loop window: seeded Poisson join/leave arrivals at
+                // rate_join/rate_leave events per second for duration_ms,
+                // with no quiescence barrier. id_index is the base into the
+                // join-ID pool, pick seeds the window-local arrival stream.
+  kSpike,       // same mechanics as kRateWindow, but flagged as a rate
+                // spike: the engine snapshots the pre-spike backlog and
+                // measures recovery time after the window closes.
 };
-inline constexpr std::size_t kNumStepKinds = 7;
+inline constexpr std::size_t kNumStepKinds = 9;
+
+inline bool is_rate_window(StepKind k) {
+  return k == StepKind::kRateWindow || k == StepKind::kSpike;
+}
 
 const char* to_string(StepKind k);
 std::optional<StepKind> step_kind_from(std::string_view token);
@@ -58,10 +74,37 @@ struct ChurnStep {
   SimTime gap_ms = 0.0;       // delay after the previous step's action time
   std::uint32_t id_index = 0; // kJoin: which pool ID joins
                               // kMisbehave: adversary profile mask
+                              // rate windows: base index into the ID pool
   std::uint64_t pick = 0;     // deterministic victim/gateway/cut selector
-  SimTime duration_ms = 0.0;  // kPartition: window length
+                              // rate windows: arrival-stream seed
+  SimTime duration_ms = 0.0;  // kPartition / rate windows: window length
                               // kMisbehave: slow-peer delay (0 = config)
+  // Rate windows only (serialized as trailing fields on those step lines):
+  // Poisson arrival rates in events per second.
+  double rate_join = 0.0;
+  double rate_leave = 0.0;
 };
+
+// One arrival of a rate window, at an offset from the window's start time.
+// Joins bind the pool ID join_ordinal slots past the window's id_index;
+// pick selects the gateway (joins) or victim (leaves) at execution time,
+// exactly like the point-step rules above.
+struct Arrival {
+  SimTime at_ms = 0.0;
+  bool is_join = false;
+  std::uint32_t join_ordinal = 0;
+  std::uint64_t pick = 0;
+};
+
+// The merged Poisson arrival process of one rate window — a pure function
+// of the step alone (the stream is seeded from step.pick), so dropping or
+// reordering *other* steps during shrinking never perturbs this window's
+// arrivals. Returns an empty vector for non-rate steps or zero rates.
+std::vector<Arrival> window_arrivals(const ChurnStep& step);
+
+// Number of join arrivals window_arrivals(step) yields (0 for non-rate
+// steps): the step consumes pool IDs [id_index, id_index + count).
+std::uint32_t window_join_count(const ChurnStep& step);
 
 // World configuration of a run. Every field is serialized with the script,
 // so a replay rebuilds the identical world.
@@ -101,6 +144,21 @@ struct ChaosConfig {
   // i.i.d., the original), 1 = PlanetLatency (region-clustered
   // measured-RTT-style map, topology/latency.h).
   std::uint32_t latency_model = 0;
+
+  // ---- equilibrium-churn tier (parser-optional keys, same compatibility
+  // ---- contract as the adversary block above) ----
+  // degrade != 0 turns on the graceful-degradation ProtocolOptions for
+  // every node: jittered exponential backoff on watchdog join restarts and
+  // gateway-side admission deferral under backlog (see core/options.h and
+  // the engine's protocol_options mapping).
+  std::uint32_t degrade = 0;
+  // Steady-state backlog oracle: a probe observing more than this many
+  // in-flight joins is an equilibrium failure. 0 = unchecked.
+  std::uint32_t max_backlog = 0;
+  // Period of the steady-state health probes scheduled across every rate
+  // window (backlog sample + bound check + relaxed consistency audit over
+  // the settled snapshot). 0 disables probing.
+  double probe_every_ms = 0.0;
 };
 
 struct ChurnScript {
@@ -108,8 +166,15 @@ struct ChurnScript {
   std::vector<ChurnStep> steps;
 
   // Size of the join-ID pool the script needs: 1 + the largest id_index
-  // over its join steps (0 when it has none).
+  // over its join steps, and past the end of every rate window's join
+  // allotment (0 when it has neither).
   std::uint32_t num_join_ids() const;
+
+  // True when any step is a rate window (the script runs the open-loop
+  // equilibrium regime somewhere). The engine folds the equilibrium
+  // counters into the digest only for such scripts, so fail-stop digests
+  // stay pinned.
+  bool has_rate_steps() const;
 
   std::string serialize() const;
   // Parses serialize() output. On failure returns nullopt and, when `error`
@@ -147,5 +212,33 @@ const ChurnProfile* find_profile(std::string_view name);
 // from (seed, profile). Identical inputs yield the identical script.
 ChurnScript sample_script(std::uint64_t seed, const ChurnProfile& profile,
                           std::uint32_t num_steps);
+
+// Shape of an open-loop equilibrium run: a linear rate ramp, a steady
+// phase, an optional rate spike, and (after a spike) steady recovery
+// windows, all back to back with no interior barriers. One final kBarrier
+// closes the script — that is the drain where the strict oracles and the
+// zero-leaked-state audit run; in between, only the periodic probes watch.
+struct EquilibriumSpec {
+  double rate_join = 10.0;           // steady-state joins per second
+  double rate_leave = 5.0;           // steady-state leaves per second
+  SimTime window_ms = 1000.0;        // length of each rate window
+  std::uint32_t ramp_windows = 2;    // linear ramp up to the steady rates
+  std::uint32_t steady_windows = 4;
+  double spike_mult = 0.0;           // > 1: one kSpike window at this
+                                     // multiple of the steady rates
+  std::uint32_t recovery_windows = 2;  // steady windows after the spike
+  ChaosConfig config;                // world; degrade / max_backlog /
+                                     // probe_every_ms ride here
+};
+
+// Samples an equilibrium script from (seed, spec): world seeds derive from
+// the run seed exactly like sample_script, every window gets its own
+// arrival-stream seed, and join-ID bases are assigned cumulatively so each
+// window owns a disjoint slice of the pool. When spec.config.probe_every_ms
+// is 0 a default of window_ms / 4 is used, and when spec.config.max_backlog
+// is 0 a generous runaway bound (8x the expected arrivals per window + 16)
+// is installed — the steady-state oracles are the point of the regime.
+ChurnScript sample_equilibrium_script(std::uint64_t seed,
+                                      const EquilibriumSpec& spec);
 
 }  // namespace hcube::chaos

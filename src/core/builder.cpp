@@ -96,4 +96,9 @@ void initialize_network(Overlay& overlay, const std::vector<NodeId>& ids,
   }
 }
 
+void leave_and_drain(Overlay& overlay, const NodeId& id) {
+  overlay.at(id).start_leave();
+  overlay.run_to_quiescence();
+}
+
 }  // namespace hcube

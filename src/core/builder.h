@@ -45,4 +45,10 @@ void join_concurrently(Overlay& overlay, const std::vector<NodeId>& new_ids,
 void initialize_network(Overlay& overlay, const std::vector<NodeId>& ids,
                         Rng& rng, bool concurrent = false);
 
+// Closed-loop departure: starts the leave protocol for `id` and drains the
+// event queue, so the caller observes the post-departure fixpoint. This is
+// the quiescence-barrier regime (one membership change at a time) — the
+// open-loop equilibrium engine in chaos/ deliberately never calls it.
+void leave_and_drain(Overlay& overlay, const NodeId& id);
+
 }  // namespace hcube

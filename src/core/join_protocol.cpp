@@ -113,6 +113,36 @@ void JoinProtocol::on_watchdog(std::uint32_t gen) {
   q_notified_.clear();
   q_spe_replies_.clear();
   q_spe_notified_.clear();
+  // Graceful degradation (ProtocolOptions::join_backoff_base_ms): wait out
+  // a jittered exponential backoff before the next attempt, so a restart
+  // herd under sustained overload de-synchronizes instead of re-hammering
+  // the gateways in lockstep. The wait belongs to the generation bumped
+  // above: a crash, restart, or stale-watchdog race during the wait bumps
+  // attempt_gen again and the delayed closure becomes a no-op. No watchdog
+  // runs during the wait — backoff time is not attempt time.
+  if (core_.options.join_backoff_base_ms > 0.0) {
+    const std::uint32_t k =
+        std::min(core_.stats.watchdog_restarts > 0
+                     ? core_.stats.watchdog_restarts - 1
+                     : 0u,
+                 6u);
+    const double delay_ms = core_.options.join_backoff_base_ms *
+                            static_cast<double>(std::uint32_t{1} << k) *
+                            core_.env.backoff_jitter();
+    ++core_.stats.backoff_waits;
+    const std::uint32_t wait_gen = core_.attempt_gen;
+    core_.env.schedule(delay_ms, [this, wait_gen] {
+      if (wait_gen != core_.attempt_gen) return;
+      if (core_.status != NodeStatus::kCopying &&
+          core_.status != NodeStatus::kWaiting &&
+          core_.status != NodeStatus::kNotifying) {
+        return;
+      }
+      begin_attempt();
+      arm_watchdog();
+    });
+    return;
+  }
   begin_attempt();
   arm_watchdog();
 }

@@ -130,6 +130,32 @@ void Node::handle(HostId from_host, const Message& msg) {
       Overloaded{
           [&](const CpRstMsg&) {
             // Only S-nodes are ever asked (copy targets carry state S).
+            // Overload-aware admission (equilibrium-churn tier): when the
+            // environment-wide join backlog is over the configured
+            // threshold, defer the snapshot reply instead of answering
+            // immediately — copy walks are the fan-out amplifier, so
+            // delaying them sheds load while the backlog drains. The
+            // deferred reply echoes the request's generation (captured
+            // here; handling_gen will have moved on) and is skipped if we
+            // stopped being an S-node meanwhile — the joiner's watchdog
+            // then rotates away, exactly as for a crashed gateway.
+            const std::uint32_t threshold =
+                core_.options.overload_defer_threshold;
+            if (threshold > 0 && core_.env.join_backlog() > threshold) {
+              ++core_.stats.admission_deferrals;
+              const std::uint32_t gen = core_.handling_gen;
+              const NodeId requester = from;
+              core_.env.schedule(core_.options.overload_defer_ms,
+                                 [this, requester, from_host, gen] {
+                                   if (core_.status != NodeStatus::kInSystem)
+                                     return;
+                                   core_.send_with_gen(
+                                       requester, from_host,
+                                       CpRlyMsg{core_.table.snapshot_full()},
+                                       gen);
+                                 });
+              return;
+            }
             core_.send(from, from_host, CpRlyMsg{core_.table.snapshot_full()});
           },
           [&](const CpRlyMsg& m) { join_.on_cp_rly(from, m); },

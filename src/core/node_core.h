@@ -35,6 +35,8 @@ HCUBE_METRIC(kMetricJoinStaleRejected, "join.stale_rejected");
 HCUBE_METRIC(kMetricJoinForcedDepartures, "join.forced_departures");
 HCUBE_METRIC(kMetricJoinBytesSent, "join.bytes_sent");
 HCUBE_METRIC(kMetricJoinSuspectedPeers, "join.suspected_peers");
+HCUBE_METRIC(kMetricJoinBackoffWaits, "join.backoff_waits");
+HCUBE_METRIC(kMetricJoinAdmissionDeferrals, "join.admission_deferrals");
 
 // Per-join bookkeeping the benchmarks read out (Section 5.2 quantities),
 // plus the robustness counters of the fault-tolerance extension.
@@ -62,6 +64,12 @@ struct JoinStats {
   // an attempt the watchdog aborted). Counts recordings, not distinct
   // peers; lifetime counter like the other robustness stats.
   std::uint32_t suspected_peers = 0;
+  // Graceful degradation (equilibrium-churn tier): watchdog restarts that
+  // waited out a jittered exponential backoff before re-attempting, and —
+  // on the gateway side — CpRly answers deferred because the in-flight
+  // join backlog was over ProtocolOptions::overload_defer_threshold.
+  std::uint32_t backoff_waits = 0;
+  std::uint32_t admission_deferrals = 0;
 
   std::uint64_t sent_of(MessageType t) const {
     return sent[static_cast<std::size_t>(t)];
@@ -93,6 +101,9 @@ struct JoinStats {
        static_cast<std::uint64_t>(forced_departures));
     fn(kMetricJoinBytesSent, bytes_sent);
     fn(kMetricJoinSuspectedPeers, static_cast<std::uint64_t>(suspected_peers));
+    fn(kMetricJoinBackoffWaits, static_cast<std::uint64_t>(backoff_waits));
+    fn(kMetricJoinAdmissionDeferrals,
+       static_cast<std::uint64_t>(admission_deferrals));
   }
 };
 
@@ -140,6 +151,17 @@ class NodeEnv {
     (void)to;
     (void)attempt_gen;
   }
+  // Environment-wide count of joins currently in flight (nodes in a joining
+  // status). Gateways consult it for overload-aware admission
+  // (ProtocolOptions::overload_defer_threshold); the chaos engine's
+  // equilibrium probes sample it. Default: 0, i.e. never overloaded.
+  virtual std::uint32_t join_backlog() const { return 0; }
+  // One draw from the environment's seeded backoff-jitter stream, uniform
+  // in [0.5, 1.5). Lives in the environment — NOT per node — so the whole
+  // run has exactly one jitter stream, seeded by
+  // ProtocolOptions::backoff_seed, and replays stay bit-identical. Default:
+  // no jitter (deterministic environments that never enable backoff).
+  virtual double backoff_jitter() { return 1.0; }
 };
 
 // Dense insertion-ordered set (ids/node_set.h): deterministic iteration —

@@ -77,6 +77,32 @@ struct ProtocolOptions {
   // before.
   bool suspect_aware_rotation = false;
 
+  // ---- Graceful join degradation (equilibrium-churn tier; see
+  // ---- docs/PROTOCOL.md "churn regimes"). Both knobs default off: under
+  // ---- episodic churn the immediate-restart watchdog is correct, and the
+  // ---- chaos digests of existing schedules must not move.
+
+  // Jittered exponential backoff on watchdog-driven join restarts: after
+  // the k-th abort the next attempt begins base * 2^min(k-1, 6) * j
+  // milliseconds later, with j drawn uniformly from [0.5, 1.5) out of the
+  // environment's seeded jitter stream (NodeEnv::backoff_jitter — never a
+  // private RNG, so runs stay bit-reproducible). Under sustained overload
+  // this de-synchronizes the restart herd instead of hammering gateways in
+  // lockstep. 0 restarts immediately, as before.
+  double join_backoff_base_ms = 0.0;
+
+  // Seed of the per-overlay jitter stream. Only drawn from when
+  // join_backoff_base_ms > 0, so default runs never touch it.
+  std::uint64_t backoff_seed = 0x0b5eedbacc0ffULL;
+
+  // Gateway-side admission control: when the environment-wide in-flight
+  // join backlog (NodeEnv::join_backlog) exceeds this threshold, an S-node
+  // receiving a CpRstMsg defers its CpRlyMsg by overload_defer_ms instead
+  // of answering immediately — shedding copy-walk load until the backlog
+  // drains, at the price of slower admissions. 0 disables the deferral.
+  std::uint32_t overload_defer_threshold = 0;
+  double overload_defer_ms = 50.0;
+
   // Leave-stall watchdog (robustness extension): a leaver still missing
   // LeaveRly acks this many milliseconds after notifying its reverse
   // neighbors re-sends the unanswered LeaveMsgs (idempotent on the

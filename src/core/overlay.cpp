@@ -10,13 +10,17 @@ Overlay::Overlay(const IdParams& params, const ProtocolOptions& options,
     : params_(params),
       options_(options),
       owned_transport_(std::make_unique<SimTransport>(queue, latency)),
-      transport_(*owned_transport_) {
+      transport_(*owned_transport_),
+      backoff_rng_(options.backoff_seed) {
   params_.validate();
 }
 
 Overlay::Overlay(const IdParams& params, const ProtocolOptions& options,
                  Transport& transport)
-    : params_(params), options_(options), transport_(transport) {
+    : params_(params),
+      options_(options),
+      transport_(transport),
+      backoff_rng_(options.backoff_seed) {
   params_.validate();
 }
 
@@ -37,9 +41,25 @@ Node& Overlay::add_node(const NodeId& id) {
                   "overlay must be the transport's only endpoint registrant");
   raw->bind_host(host);
   nodes_.push_back(std::move(node));
+  join_counted_.push_back(false);
   if (id.ref() >= registry_.size()) registry_.resize(id.ref() + 1, kNoHost);
   registry_[id.ref()] = host;
   return *raw;
+}
+
+void Overlay::track_join_backlog(const NodeId& node, NodeStatus to) {
+  const HostId host =
+      node.ref() < registry_.size() ? registry_[node.ref()] : kNoHost;
+  if (host == kNoHost) return;  // transition during registration
+  const bool joining = to == NodeStatus::kCopying ||
+                       to == NodeStatus::kWaiting ||
+                       to == NodeStatus::kNotifying;
+  if (joining == static_cast<bool>(join_counted_[host])) return;
+  join_counted_[host] = joining;
+  if (joining)
+    ++join_backlog_;
+  else
+    --join_backlog_;
 }
 
 HostId Overlay::host_of(const NodeId& id) const {

@@ -27,6 +27,7 @@
 #include "proto/messages.h"
 #include "sim/event_queue.h"
 #include "topology/latency.h"
+#include "util/rng.h"
 
 namespace hcube {
 
@@ -135,8 +136,21 @@ class Overlay : public NodeEnv {
   }
   void note_status_change(const NodeId& node, NodeStatus from, NodeStatus to,
                           std::uint32_t attempt_gen) override {
+    track_join_backlog(node, to);
     if (on_status_change) on_status_change(node, from, to, attempt_gen);
   }
+  // O(1) gauge of joins in flight: maintained by a per-host counted bit on
+  // every status transition, so gateways can consult it on the admission
+  // hot path and the chaos engine's equilibrium probes can sample it
+  // without an O(n) scan. (A node's very first status is a member
+  // initializer, not a set_status call, so entry into the count happens at
+  // the kCopying transition begin_attempt fires.)
+  std::uint32_t join_backlog() const override { return join_backlog_; }
+  // [0.5, 1.5) from the overlay-wide jitter stream (seeded by
+  // ProtocolOptions::backoff_seed). One stream per overlay — draws happen
+  // in event-execution order, which the simulator already pins, so enabling
+  // backoff keeps runs bit-reproducible.
+  double backoff_jitter() override { return 0.5 + backoff_rng_.next_double(); }
 
   // Observation hook for tests (called for every protocol message sent).
   // Chain rather than replace when attaching a second observer
@@ -182,6 +196,10 @@ class Overlay : public NodeEnv {
           filter);
 
  private:
+  // Flips the node's counted bit when it enters/leaves a joining status and
+  // keeps join_backlog_ equal to the number of set bits.
+  void track_join_backlog(const NodeId& node, NodeStatus to);
+
   IdParams params_;
   ProtocolOptions options_;
   std::unique_ptr<Transport> owned_transport_;  // convenience ctor only
@@ -197,6 +215,12 @@ class Overlay : public NodeEnv {
   std::vector<HostId> registry_;
   Totals totals_;
   ConformanceStats conformance_;
+  // Joins in flight (see join_backlog) and the per-host counted bits
+  // backing it; join_counted_ grows with nodes_ in add_node.
+  std::uint32_t join_backlog_ = 0;
+  std::vector<bool> join_counted_;
+  // Overlay-wide backoff-jitter stream (see backoff_jitter).
+  Rng backoff_rng_;
 };
 
 }  // namespace hcube

@@ -1,0 +1,22 @@
+#include "obs/churn_health.h"
+
+namespace hcube::obs {
+
+double ChurnHealth::completion_rate() const {
+  if (join_arrivals == 0) return 1.0;
+  return static_cast<double>(completed) / static_cast<double>(join_arrivals);
+}
+
+void ChurnHealth::export_to(MetricsRegistry& reg) const {
+  reg.add(reg.counter(kMetricChurnProbes), probes);
+  reg.add(reg.counter(kMetricChurnJoinArrivals), join_arrivals);
+  reg.add(reg.counter(kMetricChurnLeaveArrivals), leave_arrivals);
+  reg.add(reg.counter(kMetricChurnCompleted), completed);
+  reg.add(reg.counter(kMetricChurnAbandoned), abandoned);
+  reg.set(reg.gauge(kMetricChurnCompletionRate), completion_rate());
+  reg.set(reg.gauge(kMetricChurnRecoveryMs), recovery_ms);
+  reg.hist_restore(kMetricChurnBacklog, backlog);
+  reg.hist_restore(kMetricChurnJoinLatencyMs, join_latency_ms);
+}
+
+}  // namespace hcube::obs

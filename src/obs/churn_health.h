@@ -1,0 +1,78 @@
+// Steady-state churn health accounting (equilibrium-churn tier).
+//
+// Under the open-loop regime there is no quiescence to audit at: health is
+// a trajectory, not an end state. ChurnHealth is the accumulator for that
+// trajectory — the arrival/completion/abandon ledger of the open-loop
+// joiners, the in-flight backlog sampled at every probe, per-join
+// completion latency, and the post-spike recovery time. The chaos engine
+// fills one per equilibrium run (its scalars and histogram buckets fold
+// into the run digest, so the whole trajectory is replay-pinned), and
+// bench_churn exports it into BENCH_churn.json via export_to.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "util/metric.h"
+
+namespace hcube::obs {
+
+// Canonical registry names (export_to).
+HCUBE_METRIC(kMetricChurnProbes, "churn.probes");
+HCUBE_METRIC(kMetricChurnJoinArrivals, "churn.join_arrivals");
+HCUBE_METRIC(kMetricChurnLeaveArrivals, "churn.leave_arrivals");
+HCUBE_METRIC(kMetricChurnCompleted, "churn.completed");
+HCUBE_METRIC(kMetricChurnAbandoned, "churn.abandoned");
+HCUBE_METRIC(kMetricChurnCompletionRate, "churn.completion_rate");
+HCUBE_METRIC(kMetricChurnBacklog, "churn.backlog");
+HCUBE_METRIC(kMetricChurnJoinLatencyMs, "churn.join_latency_ms");
+HCUBE_METRIC(kMetricChurnRecoveryMs, "churn.recovery_ms");
+
+struct ChurnHealth {
+  std::uint64_t probes = 0;          // steady-state probes that fired
+  std::uint64_t join_arrivals = 0;   // joins started by rate windows
+  std::uint64_t leave_arrivals = 0;  // leaves started by rate windows
+  std::uint64_t completed = 0;       // open-loop joiners settled at the end
+  std::uint64_t abandoned = 0;       // open-loop joiners whose watchdog
+                                     // budget ran out (engine fail-stops
+                                     // them at the drain barrier)
+  LogHistogram backlog;              // in-flight joins, one sample per probe
+  LogHistogram join_latency_ms;      // t_end - t_begin per completed joiner
+                                     // (spans every watchdog attempt)
+  double recovery_ms = -1.0;         // post-spike time for the backlog to
+                                     // return to its pre-spike baseline;
+                                     // -1 = no spike in the run
+
+  // completed / join_arrivals; 1.0 when nothing arrived.
+  double completion_rate() const;
+
+  // Exports under the churn.* names above: the ledger as counters, the
+  // rate/recovery as gauges, the two histograms merged in.
+  void export_to(MetricsRegistry& reg) const;
+
+  // Folds every scalar and histogram bucket through fn(uint64) in a fixed
+  // order — the digest hook. Doubles are quantized to milli-units so the
+  // fold is exact and platform-independent.
+  template <class Fn>
+  void fold(Fn&& fn) const {
+    fn(probes);
+    fn(join_arrivals);
+    fn(leave_arrivals);
+    fn(completed);
+    fn(abandoned);
+    fold_hist(backlog, fn);
+    fold_hist(join_latency_ms, fn);
+    // +2 shifts the -1 sentinel into positive range before quantizing.
+    fn(static_cast<std::uint64_t>((recovery_ms + 2.0) * 1000.0));
+  }
+
+ private:
+  template <class Fn>
+  static void fold_hist(const LogHistogram& h, Fn& fn) {
+    fn(h.count());
+    fn(static_cast<std::uint64_t>(h.sum() * 1000.0));
+    for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) fn(h.bucket(i));
+  }
+};
+
+}  // namespace hcube::obs

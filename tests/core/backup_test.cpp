@@ -143,8 +143,7 @@ TEST(Backups, LeavePurgesLeaverFromBackups) {
   build_consistent_network(world.overlay, ids, /*backups_per_entry=*/2);
 
   const NodeId& leaver = ids[4];
-  world.overlay.at(leaver).start_leave();
-  world.overlay.run_to_quiescence();
+  leave_and_drain(world.overlay, leaver);
   ASSERT_TRUE(world.overlay.at(leaver).has_departed());
   ASSERT_TRUE(audit(world.overlay).consistent());
 

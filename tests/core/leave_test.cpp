@@ -36,8 +36,7 @@ TEST(Leave, SingleLeaveKeepsNetworkConsistent) {
   auto ids = make_ids(params, 50, 3);
   build_consistent_network(world.overlay, ids);
 
-  world.overlay.at(ids[7]).start_leave();
-  world.overlay.run_to_quiescence();
+  leave_and_drain(world.overlay, ids[7]);
 
   EXPECT_TRUE(world.overlay.at(ids[7]).has_departed());
   EXPECT_EQ(world.overlay.live_size(), 49u);
@@ -68,8 +67,7 @@ TEST(Leave, LastOfClassNullsEntries) {
 
   World world(params, 32);
   build_consistent_network(world.overlay, ids);
-  world.overlay.at(loner).start_leave();
-  world.overlay.run_to_quiescence();
+  leave_and_drain(world.overlay, loner);
 
   ASSERT_TRUE(world.overlay.at(loner).has_departed());
   for (const auto& node : world.overlay.nodes()) {
@@ -86,8 +84,7 @@ TEST(Leave, SequentialLeavesDownToOneNode) {
   build_consistent_network(world.overlay, ids);
 
   for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
-    world.overlay.at(ids[i]).start_leave();
-    world.overlay.run_to_quiescence();
+    leave_and_drain(world.overlay, ids[i]);
     ASSERT_TRUE(world.overlay.at(ids[i]).has_departed());
     const auto report = audit(world.overlay);
     ASSERT_TRUE(report.consistent())
@@ -107,8 +104,7 @@ TEST(Leave, LeaveThenJoinReusesTheGap) {
 
   Rng rng(5);
   for (std::size_t i = 0; i < 5; ++i) {
-    world.overlay.at(members[i * 3]).start_leave();
-    world.overlay.run_to_quiescence();
+    leave_and_drain(world.overlay, members[i * 3]);
     ASSERT_TRUE(audit(world.overlay).consistent());
 
     // A fresh node joins via a random live member.
@@ -135,8 +131,7 @@ TEST(Leave, TwoNodeNetworkCollapsesGracefully) {
   auto ids = make_ids(params, 2, 21);
   build_consistent_network(world.overlay, ids);
 
-  world.overlay.at(ids[0]).start_leave();
-  world.overlay.run_to_quiescence();
+  leave_and_drain(world.overlay, ids[0]);
   EXPECT_TRUE(world.overlay.at(ids[0]).has_departed());
   EXPECT_TRUE(audit(world.overlay).consistent());
   // The survivor's table holds only itself.
@@ -183,8 +178,7 @@ TEST(Leave, RoutingWorksAfterLeaves) {
   auto ids = make_ids(params, 60, 41);
   build_consistent_network(world.overlay, ids);
   for (std::size_t i = 0; i < 12; ++i) {
-    world.overlay.at(ids[i * 4]).start_leave();
-    world.overlay.run_to_quiescence();
+    leave_and_drain(world.overlay, ids[i * 4]);
   }
   const NetworkView net = view_of(world.overlay);
   EXPECT_EQ(net.size(), 48u);
@@ -207,8 +201,7 @@ TEST(Leave, LeaveStatsAccounted) {
   World world(params, 24);
   auto ids = make_ids(params, 24, 61);
   build_consistent_network(world.overlay, ids);
-  world.overlay.at(ids[0]).start_leave();
-  world.overlay.run_to_quiescence();
+  leave_and_drain(world.overlay, ids[0]);
   const JoinStats& s = world.overlay.at(ids[0]).join_stats();
   const auto leaves = s.sent_of(MessageType::kLeave);
   EXPECT_GT(leaves, 0u);

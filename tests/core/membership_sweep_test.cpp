@@ -54,8 +54,7 @@ TEST_P(MembershipSweep, RandomLifecycleStaysConsistent) {
             std::min<std::size_t>(3 + rng.next_below(8), live.size() - 5);
         for (std::size_t i = 0; i < departures; ++i) {
           const std::size_t victim = rng.next_below(live.size());
-          world.overlay.at(live[victim]).start_leave();
-          world.overlay.run_to_quiescence();
+          leave_and_drain(world.overlay, live[victim]);
           live.erase(live.begin() + static_cast<long>(victim));
         }
         break;

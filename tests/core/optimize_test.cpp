@@ -115,8 +115,7 @@ TEST(Optimize, LeavesStillWorkAfterOptimization) {
   build_consistent_network(world.overlay, ids);
   optimize_tables(world.overlay, world.latency);
   for (int i = 0; i < 8; ++i) {
-    world.overlay.at(ids[i * 5]).start_leave();
-    world.overlay.run_to_quiescence();
+    leave_and_drain(world.overlay, ids[i * 5]);
     ASSERT_TRUE(audit(world.overlay).consistent());
   }
 }

@@ -102,8 +102,7 @@ TEST(Overlay, LiveSizeTracksMembershipChanges) {
   auto ids = make_ids(params, 20, 9);
   build_consistent_network(world.overlay, ids);
   EXPECT_EQ(world.overlay.live_size(), 20u);
-  world.overlay.at(ids[0]).start_leave();
-  world.overlay.run_to_quiescence();
+  leave_and_drain(world.overlay, ids[0]);
   EXPECT_EQ(world.overlay.live_size(), 19u);
   world.overlay.crash(ids[1]);
   EXPECT_EQ(world.overlay.live_size(), 18u);

@@ -139,8 +139,7 @@ TEST(Recovery, LeaveWorksAfterRecovery) {
   world.overlay.repair_all(kPingTimeout, 2);
   ASSERT_TRUE(check_consistency(view_of(world.overlay)).consistent());
 
-  world.overlay.at(ids[10]).start_leave();
-  world.overlay.run_to_quiescence();
+  leave_and_drain(world.overlay, ids[10]);
   EXPECT_TRUE(world.overlay.at(ids[10]).has_departed());
   EXPECT_TRUE(check_consistency(view_of(world.overlay)).consistent());
 }

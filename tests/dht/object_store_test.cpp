@@ -145,8 +145,7 @@ TEST(ObjectStoreRebalance, SurvivesLeaves) {
   for (const NodeId& id : ids)
     if (store.load_of(id) > store.load_of(heaviest)) heaviest = id;
   ASSERT_GT(store.load_of(heaviest), 0u);
-  world.overlay.at(heaviest).start_leave();
-  world.overlay.run_to_quiescence();
+  leave_and_drain(world.overlay, heaviest);
   ASSERT_TRUE(check_consistency(view_of(world.overlay)).consistent());
 
   const std::size_t moved = store.rebalance(view_of(world.overlay));

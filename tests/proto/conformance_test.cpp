@@ -143,8 +143,7 @@ TEST(ConformanceRuntime, DepartedNodeRejectsJoinTraffic) {
   World world(params, 8);
   auto ids = make_ids(params, 3, 23);
   build_consistent_network(world.overlay, ids);
-  world.overlay.at(ids[0]).start_leave();
-  world.overlay.run_to_quiescence();
+  leave_and_drain(world.overlay, ids[0]);
   Node& gone = world.overlay.at(ids[0]);
   ASSERT_EQ(gone.status(), NodeStatus::kDeparted);
 

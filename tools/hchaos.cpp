@@ -8,6 +8,16 @@
 //                                              sampled script (0 <= F <= 0.5)
 //   ... --adversary-mode M                     their profile: stale |
 //                                              dropper | mixed (2:1 default)
+//   ... --rate-join R --rate-leave L           open-loop equilibrium run:
+//                                              sample rate windows (Poisson
+//                                              R joins + L leaves per
+//                                              second) instead of point
+//                                              churn; --steps is the number
+//                                              of steady windows
+//   ... --window-ms W                          rate-window length (1000)
+//   ... --spike M                              add one spike window at M x
+//                                              the steady rates, plus
+//                                              recovery windows after it
 //   hchaos --replay FILE                       re-execute a serialized
 //                                              schedule (e.g. a CI artifact)
 //   ... --shrink                               on failure, ddmin-minimize
@@ -51,6 +61,8 @@ int usage() {
                "usage: hchaos [--seed <s=1>] [--profile <%s>] [--steps <n=40>]\n"
                "              [--adversary-frac <0..0.5>]\n"
                "              [--adversary-mode stale|dropper|mixed]\n"
+               "              [--rate-join <per-s>] [--rate-leave <per-s>]\n"
+               "              [--window-ms <ms=1000>] [--spike <mult>]\n"
                "              [--replay <file>] [--shrink] [--out <file>]\n",
                names.c_str());
   return 2;
@@ -103,7 +115,8 @@ int main(int argc, char** argv) {
     (void)value;
     if (key != "seed" && key != "profile" && key != "steps" &&
         key != "replay" && key != "out" && key != "adversary-frac" &&
-        key != "adversary-mode")
+        key != "adversary-mode" && key != "rate-join" &&
+        key != "rate-leave" && key != "window-ms" && key != "spike")
       return usage();
   }
   if (kv.contains("replay") &&
@@ -111,6 +124,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "hchaos: --adversary-* shapes sampling only; a replayed "
                  "artifact already carries its misbehave steps\n");
+    return 2;
+  }
+  const bool rate_flags = kv.contains("rate-join") ||
+                          kv.contains("rate-leave") ||
+                          kv.contains("window-ms") || kv.contains("spike");
+  if (kv.contains("replay") && rate_flags) {
+    std::fprintf(stderr,
+                 "hchaos: --rate-*/--window-ms/--spike shape sampling only; "
+                 "a replayed artifact already carries its rate windows\n");
     return 2;
   }
   if (kv.contains("adversary-mode") && !kv.contains("adversary-frac")) {
@@ -161,24 +183,63 @@ int main(int argc, char** argv) {
         kv.contains("seed") ? std::strtoull(kv["seed"].c_str(), nullptr, 10)
                             : 1;
     const std::string profile_name =
-        kv.contains("profile") ? kv["profile"] : "mixed";
+        kv.contains("profile") ? kv["profile"]
+                               : (rate_flags ? "equilibrium" : "mixed");
     const ChurnProfile* profile = find_profile(profile_name);
     if (profile == nullptr) {
       std::fprintf(stderr, "hchaos: unknown profile %s\n",
                    profile_name.c_str());
       return usage();
     }
-    const auto steps =
-        kv.contains("steps")
-            ? static_cast<std::uint32_t>(
-                  std::strtoull(kv["steps"].c_str(), nullptr, 10))
-            : 40u;
-    script = sample_script(seed, *profile, steps);
-    if (adversary_frac > 0.0)
-      inject_adversaries(script, adversary_frac, adversary_mode);
-    std::printf("seed %llu, profile %s, %zu steps (incl. barriers)\n",
-                static_cast<unsigned long long>(seed), profile->name,
-                script.steps.size());
+    const bool equilibrium =
+        rate_flags || std::string(profile->name) == "equilibrium";
+    if (equilibrium) {
+      // Open-loop regime: --steps counts the steady windows, and the rate
+      // flags override the spec defaults. The equilibrium profile carries
+      // the world config (degrade on, probe/backlog defaults derived).
+      EquilibriumSpec spec;
+      spec.config = profile->config;
+      if (kv.contains("rate-join"))
+        spec.rate_join = std::strtod(kv["rate-join"].c_str(), nullptr);
+      if (kv.contains("rate-leave"))
+        spec.rate_leave = std::strtod(kv["rate-leave"].c_str(), nullptr);
+      if (kv.contains("window-ms"))
+        spec.window_ms = std::strtod(kv["window-ms"].c_str(), nullptr);
+      if (kv.contains("spike"))
+        spec.spike_mult = std::strtod(kv["spike"].c_str(), nullptr);
+      if (kv.contains("steps"))
+        spec.steady_windows = static_cast<std::uint32_t>(
+            std::strtoull(kv["steps"].c_str(), nullptr, 10));
+      if (spec.rate_join < 0.0 || spec.rate_leave < 0.0 ||
+          spec.window_ms <= 0.0 || spec.steady_windows == 0 ||
+          (spec.spike_mult != 0.0 && spec.spike_mult < 1.0)) {
+        std::fprintf(stderr,
+                     "hchaos: rates must be >= 0, --window-ms > 0, --steps "
+                     ">= 1, --spike >= 1\n");
+        return 2;
+      }
+      script = sample_equilibrium_script(seed, spec);
+      if (adversary_frac > 0.0)
+        inject_adversaries(script, adversary_frac, adversary_mode);
+      std::printf(
+          "seed %llu, equilibrium %.1f/%.1f per s, %zu steps "
+          "(%u steady windows of %.0fms%s)\n",
+          static_cast<unsigned long long>(seed), spec.rate_join,
+          spec.rate_leave, script.steps.size(), spec.steady_windows,
+          spec.window_ms, spec.spike_mult > 0.0 ? ", spike" : "");
+    } else {
+      const auto steps =
+          kv.contains("steps")
+              ? static_cast<std::uint32_t>(
+                    std::strtoull(kv["steps"].c_str(), nullptr, 10))
+              : 40u;
+      script = sample_script(seed, *profile, steps);
+      if (adversary_frac > 0.0)
+        inject_adversaries(script, adversary_frac, adversary_mode);
+      std::printf("seed %llu, profile %s, %zu steps (incl. barriers)\n",
+                  static_cast<unsigned long long>(seed), profile->name,
+                  script.steps.size());
+    }
   }
 
   ChaosResult result = run_script(script);

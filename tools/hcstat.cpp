@@ -1,13 +1,15 @@
 // hcstat: validate and summarize BENCH_*.json reports (hcube.bench.v1).
 //
-// Usage: hcstat [--json] <BENCH_a.json> [<BENCH_b.json> ...]
+// Usage: hcstat [--json|--summary] <BENCH_a.json> [<BENCH_b.json> ...]
 //
 // For each file: validates the document against the bench schema (including
 // a full parse of the embedded hcube.metrics.v1 registry), then prints the
 // bench name, its parameters, and every metric — counters and gauges as
 // values, histograms as count/mean/p50/p99/max. With --json, re-emits each
 // embedded registry in canonical form instead (schema round-trip mode,
-// usable to diff two runs with plain `diff`).
+// usable to diff two runs with plain `diff`). With --summary, prints one
+// headline row per report (bench-specific key figures; generic reports show
+// their metric count) — the at-a-glance trend line for CI logs.
 //
 // Exit code: 0 if every file validates, 1 otherwise — CI's bench-trend job
 // leans on this to reject malformed reports before archiving them.
@@ -63,7 +65,64 @@ std::string validate_adversary_metrics(const hcube::obs::MetricsRegistry& reg) {
   return "";
 }
 
-int process(const std::string& path, bool as_json) {
+// The "churn" report (bench_churn's open-loop equilibrium sweep) must carry
+// the sweep verdicts CI's bench-trend row reads — the knee, the sustained
+// rate and its degradation-on completion, the sustained backlog p99, the
+// spike recovery — and at least one per-rate eq.r<rate>.* row, each with
+// its full column set.
+std::string validate_churn_metrics(const hcube::obs::MetricsRegistry& reg) {
+  std::set<std::string> names;
+  reg.for_each([&](const std::string& name, hcube::obs::MetricKind,
+                   std::uint64_t, double, const hcube::obs::LogHistogram&) {
+    names.insert(name);
+  });
+  for (const char* required :
+       {"eq.knee_rate", "eq.sustained_rate", "eq.sustained_completion_rate",
+        "eq.backlog_p99", "eq.recovery_ms"}) {
+    if (!names.count(required))
+      return std::string("missing sweep verdict ") + required;
+  }
+  bool any_rate_row = false;
+  for (const std::string& name : names) {
+    const std::string prefix = "eq.r";
+    const std::string suffix = ".completion_rate";
+    if (name.rfind(prefix, 0) != 0 || name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    any_rate_row = true;
+    const std::string row = name.substr(0, name.size() - suffix.size());
+    for (const char* member : {".backlog_p99", ".join_p99_ms", ".abandoned"}) {
+      if (!names.count(row + member))
+        return "rate row " + row + " lacks " + member;
+    }
+  }
+  if (!any_rate_row) return "no eq.r<rate>.completion_rate rows (empty sweep)";
+  return "";
+}
+
+// One headline line per report for --summary mode. Known benches get their
+// key figures; anything else reports its metric count.
+void print_summary(const std::string& path, const std::string& bench,
+                   const hcube::obs::MetricsRegistry& reg) {
+  using hcube::obs::MetricKind;
+  if (bench == "churn") {
+    const auto g = [&](const char* name) { return reg.gauge_value(name); };
+    std::printf(
+        "%s: churn knee=%g/s sustained=%g/s completion=%.4f "
+        "backlog_p99=%g recovery_ms=%g\n",
+        path.c_str(), g("eq.knee_rate"), g("eq.sustained_rate"),
+        g("eq.sustained_completion_rate"), g("eq.backlog_p99"),
+        g("eq.recovery_ms"));
+    return;
+  }
+  std::size_t metric_count = 0;
+  reg.for_each([&](const std::string&, MetricKind, std::uint64_t, double,
+                   const hcube::obs::LogHistogram&) { ++metric_count; });
+  std::printf("%s: %s, %zu metrics\n", path.c_str(), bench.c_str(),
+              metric_count);
+}
+
+int process(const std::string& path, bool as_json, bool as_summary) {
   using namespace hcube::obs;
   std::string text;
   if (!read_file(path, &text)) {
@@ -88,7 +147,8 @@ int process(const std::string& path, bool as_json) {
   const auto reg = MetricsRegistry::from_json(json_render(*metrics));
   if (!reg.has_value()) return 1;  // validate_bench_json already vouched
 
-  if (doc->get("bench")->text == "adversary") {
+  const std::string bench = doc->get("bench")->text;
+  if (bench == "adversary") {
     const std::string missing = validate_adversary_metrics(*reg);
     if (!missing.empty()) {
       std::fprintf(stderr, "hcstat: %s: adversary schema: %s\n", path.c_str(),
@@ -96,9 +156,21 @@ int process(const std::string& path, bool as_json) {
       return 1;
     }
   }
+  if (bench == "churn") {
+    const std::string missing = validate_churn_metrics(*reg);
+    if (!missing.empty()) {
+      std::fprintf(stderr, "hcstat: %s: churn schema: %s\n", path.c_str(),
+                   missing.c_str());
+      return 1;
+    }
+  }
 
   if (as_json) {
     std::printf("%s\n", reg->to_json().c_str());
+    return 0;
+  }
+  if (as_summary) {
+    print_summary(path, bench, *reg);
     return 0;
   }
 
@@ -137,19 +209,23 @@ int process(const std::string& path, bool as_json) {
 
 int main(int argc, char** argv) {
   bool as_json = false;
+  bool as_summary = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0)
       as_json = true;
+    else if (std::strcmp(argv[i], "--summary") == 0)
+      as_summary = true;
     else
       paths.emplace_back(argv[i]);
   }
-  if (paths.empty()) {
-    std::fprintf(stderr, "usage: hcstat [--json] <BENCH_*.json> ...\n");
+  if (paths.empty() || (as_json && as_summary)) {
+    std::fprintf(stderr,
+                 "usage: hcstat [--json|--summary] <BENCH_*.json> ...\n");
     return 1;
   }
   int rc = 0;
   for (const std::string& path : paths)
-    if (process(path, as_json) != 0) rc = 1;
+    if (process(path, as_json, as_summary) != 0) rc = 1;
   return rc;
 }
