@@ -1,5 +1,7 @@
 #include "chaos/adversary.h"
 
+#include <atomic>
+
 #include <utility>
 
 namespace hcube {
@@ -53,8 +55,8 @@ bool AdversaryEngine::intercept(Node& node, HostId from, const Message& msg) {
   if (node.status() != NodeStatus::kInSystem) return false;
   const Spec& spec = specs_[self];
   if ((spec.flags & kSlowPeer) && spec.slow_ms > 0.0) {
-    ++counters_.intercepted;
-    ++counters_.delayed;
+    counters_.intercepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.delayed.fetch_add(1, std::memory_order_relaxed);
     Node* raw = &node;
     overlay_.queue().schedule_after(spec.slow_ms, [this, raw, from, msg] {
       if (!process(*raw, from, msg)) raw->handle(from, msg);
@@ -74,13 +76,13 @@ bool AdversaryEngine::process(Node& node, HostId from, const Message& msg) {
   const std::uint32_t bit = 1u << static_cast<std::uint32_t>(type);
 
   if ((spec.flags & kReplyDropper) && (drop_mask_ & bit)) {
-    ++counters_.intercepted;
-    ++counters_.swallowed;
+    counters_.intercepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.swallowed.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   if ((spec.flags & kSelectiveMute) && type == MessageType::kRvNghNoti) {
-    ++counters_.intercepted;
-    ++counters_.swallowed;
+    counters_.intercepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.swallowed.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   if (spec.flags & kStaleTable) {
@@ -140,8 +142,8 @@ bool AdversaryEngine::process(Node& node, HostId from, const Message& msg) {
 
 void AdversaryEngine::reply_stale(Node& node, HostId to_host,
                                   const Message& request, MessageBody body) {
-  ++counters_.intercepted;
-  ++counters_.stale_replies;
+  counters_.intercepted.fetch_add(1, std::memory_order_relaxed);
+  counters_.stale_replies.fetch_add(1, std::memory_order_relaxed);
   // Sent as the node's own identity, echoing the request generation — a
   // stale reply must be indistinguishable from an honest one on the wire.
   overlay_.send_message(node.id(), request.sender, std::move(body),

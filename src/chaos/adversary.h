@@ -37,6 +37,7 @@
 // request, and the engine folds the counters into the run digest.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -96,7 +97,18 @@ class AdversaryEngine {
     std::uint64_t swallowed = 0;      // dropped without reply
     std::uint64_t delayed = 0;        // deferred by a slow peer
   };
-  const Counters& counters() const { return counters_; }
+  // Snapshot by value: interception runs on lane threads under sharded
+  // execution, so the live counters are relaxed atomics (each lane's
+  // increment sequence is deterministic, hence so is the sum; read only at
+  // barriers or after a drain).
+  Counters counters() const {
+    Counters c;
+    c.intercepted = counters_.intercepted.load(std::memory_order_relaxed);
+    c.stale_replies = counters_.stale_replies.load(std::memory_order_relaxed);
+    c.swallowed = counters_.swallowed.load(std::memory_order_relaxed);
+    c.delayed = counters_.delayed.load(std::memory_order_relaxed);
+    return c;
+  }
 
  private:
   bool intercept(Node& node, HostId from, const Message& msg);
@@ -111,11 +123,20 @@ class AdversaryEngine {
     TableSnapshot frozen;  // kStaleTable only
   };
 
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> intercepted{0};
+    std::atomic<std::uint64_t> stale_replies{0};
+    std::atomic<std::uint64_t> swallowed{0};
+    std::atomic<std::uint64_t> delayed{0};
+  };
+
   Overlay& overlay_;
   std::uint32_t drop_mask_ = kDefaultDropMask;
+  // Written only at barriers (kMisbehave steps run as driver actions);
+  // read by lane threads during epochs — the barrier orders the two.
   std::vector<Spec> specs_;  // dense, indexed by HostId
   FlatNodeSet marked_;
-  Counters counters_;
+  AtomicCounters counters_;
 };
 
 }  // namespace hcube

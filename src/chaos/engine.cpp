@@ -10,7 +10,9 @@
 #include "core/builder.h"
 #include "net/fault_plan.h"
 #include "net/reliable_transport.h"
+#include "net/sharded_net.h"
 #include "net/sim_transport.h"
+#include "sim/shard_context.h"
 #include "topology/latency.h"
 #include "util/check.h"
 
@@ -90,24 +92,39 @@ struct Digest {
   }
 };
 
+// The engine's execution seam: with config.shards <= 1 the original
+// sequential stack runs — one EventQueue, SimTransport + FaultPlan,
+// ReliableTransport — byte-identical to before sharding existed (every
+// pinned digest is such a run). With shards > 1 the same step walk drives a
+// ShardedNet: per-lane queues/transports/ARQ decorators under the
+// epoch-barrier driver (sim/shard_driver.h), with the *same* step, arrival,
+// probe and barrier logic expressed as driver actions. Determinism across
+// shard counts rests on three rules enforced here:
+//   * every top-level closure the sequential walk would schedule becomes
+//     exactly one driver action (so event counts and action times match),
+//   * barrier-phase protocol calls run with every lane clock synchronized
+//     to the global last-event time (sync_lane_clocks), as the sequential
+//     queue's now() would read,
+//   * configs whose faults or options read cross-lane state mid-epoch
+//     (probabilistic drop/duplicate streams, the degrade tier's backlog
+//     reads) are rejected up front.
 class Runner {
  public:
   explicit Runner(const ChurnScript& script)
       : script_(script),
         cfg_(script.config),
         num_hosts_(cfg_.n_seed + script.num_join_ids()),
+        sharded_(cfg_.shards > 1),
         latency_(make_latency(cfg_, num_hosts_)),
-        inner_(queue_, *latency_),
-        plan_(cfg_.fault_seed),
-        rel_(inner_, ReliabilityConfig{cfg_.rto_ms, cfg_.backoff,
-                                       cfg_.max_retries}),
-        overlay_(cfg_.params, protocol_options(cfg_), rel_),
+        overlay_(cfg_.params, protocol_options(cfg_), build_stack()),
         adversary_(overlay_) {
-    FaultPlan::Spec base;
-    base.drop = cfg_.drop;
-    base.duplicate = cfg_.duplicate;
-    plan_.set_default(base);
-    plan_.attach(inner_);
+    if (!sharded_) {
+      FaultPlan::Spec base;
+      base.drop = cfg_.drop;
+      base.duplicate = cfg_.duplicate;
+      plan_->set_default(base);
+      plan_->attach(*inner_);
+    }
     if (cfg_.adv_drop_mask != 0) adversary_.set_drop_mask(cfg_.adv_drop_mask);
   }
 
@@ -117,7 +134,7 @@ class Runner {
     SimTime cursor = 0.0;
     for (std::uint32_t i = 0; i < script_.steps.size(); ++i) {
       const ChurnStep& step = script_.steps[i];
-      cursor = std::max(cursor, queue_.now()) + std::max(0.0, step.gap_ms);
+      cursor = std::max(cursor, sim_now()) + std::max(0.0, step.gap_ms);
       if (step.kind == StepKind::kBarrier) {
         barrier(i);
         continue;
@@ -129,7 +146,7 @@ class Runner {
         cursor += std::max(0.0, step.duration_ms);
         continue;
       }
-      queue_.schedule_at(cursor, [this, &step] { execute(step); });
+      at_time(cursor, [this, &step] { execute(step); });
     }
     if (script_.steps.empty() ||
         script_.steps.back().kind != StepKind::kBarrier) {
@@ -181,6 +198,110 @@ class Runner {
                                               cfg.latency_seed);
   }
 
+  // Builds the simulation stack for the configured mode and returns the
+  // Transport the Overlay runs over. Runs in the overlay_ member
+  // initializer; everything it assigns is declared before overlay_.
+  Transport& build_stack() {
+    const ReliabilityConfig rel_cfg{cfg_.rto_ms, cfg_.backoff,
+                                    cfg_.max_retries};
+    if (!sharded_) {
+      queue_ = std::make_unique<EventQueue>();
+      inner_ = std::make_unique<SimTransport>(*queue_, *latency_);
+      plan_ = std::make_unique<FaultPlan>(cfg_.fault_seed);
+      rel_ = std::make_unique<ReliableTransport>(*inner_, rel_cfg);
+      return *rel_;
+    }
+    // Probabilistic fault streams draw one global RNG in event-execution
+    // order — an order sharded lanes deliberately do not share. Partition
+    // windows are fine (a pure predicate of (hosts, time), replicated onto
+    // every lane plan below); drop/duplicate probabilities are not.
+    HCUBE_CHECK_MSG(cfg_.drop == 0.0 && cfg_.duplicate == 0.0,
+                    "sharded runs require drop = dup = 0 (probabilistic "
+                    "fault streams are single-queue)");
+    // The degrade tier's gateways read the overlay-wide join backlog on the
+    // admission hot path — a cross-lane read mid-epoch, racy and
+    // order-dependent. Backlog reads are barrier-only under sharding.
+    HCUBE_CHECK_MSG(cfg_.degrade == 0,
+                    "sharded runs forbid the degrade tier (mid-epoch "
+                    "backlog reads are single-queue)");
+    ShardedNet::Params p;
+    p.lanes = cfg_.shards;
+    p.rel = rel_cfg;
+    net_ = std::make_unique<ShardedNet>(p, *latency_);
+    lane_plans_.reserve(cfg_.shards);
+    for (std::uint32_t i = 0; i < cfg_.shards; ++i) {
+      // One plan clone per lane, all from the same seed: with zero
+      // probabilities the RNG is never drawn, so the clones stay in
+      // lockstep and each lane's partition predicate (evaluated against
+      // its own clock, which at any send instant reads the same time a
+      // sequential run would) makes the identical decision.
+      lane_plans_.push_back(std::make_unique<FaultPlan>(cfg_.fault_seed));
+      lane_plans_.back()->attach(net_->lane_transport(i));
+    }
+    return net_->transport();
+  }
+
+  // ---- mode seam: the sequential queue vs the sharded driver ----
+
+  // Time of the last thing that actually happened (== the sequential
+  // queue's now() after a drain / between walk steps).
+  SimTime sim_now() const {
+    return sharded_ ? net_->driver().last_event_time() : queue_->now();
+  }
+
+  // Current time *inside* a scheduled action: the sequential queue's clock
+  // reads the executing event's time; sharded lanes were advanced to the
+  // action instant by the driver before it ran.
+  SimTime action_now() const {
+    return sharded_ ? net_->lane_queue(0).now() : queue_->now();
+  }
+
+  // One top-level closure of the walk: a queue event sequentially, a driver
+  // action (mini-barrier at t: every lane has processed exactly the events
+  // before t) sharded. 1:1, so event counts match across modes.
+  void at_time(SimTime t, std::function<void()> fn) {
+    if (sharded_)
+      net_->driver().schedule_action(t, std::move(fn));
+    else
+      queue_->schedule_at(t, std::move(fn));
+  }
+
+  void drain_queue() {
+    if (sharded_)
+      net_->driver().drain();
+    else
+      queue_->run();
+  }
+
+  // Barrier-phase protocol calls (abandon crashes, repair rounds) run
+  // outside any event; their sends must be stamped with the global
+  // last-event time, exactly where the sequential clock sits after run().
+  void sync_lane_clocks() {
+    if (!sharded_) return;
+    const SimTime t = sim_now();
+    for (std::uint32_t i = 0; i < net_->num_lanes(); ++i)
+      net_->lane_queue(i).advance_to(t);
+  }
+
+  // Runs fn as lane-side protocol code for the node living on `host`: its
+  // env calls (schedule, queue().now(), lane-striped counters) resolve to
+  // the owning lane. Sequentially the scope is a no-op indirection.
+  template <typename Fn>
+  void on_lane_of(HostId host, Fn&& fn) {
+    if (!sharded_) {
+      fn();
+      return;
+    }
+    const std::uint32_t lane = net_->lane_of_host(host);
+    LaneScope scope(&net_->lane_queue(lane), lane);
+    fn();
+  }
+
+  template <typename Fn>
+  void on_lane_of_node(const Node& node, Fn&& fn) {
+    on_lane_of(overlay_.host_of(node.id()), std::forward<Fn>(fn));
+  }
+
   void seed_world() {
     UniqueIdGenerator gen(cfg_.params, cfg_.id_seed);
     std::vector<NodeId> seed_ids;
@@ -190,7 +311,14 @@ class Runner {
     const std::uint32_t joiners = script_.num_join_ids();
     join_ids_.reserve(joiners);
     for (std::uint32_t i = 0; i < joiners; ++i) join_ids_.push_back(gen.next());
-    build_consistent_network(overlay_, seed_ids);
+    if (sharded_) {
+      // finish_install stamps t_begin via env.now(); every lane sits at
+      // t = 0 here, so any lane's clock reads what the sequential one would.
+      LaneScope scope(&net_->lane_queue(0), 0);
+      build_consistent_network(overlay_, seed_ids);
+    } else {
+      build_consistent_network(overlay_, seed_ids);
+    }
   }
 
   // Deterministic victim selection: the step's pick indexes the current
@@ -214,21 +342,22 @@ class Runner {
           ++result_.counts.noops;
           return;
         }
-        overlay_.add_node(id).start_join(gateway->id());
+        Node& joiner = overlay_.add_node(id);
+        on_lane_of_node(joiner, [&] { joiner.start_join(gateway->id()); });
         ++result_.counts.joins;
         return;
       }
       case StepKind::kLeave: {
         Node* victim = churn_victim(step.pick);
         if (victim == nullptr) return;
-        victim->start_leave();
+        on_lane_of_node(*victim, [&] { victim->start_leave(); });
         ++result_.counts.leaves;
         return;
       }
       case StepKind::kCrash: {
         Node* victim = churn_victim(step.pick);
         if (victim == nullptr) return;
-        victim->mark_crashed();
+        on_lane_of_node(*victim, [&] { victim->mark_crashed(); });
         ++result_.counts.crashes;
         return;
       }
@@ -241,7 +370,7 @@ class Runner {
           ++result_.counts.noops;
           return;
         }
-        victim->restart(gateway->id());
+        on_lane_of_node(*victim, [&] { victim->restart(gateway->id()); });
         ++result_.counts.restarts;
         return;
       }
@@ -255,9 +384,16 @@ class Runner {
           ++result_.counts.noops;
           return;
         }
-        const SimTime t0 = queue_.now();
+        const SimTime t0 = action_now();
         const SimTime t1 = t0 + step.duration_ms;
-        plan_.partition(groups, t0, t1);
+        if (sharded_) {
+          // Every lane evaluates the identical pure predicate against its
+          // own clock; senders of either side see the cut exactly as one
+          // global plan would.
+          for (auto& plan : lane_plans_) plan->partition(groups, t0, t1);
+        } else {
+          plan_->partition(groups, t0, t1);
+        }
         partition_end_ = std::max(partition_end_, t1);
         ++result_.counts.partitions;
         return;
@@ -273,7 +409,13 @@ class Runner {
         });
         const double slow =
             step.duration_ms > 0.0 ? step.duration_ms : cfg_.adv_slow_ms;
-        if (victim == nullptr || !adversary_.mark(*victim, step.id_index, slow)) {
+        bool marked = false;
+        if (victim != nullptr) {
+          on_lane_of_node(*victim, [&] {
+            marked = adversary_.mark(*victim, step.id_index, slow);
+          });
+        }
+        if (!marked) {
           ++result_.counts.noops;
           return;
         }
@@ -315,19 +457,18 @@ class Runner {
     else
       ++result_.counts.rate_windows;
     for (const Arrival& a : window_arrivals(step)) {
-      queue_.schedule_at(start + a.at_ms,
-                         [this, &step, a] { execute_arrival(step, a); });
+      at_time(start + a.at_ms, [this, &step, a] { execute_arrival(step, a); });
     }
     const double period =
         cfg_.probe_every_ms > 0.0 ? cfg_.probe_every_ms : step.duration_ms;
     if (period <= 0.0) return;  // degenerate (shrunk) window: nothing to do
     for (double t = period; t <= step.duration_ms; t += period)
-      queue_.schedule_at(start + t, [this, step_index] { probe(step_index); });
+      at_time(start + t, [this, step_index] { probe(step_index); });
     if (step.kind == StepKind::kSpike && !spike_seen_) {
       spike_seen_ = true;
       spike_end_ = start + step.duration_ms;
-      queue_.schedule_at(
-          start, [this] { spike_baseline_backlog_ = overlay_.join_backlog(); });
+      at_time(start,
+              [this] { spike_baseline_backlog_ = overlay_.join_backlog(); });
       double tail = 4.0 * std::max(cfg_.join_watchdog_ms, 1000.0);
       for (std::uint32_t j = step_index + 1;
            j < static_cast<std::uint32_t>(script_.steps.size()); ++j) {
@@ -336,8 +477,7 @@ class Runner {
       }
       const auto n_probes = static_cast<std::uint32_t>(tail / period) + 1;
       for (std::uint32_t k = 1; k <= n_probes; ++k)
-        queue_.schedule_at(spike_end_ + k * period,
-                           [this] { recovery_probe(); });
+        at_time(spike_end_ + k * period, [this] { recovery_probe(); });
     }
   }
 
@@ -350,7 +490,8 @@ class Runner {
         ++result_.counts.noops;
         return;
       }
-      overlay_.add_node(id).start_join(gateway->id());
+      Node& joiner = overlay_.add_node(id);
+      on_lane_of_node(joiner, [&] { joiner.start_join(gateway->id()); });
       eq_joiners_.insert(id);
       ++result_.counts.joins;
       ++result_.eq.join_arrivals;
@@ -358,14 +499,16 @@ class Runner {
     }
     Node* victim = churn_victim(a.pick);
     if (victim == nullptr) return;
-    victim->start_leave();
+    on_lane_of_node(*victim, [&] { victim->start_leave(); });
     ++result_.counts.leaves;
     ++result_.eq.leave_arrivals;
   }
 
   // One steady-state health probe: sample the in-flight join backlog, bound
   // it against the configured ceiling, and run the relaxed mid-churn
-  // consistency audit. Only failing probes produce verdicts.
+  // consistency audit. Only failing probes produce verdicts. As a driver
+  // action this is a mini-barrier: every lane has quiesced up to the probe
+  // instant, so the backlog gauge and the audited snapshot are exact.
   void probe(std::uint32_t step_index) {
     ++result_.eq.probes;
     const std::uint32_t backlog = overlay_.join_backlog();
@@ -382,7 +525,7 @@ class Runner {
     if (failures.empty()) return;
     BarrierVerdict v;
     v.step_index = step_index;
-    v.at_ms = queue_.now();
+    v.at_ms = action_now();
     v.failures = std::move(failures);
     result_.ok = false;
     result_.barriers.push_back(std::move(v));
@@ -392,17 +535,48 @@ class Runner {
     if (recovered_ || overlay_.join_backlog() > spike_baseline_backlog_)
       return;
     recovered_ = true;
-    result_.eq.recovery_ms = queue_.now() - spike_end_;
+    result_.eq.recovery_ms = action_now() - spike_end_;
+  }
+
+  // Barrier-phase repair: Overlay::repair_all sequentially; the identical
+  // pull/announce/quiesce cadence under lane scopes sharded (the overlay's
+  // own helper would drain via the facade queue, which has no meaning on
+  // the driver thread).
+  void repair_world(std::uint32_t rounds) {
+    if (!sharded_) {
+      overlay_.repair_all(0.0, rounds);
+      return;
+    }
+    for (std::uint32_t round = 0; round < rounds; ++round) {
+      // Pull phase: detect dead neighbors, vacate their entries, query
+      // peers.
+      for (const auto& node : overlay_.nodes()) {
+        if (node->is_s_node())
+          on_lane_of_node(*node, [&] { node->start_repair(0.0); });
+      }
+      drain_queue();
+      sync_lane_clocks();
+      // Push phase: survivors re-announce themselves, only after the pull
+      // phase quiesced (same no-resurrection argument as Overlay::
+      // repair_all).
+      for (const auto& node : overlay_.nodes()) {
+        if (node->is_s_node())
+          on_lane_of_node(*node, [&] { node->announce_table(); });
+      }
+      drain_queue();
+      sync_lane_clocks();
+    }
   }
 
   void barrier(std::uint32_t step_index) {
-    queue_.run();
+    drain_queue();
     // Heal: advance simulated time past any open partition window, so the
     // ARQ layer's buffered retransmissions flow across the former cut.
-    if (queue_.now() < partition_end_) {
-      queue_.schedule_at(partition_end_, [] {});
-      queue_.run();
+    if (sim_now() < partition_end_) {
+      at_time(partition_end_, [] {});
+      drain_queue();
     }
+    sync_lane_clocks();
     // Abandon joins whose watchdog budget ran out: the process gives up
     // and exits, i.e. fail-stops. Repair then reclaims any pointer other
     // nodes still hold to it (it would keep answering pings otherwise).
@@ -438,23 +612,25 @@ class Runner {
                 " exhausted its watchdog restart budget");
           }
         }
-        node->mark_crashed();
+        on_lane_of_node(*node, [&] { node->mark_crashed(); });
         ++result_.abandoned_joins;
         if (eq_joiners_.contains(node->id())) ++result_.eq.abandoned;
       }
     }
-    if (cfg_.heal_rounds > 0) overlay_.repair_all(0.0, cfg_.heal_rounds);
-    queue_.run();
+    if (cfg_.heal_rounds > 0) repair_world(cfg_.heal_rounds);
+    drain_queue();
 
     BarrierVerdict verdict;
     verdict.step_index = step_index;
-    verdict.at_ms = queue_.now();
+    verdict.at_ms = sim_now();
     verdict.failures = run_oracles(overlay_, adversary_.marked()).failures;
     for (std::string& f : quarantine_failures)
       verdict.failures.push_back(std::move(f));
-    if (rel_.in_flight() != 0) {
+    const std::uint64_t in_flight =
+        sharded_ ? net_->rel_in_flight() : rel_->in_flight();
+    if (in_flight != 0) {
       verdict.failures.push_back(
-          "transport: " + std::to_string(rel_.in_flight()) +
+          "transport: " + std::to_string(in_flight) +
           " message(s) still in flight at quiescence");
     }
     if (!verdict.failures.empty()) result_.ok = false;
@@ -462,15 +638,27 @@ class Runner {
   }
 
   void finish() {
-    result_.events = queue_.events_processed();
+    result_.events = sharded_ ? net_->driver().events_processed()
+                              : queue_->events_processed();
     result_.messages = overlay_.totals().messages;
     result_.bytes = overlay_.totals().bytes;
-    result_.faults_injected = plan_.drops_injected() +
-                              plan_.duplicates_injected() +
-                              plan_.delays_injected();
-    result_.partition_drops = plan_.partition_drops();
-    result_.retransmits = rel_.rstats().retransmits;
-    result_.give_ups = rel_.rstats().give_ups;
+    if (sharded_) {
+      for (const auto& plan : lane_plans_) {
+        result_.faults_injected += plan->drops_injected() +
+                                   plan->duplicates_injected() +
+                                   plan->delays_injected();
+        result_.partition_drops += plan->partition_drops();
+      }
+      result_.retransmits = net_->rel_stats().retransmits;
+      result_.give_ups = net_->rel_stats().give_ups;
+    } else {
+      result_.faults_injected = plan_->drops_injected() +
+                                plan_->duplicates_injected() +
+                                plan_->delays_injected();
+      result_.partition_drops = plan_->partition_drops();
+      result_.retransmits = rel_->rstats().retransmits;
+      result_.give_ups = rel_->rstats().give_ups;
+    }
     for (const auto& node : overlay_.nodes()) {
       if (node->is_s_node()) ++result_.settled;
       if (node->has_departed()) ++result_.departed;
@@ -495,6 +683,9 @@ class Runner {
     result_.adv_stale_replies = ac.stale_replies;
     result_.adv_swallowed = ac.swallowed;
     result_.adv_delayed = ac.delayed;
+    result_.shards = sharded_ ? cfg_.shards : 1;
+    result_.cross_shard_messages =
+        sharded_ ? net_->cross_shard_messages() : 0;
     Digest d;
     d.add(result_.events);
     d.add(result_.messages);
@@ -527,11 +718,19 @@ class Runner {
   const ChurnScript& script_;
   const ChaosConfig& cfg_;
   std::uint32_t num_hosts_;
-  EventQueue queue_;
+  const bool sharded_;
   std::unique_ptr<LatencyModel> latency_;
-  SimTransport inner_;
-  FaultPlan plan_;
-  ReliableTransport rel_;
+  // Sequential stack (shards <= 1) — the original engine, same
+  // construction order, behind pointers only so build_stack can pick a
+  // mode. Null when sharded.
+  std::unique_ptr<EventQueue> queue_;
+  std::unique_ptr<SimTransport> inner_;
+  std::unique_ptr<FaultPlan> plan_;
+  std::unique_ptr<ReliableTransport> rel_;
+  // Sharded stack (shards > 1): the lane bundle and one fault-plan clone
+  // per lane. Null/empty sequentially.
+  std::unique_ptr<ShardedNet> net_;
+  std::vector<std::unique_ptr<FaultPlan>> lane_plans_;
   Overlay overlay_;
   AdversaryEngine adversary_;
   std::vector<NodeId> join_ids_;

@@ -128,6 +128,14 @@ struct ChaosResult {
   // FNV-1a over every verdict and counter above: two runs of the same
   // script produce the same digest, byte for byte.
   std::uint64_t digest = 0;
+  // Sharded-execution introspection (config.shards > 1 runs). Deliberately
+  // NOT folded into the digest and NOT exported by for_each_metric:
+  // cross_shard_messages depends on the shard count, while the digest and
+  // the metrics JSON are invariant across it (the property
+  // shard_determinism_test pins). Tests use these to assert a sharded run
+  // genuinely exercised the mailbox path.
+  std::uint32_t shards = 1;
+  std::uint64_t cross_shard_messages = 0;
 
   // First failing oracle line, or "" when ok.
   std::string first_failure() const;

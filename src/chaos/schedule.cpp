@@ -123,6 +123,8 @@ std::string ChurnScript::serialize() const {
   out << "degrade " << config.degrade << "\n";
   out << "maxbacklog " << config.max_backlog << "\n";
   out << "probeevery " << fmt(config.probe_every_ms) << "\n";
+  // Sharded-execution tier (parser-optional key, same contract).
+  out << "shards " << config.shards << "\n";
   for (const ChurnStep& s : steps) {
     out << "step " << to_string(s.kind) << " " << fmt(s.gap_ms) << " "
         << s.id_index << " " << s.pick << " " << fmt(s.duration_ms);
@@ -205,6 +207,7 @@ std::optional<ChurnScript> ChurnScript::parse(const std::string& text,
       else if (key == "degrade") ok = want(c.degrade);
       else if (key == "maxbacklog") ok = want(c.max_backlog);
       else if (key == "probeevery") ok = want(c.probe_every_ms);
+      else if (key == "shards") ok = want(c.shards);
       else return fail(where + ": unknown key " + key);
       if (!ok) return fail(where + ": bad value for " + key);
     }

@@ -1,9 +1,11 @@
 #include "core/neighbor_table.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <sstream>
 
+#include "sim/shard_context.h"
 #include "util/check.h"
 
 namespace hcube {
@@ -206,25 +208,36 @@ std::span<const NodeId> NeighborTable::distinct_neighbors() const {
   // Level-major first-appearance order: deterministic, and O(k^2) on the
   // handful of distinct 8-byte handles a table holds (k <= d*b, typically
   // far fewer) — no hashing, no allocation once the scratch has grown.
-  // The scratch is shared by every table (a per-table buffer costs ~0.5 KB
-  // per node at scale for data that is dead between calls); the returned
-  // span is invalidated by the next call on any table.
-  static thread_local std::vector<NodeId> scratch;
-  scratch.clear();
+  // The scratch is shared by every table on the same LANE (a per-table
+  // buffer costs ~0.5 KB per node at scale for data that is dead between
+  // calls); the returned span is invalidated by the next call on any table
+  // of the same lane. Slots are per-lane, not merely per-thread: the
+  // sharded driver thread impersonates several lanes back to back at a
+  // barrier (LaneScope), and a single thread_local buffer would let lane
+  // B's call clobber the span lane A's repair pass is still iterating.
+  // The spare last slot serves every call outside a lane scope — the
+  // sequential engine and plain tests — preserving the original contract
+  // there. A span must never cross an epoch barrier (the lane may resume
+  // on a different thread); hclint's scratch-no-escape rule pins the
+  // consume-in-place discipline at every call site.
+  static thread_local std::array<std::vector<NodeId>, kMaxShardLanes + 1>
+      scratch;
+  std::vector<NodeId>& buf = scratch[lane_scratch_slot()];
+  buf.clear();
   const std::size_t n =
       static_cast<std::size_t>(params_.num_digits) * params_.base;
   for (std::size_t k = 0; k < n; ++k) {
     const NodeId& node = ent_node_[k];
     if (!node.is_valid() || node == owner_) continue;
     bool seen = false;
-    for (const NodeId& s : scratch)
+    for (const NodeId& s : buf)
       if (s == node) {
         seen = true;
         break;
       }
-    if (!seen) scratch.push_back(node);
+    if (!seen) buf.push_back(node);
   }
-  return scratch;
+  return scratch[lane_scratch_slot()];
 }
 
 std::size_t NeighborTable::bytes_used() const {
@@ -234,6 +247,12 @@ std::size_t NeighborTable::bytes_used() const {
          reverse_.bytes_used() +
          backup_slot_.capacity() * sizeof(std::uint32_t) +
          backup_node_.capacity() * sizeof(NodeId);
+}
+
+void NeighborTable::shrink_to_fit() {
+  reverse_.shrink_to_fit();
+  backup_slot_.shrink_to_fit();
+  backup_node_.shrink_to_fit();
 }
 
 std::string NeighborTable::to_string() const {

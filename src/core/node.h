@@ -75,6 +75,11 @@ class Node {
   // pre-built networks have complete reverse-neighbor sets).
   void install_reverse_neighbor(const NodeId& v);
 
+  // Releases growth slack in the table's variable-size storage; the
+  // builder's final pass over a directly-constructed network (see
+  // NeighborTable::shrink_to_fit).
+  void compact_storage() { core_.table.shrink_to_fit(); }
+
   // ---- Offline optimization hooks (core/optimize.h) ----
   // Rebinds a filled entry to another member of the same suffix class and
   // drops a stale reverse-neighbor registration. Only valid on S-nodes;

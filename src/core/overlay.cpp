@@ -41,7 +41,7 @@ Node& Overlay::add_node(const NodeId& id) {
                   "overlay must be the transport's only endpoint registrant");
   raw->bind_host(host);
   nodes_.push_back(std::move(node));
-  join_counted_.push_back(false);
+  join_counted_.push_back(0);
   if (id.ref() >= registry_.size()) registry_.resize(id.ref() + 1, kNoHost);
   registry_[id.ref()] = host;
   return *raw;
@@ -54,12 +54,9 @@ void Overlay::track_join_backlog(const NodeId& node, NodeStatus to) {
   const bool joining = to == NodeStatus::kCopying ||
                        to == NodeStatus::kWaiting ||
                        to == NodeStatus::kNotifying;
-  if (joining == static_cast<bool>(join_counted_[host])) return;
-  join_counted_[host] = joining;
-  if (joining)
-    ++join_backlog_;
-  else
-    --join_backlog_;
+  if (joining == (join_counted_[host] != 0)) return;
+  join_counted_[host] = joining ? 1 : 0;
+  join_backlog_[lane_scratch_slot()] += joining ? 1 : -1;
 }
 
 HostId Overlay::host_of(const NodeId& id) const {
@@ -175,9 +172,10 @@ void Overlay::send_message(const NodeId& from, const NodeId& to,
   if (from_host == kNoHost) from_host = host_of(from);
   if (to_host == kNoHost) to_host = host_of(to);
 
-  ++totals_.messages;
-  ++totals_.sent[static_cast<std::size_t>(type_of(body))];
-  totals_.bytes += wire_size_bytes(body, params_);
+  Totals& totals = totals_[lane_scratch_slot()];
+  ++totals.messages;
+  ++totals.sent[static_cast<std::size_t>(type_of(body))];
+  totals.bytes += wire_size_bytes(body, params_);
   if (on_message) on_message(from, to, body);
 
   transport_.send(from_host, to_host,

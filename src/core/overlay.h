@@ -26,6 +26,7 @@
 #include "net/transport.h"
 #include "proto/messages.h"
 #include "sim/event_queue.h"
+#include "sim/shard_context.h"
 #include "topology/latency.h"
 #include "util/rng.h"
 
@@ -85,20 +86,43 @@ class Overlay : public NodeEnv {
 
   // ---- metrics ----
 
+  // Overlay-wide counters are striped per lane slot (sim/shard_context.h):
+  // protocol code increments the slot of the lane it is executing for (the
+  // spare last slot during legacy single-queue runs), so sharded workers
+  // never write the same counter. Readers merge; merging is deterministic
+  // because each lane's sequence of increments is, and reads happen only at
+  // barriers (or after a drain) in sharded runs.
   struct Totals {
     std::array<std::uint64_t, kNumMessageTypes> sent{};
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
   };
-  const Totals& totals() const { return totals_; }
+  Totals totals() const {
+    Totals sum;
+    for (const Totals& t : totals_) {
+      for (std::size_t i = 0; i < sum.sent.size(); ++i) sum.sent[i] += t.sent[i];
+      sum.messages += t.messages;
+      sum.bytes += t.bytes;
+    }
+    return sum;
+  }
   std::uint64_t sent_of(MessageType t) const {
-    return totals_.sent[static_cast<std::size_t>(t)];
+    std::uint64_t n = 0;
+    for (const Totals& lane : totals_)
+      n += lane.sent[static_cast<std::size_t>(t)];
+    return n;
   }
 
   // Network-wide deliveries rejected by the conformance registry check
   // (undeclared (status, type) pairs; see proto/conformance.h). Per-node
   // counts live in Node::conformance_stats().
-  const ConformanceStats& conformance() const { return conformance_; }
+  ConformanceStats conformance() const {
+    ConformanceStats sum;
+    for (const ConformanceStats& c : conformance_)
+      for (std::size_t i = 0; i < sum.rejected.size(); ++i)
+        sum.rejected[i] += c.rejected[i];
+    return sum;
+  }
 
   // ---- failure injection & recovery (extension) ----
 
@@ -131,7 +155,8 @@ class Overlay : public NodeEnv {
   }
   void note_conformance_reject(const NodeId& node, NodeStatus status,
                                MessageType type) override {
-    ++conformance_.rejected[static_cast<std::size_t>(type)];
+    ++conformance_[lane_scratch_slot()]
+          .rejected[static_cast<std::size_t>(type)];
     if (on_conformance_reject) on_conformance_reject(node, status, type);
   }
   void note_status_change(const NodeId& node, NodeStatus from, NodeStatus to,
@@ -144,8 +169,16 @@ class Overlay : public NodeEnv {
   // hot path and the chaos engine's equilibrium probes can sample it
   // without an O(n) scan. (A node's very first status is a member
   // initializer, not a set_status call, so entry into the count happens at
-  // the kCopying transition begin_attempt fires.)
-  std::uint32_t join_backlog() const override { return join_backlog_; }
+  // the kCopying transition begin_attempt fires.) Per-lane deltas (signed:
+  // a node may enter the count on one slot and leave it on another across
+  // a mode switch) merge to the gauge; in sharded runs protocol code must
+  // not read this mid-epoch (the sharded chaos runner forbids the degrade
+  // options for exactly this reason), only at barriers.
+  std::uint32_t join_backlog() const override {
+    std::int64_t n = 0;
+    for (const std::int64_t d : join_backlog_) n += d;
+    return static_cast<std::uint32_t>(n);
+  }
   // [0.5, 1.5) from the overlay-wide jitter stream (seeded by
   // ProtocolOptions::backoff_seed). One stream per overlay — draws happen
   // in event-execution order, which the simulator already pins, so enabling
@@ -213,12 +246,15 @@ class Overlay : public NodeEnv {
   // cold lookups). kNoHost = that ref is not a member of this overlay.
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<HostId> registry_;
-  Totals totals_;
-  ConformanceStats conformance_;
-  // Joins in flight (see join_backlog) and the per-host counted bits
-  // backing it; join_counted_ grows with nodes_ in add_node.
-  std::uint32_t join_backlog_ = 0;
-  std::vector<bool> join_counted_;
+  // Lane-striped counters (one slot per possible lane + the legacy spare;
+  // see the metrics comment above). A few KB per overlay, paid once.
+  std::array<Totals, kMaxShardLanes + 1> totals_;
+  std::array<ConformanceStats, kMaxShardLanes + 1> conformance_;
+  std::array<std::int64_t, kMaxShardLanes + 1> join_backlog_{};
+  // Per-host counted bits backing join_backlog(); grows with nodes_ in
+  // add_node. uint8_t, not vector<bool>: neighboring hosts may live on
+  // different lanes, and bit-packing would make their flips race.
+  std::vector<std::uint8_t> join_counted_;
   // Overlay-wide backoff-jitter stream (see backoff_jitter).
   Rng backoff_rng_;
 };

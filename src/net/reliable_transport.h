@@ -75,9 +75,19 @@ struct ReliabilityStats {
 
 class ReliableTransport final : public Transport, private TimerSink {
  public:
-  explicit ReliableTransport(Transport& inner, ReliabilityConfig cfg = {});
+  // `local_index` (borrowed, may grow behind the pointer) switches the
+  // decorator into lane mode for the sharded transport: the public API
+  // keeps speaking *global* host ids (acks must address the remote's global
+  // id), while per-endpoint storage is indexed by (*local_index)[global] —
+  // the dense per-lane slot the ShardedTransport facade assigned at
+  // registration. Endpoints then register via add_endpoint_as. With the
+  // default nullptr, ids and indices coincide and behavior is unchanged.
+  explicit ReliableTransport(
+      Transport& inner, ReliabilityConfig cfg = {},
+      const std::vector<std::uint32_t>* local_index = nullptr);
 
   HostId add_endpoint(Handler handler) override;
+  HostId add_endpoint_as(HostId global, Handler handler) override;
   std::uint32_t num_endpoints() const override {
     return static_cast<std::uint32_t>(handlers_.size());
   }
@@ -98,6 +108,12 @@ class ReliableTransport final : public Transport, private TimerSink {
   const ReliabilityStats& rstats() const { return stats_; }
   // Data messages currently awaiting an ack.
   std::uint64_t in_flight() const { return in_flight_; }
+
+  // Capacity hint for the per-endpoint handler column — callers that know
+  // the final population (ShardedNet sizes lanes from the latency model)
+  // avoid growth-doubling slack, which is measurable at n = 10^6 in
+  // bench_scale's bytes/node.
+  void reserve_endpoints(std::size_t n) { handlers_.reserve(n); }
 
   // Slab introspection (tests assert steady-state reuse).
   std::size_t inflight_pool_size() const { return inflight_.size(); }
@@ -134,13 +150,29 @@ class ReliableTransport final : public Transport, private TimerSink {
   void release_slot(std::uint32_t slot);
   void arm_timer(HostId from, HostId to, SendPair& p, SimTime deadline);
 
+  // Dense storage index of a global host id owned by this instance.
+  std::uint32_t lx(HostId h) const {
+    return local_index_ ? (*local_index_)[h] : h;
+  }
+
+  // Pair-state key: (local endpoint slot, remote global id). Keeping ONE
+  // flat map per direction — not a map per endpoint — matters at scale: an
+  // empty unordered_map object is ~56 bytes, so a vector of them charges
+  // every registered endpoint for pairs it never talks to (~112 bytes/node
+  // at n = 10^6, most of it dead). Entries still appear only on first
+  // contact of a pair, and the maps are never iterated — all access is
+  // keyed lookup — so their unordered layout cannot leak into any digest.
+  static std::uint64_t pair_key(std::uint32_t local, HostId remote) {
+    return (static_cast<std::uint64_t>(local) << 32) |
+           static_cast<std::uint64_t>(remote);
+  }
+
   Transport& inner_;
   ReliabilityConfig cfg_;
+  const std::vector<std::uint32_t>* local_index_;
   std::vector<Handler> handlers_;
-  // Per local endpoint, keyed by remote host: grows only on first contact
-  // of a pair, steady state does no insertion.
-  std::vector<std::unordered_map<HostId, SendPair>> send_;
-  std::vector<std::unordered_map<HostId, RecvPair>> recv_;
+  std::unordered_map<std::uint64_t, SendPair> send_;
+  std::unordered_map<std::uint64_t, RecvPair> recv_;
   // In-flight slab: recycled slots, stable references while growing.
   std::deque<InFlight> inflight_;
   std::vector<std::uint32_t> free_;

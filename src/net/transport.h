@@ -30,6 +30,7 @@
 #include "proto/messages.h"
 #include "sim/event_queue.h"
 #include "sim/fault_hooks.h"
+#include "util/check.h"
 
 namespace hcube {
 
@@ -42,6 +43,17 @@ class Transport : public FaultHooks<Message> {
   // Registers an endpoint; returns its host id (a dense index). Endpoints
   // must be registered before any send to them.
   virtual HostId add_endpoint(Handler handler) = 0;
+
+  // Registers an endpoint under a caller-chosen global host id. The default
+  // requires the id to coincide with the next dense index (so decorators
+  // like ReliableTransport work unchanged over ordinary transports); the
+  // sharded lane transport overrides this to map a global id onto its own
+  // lane-local dense storage (net/sharded_net.h).
+  virtual HostId add_endpoint_as(HostId global, Handler handler) {
+    HCUBE_CHECK_MSG(global == num_endpoints(),
+                    "global id must be the next dense index here");
+    return add_endpoint(std::move(handler));
+  }
   virtual std::uint32_t num_endpoints() const = 0;
 
   // Sends msg from -> to. Returns false if the message was dropped by the

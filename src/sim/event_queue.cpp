@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <limits>
 #include <utility>
 
 #include "util/check.h"
@@ -120,6 +121,7 @@ bool EventQueue::run_next() {
   if (heap_.empty()) return false;
   const Event ev = pop_event();
   now_ = ev.time;
+  last_processed_ = ev.time;
   ++processed_;
   dispatch(ev);
   return true;
@@ -138,6 +140,25 @@ std::uint64_t EventQueue::run_until(SimTime t_end) {
   while (!heap_.empty() && heap_.front().time <= t_end && run_next()) ++n;
   if (t_end > now_) now_ = t_end;
   return n;
+}
+
+std::uint64_t EventQueue::run_before(SimTime t_end) {
+  owner_.assert_held();
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.front().time < t_end && run_next()) ++n;
+  return n;
+}
+
+void EventQueue::advance_to(SimTime t) {
+  owner_.assert_held();
+  HCUBE_CHECK_MSG(t >= now_, "cannot rewind the simulated clock");
+  now_ = t;
+}
+
+SimTime EventQueue::next_event_time() const {
+  owner_.assert_held();
+  if (heap_.empty()) return std::numeric_limits<SimTime>::infinity();
+  return heap_.front().time;
 }
 
 }  // namespace hcube

@@ -113,6 +113,41 @@ class EventQueue {
   // Runs events with time <= t_end, then advances the clock to t_end.
   std::uint64_t run_until(SimTime t_end);
 
+  // Runs events with time strictly < t_end. Unlike run_until, the clock is
+  // NOT advanced past the last executed event: the sequential engine's
+  // now() always reads "time of the thing currently/last happening", and
+  // sharded lanes must preserve exactly that so sends issued outside event
+  // execution (driver actions, barrier-phase protocol calls) compute the
+  // same delivery times a single-queue run would. The driver advances the
+  // clock explicitly (advance_to) at the instants such calls run. This is
+  // the epoch body of the sharded driver: every event inside the window
+  // [now, t_end) executes, while events scheduled exactly at the epoch
+  // boundary wait for the barrier (where cross-shard mailbox commits
+  // precede them in canonical order). See sim/shard_driver.h.
+  std::uint64_t run_before(SimTime t_end);
+
+  // Explicit clock advance (>= now) with no event execution. The sharded
+  // driver synchronizes every lane's clock to an action's time before
+  // running it, and the chaos runner to the global last-event time before
+  // barrier-phase protocol calls, so out-of-event sends are stamped with
+  // the same times as in a sequential run.
+  void advance_to(SimTime t);
+
+  // Time of the earliest pending event, or +infinity when the queue is
+  // empty. The sharded driver uses this to pick the next epoch boundary
+  // (gap-jumping over idle stretches).
+  SimTime next_event_time() const;
+
+  // Simulated time of the most recently executed event (0.0 before any
+  // event has run). Unlike now(), this is never force-advanced by
+  // run_until/run_before, so the sharded driver can report "time of the
+  // last thing that actually happened" exactly as the sequential queue's
+  // now() would after a full drain.
+  SimTime last_processed_time() const {
+    owner_.assert_held();
+    return last_processed_;
+  }
+
   // Pool introspection (tests and benches assert steady-state reuse).
   std::size_t timer_pool_size() const {
     owner_.assert_held();
@@ -158,6 +193,7 @@ class EventQueue {
   std::vector<std::function<void()>> timer_pool_ HCUBE_GUARDED_BY(owner_);
   std::vector<std::uint32_t> timer_free_ HCUBE_GUARDED_BY(owner_);
   SimTime now_ HCUBE_GUARDED_BY(owner_) = 0.0;
+  SimTime last_processed_ HCUBE_GUARDED_BY(owner_) = 0.0;
   std::uint64_t next_seq_ HCUBE_GUARDED_BY(owner_) = 0;
   std::uint64_t processed_ HCUBE_GUARDED_BY(owner_) = 0;
 };

@@ -1,0 +1,113 @@
+// SPSC epoch mailbox for cross-shard event handoff.
+//
+// One mailbox per ordered (src_lane, dst_lane) pair. During an epoch the
+// src lane's worker pushes cross-shard deliveries; at the barrier the driver
+// (with every worker parked) drains all mailboxes in the canonical
+// (epoch, src_shard, seq) order: barriers already order epochs, the driver
+// iterates src lanes in ascending index, and each mailbox preserves push
+// order (seq) — see sim/shard_driver.h and DESIGN.md §16.
+//
+// Memory model:
+//   - The fast path is a fixed-capacity ring with acquire/release head/tail
+//     indices — safe for one concurrent producer and one concurrent
+//     consumer, no locks, no allocation.
+//   - When the ring fills, pushes spill into a mutex-guarded overflow
+//     vector, and a sticky `overflowed_` flag keeps *subsequent* pushes
+//     spilling too, so FIFO order is preserved (every ring entry precedes
+//     every overflow entry). The flag resets only when a drain empties the
+//     overflow.
+//   - Once overflowed, pop() must not run concurrently with push(). The
+//     epoch barrier provides exactly this: producers push only inside an
+//     epoch, the driver drains only at barriers with all workers parked
+//     (and the barrier's mutex gives the necessary happens-before edges).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/thread_safety.h"
+
+namespace hcube {
+
+template <typename T>
+class SpscMailbox {
+ public:
+  explicit SpscMailbox(std::size_t capacity = 1024)
+      : ring_(round_up_pow2(capacity)), mask_(ring_.size() - 1) {}
+
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  // Producer side (one thread at a time).
+  void push(T v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (!overflowed_.load(std::memory_order_acquire) &&
+        tail - head_.load(std::memory_order_acquire) < ring_.size()) {
+      ring_[tail & mask_] = std::move(v);
+      tail_.store(tail + 1, std::memory_order_release);
+      ++pushed_;
+      return;
+    }
+    // Ring full (or already spilling): append under the lock and make the
+    // sticky flag visible only after the element is in place.
+    MutexLock lock(mu_);
+    overflow_.push_back(std::move(v));
+    overflowed_.store(true, std::memory_order_release);
+    ++pushed_;
+  }
+
+  // Consumer side. FIFO across ring and overflow.
+  bool pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head != tail_.load(std::memory_order_acquire)) {
+      out = std::move(ring_[head & mask_]);
+      head_.store(head + 1, std::memory_order_release);
+      return true;
+    }
+    if (!overflowed_.load(std::memory_order_acquire)) return false;
+    MutexLock lock(mu_);
+    if (overflow_next_ == overflow_.size()) {
+      overflow_.clear();
+      overflow_next_ = 0;
+      overflowed_.store(false, std::memory_order_release);
+      return false;
+    }
+    out = std::move(overflow_[overflow_next_++]);
+    return true;
+  }
+
+  bool empty() const {
+    if (head_.load(std::memory_order_acquire) !=
+        tail_.load(std::memory_order_acquire))
+      return false;
+    return !overflowed_.load(std::memory_order_acquire);
+  }
+
+  // Total elements ever pushed. Producer-written; read at barriers (the
+  // barrier provides the happens-before edge).
+  std::uint64_t pushed() const { return pushed_; }
+  std::size_t ring_capacity() const { return ring_.size(); }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::vector<T> ring_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<bool> overflowed_{false};
+  std::uint64_t pushed_ = 0;
+
+  Mutex mu_;
+  std::vector<T> overflow_ HCUBE_GUARDED_BY(mu_);
+  std::size_t overflow_next_ HCUBE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace hcube

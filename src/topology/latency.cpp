@@ -86,6 +86,10 @@ TopologyLatency::TopologyLatency(Graph graph,
     host_access_ms_.push_back(static_cast<float>(
         access_lo + (access_hi - access_lo) * rng.next_double()));
   }
+  float min_access = host_access_ms_.empty() ? 0.0f : host_access_ms_[0];
+  for (const float a : host_access_ms_)
+    if (a < min_access) min_access = a;
+  min_latency_ = 2.0 * static_cast<double>(min_access);
 }
 
 const std::vector<float>& TopologyLatency::distances_from(

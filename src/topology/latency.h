@@ -32,6 +32,12 @@ class LatencyModel {
   // One-way latency in milliseconds; must be symmetric and non-negative.
   virtual double latency_ms(HostId a, HostId b) = 0;
   virtual std::uint32_t num_hosts() const = 0;
+  // Lower bound on latency_ms(a, b) over all pairs a != b. The sharded
+  // simulator sizes its epoch to this bound (a cross-shard send inside an
+  // epoch can then never be due before the next barrier); a model that
+  // cannot bound itself returns 0.0, which forces the driver to degenerate
+  // to one event per epoch — correct, just slow.
+  virtual double min_latency_ms() const { return 0.0; }
 };
 
 class ConstantLatency final : public LatencyModel {
@@ -40,6 +46,7 @@ class ConstantLatency final : public LatencyModel {
       : num_hosts_(num_hosts), ms_(ms) {}
   double latency_ms(HostId a, HostId b) override { return a == b ? 0.0 : ms_; }
   std::uint32_t num_hosts() const override { return num_hosts_; }
+  double min_latency_ms() const override { return ms_; }
 
  private:
   std::uint32_t num_hosts_;
@@ -55,6 +62,7 @@ class SyntheticLatency final : public LatencyModel {
       : num_hosts_(num_hosts), lo_(lo_ms), hi_(hi_ms), seed_(seed) {}
   double latency_ms(HostId a, HostId b) override;
   std::uint32_t num_hosts() const override { return num_hosts_; }
+  double min_latency_ms() const override { return lo_; }
 
  private:
   std::uint32_t num_hosts_;
@@ -78,6 +86,8 @@ class PlanetLatency final : public LatencyModel {
       : num_hosts_(num_hosts), seed_(seed) {}
   double latency_ms(HostId a, HostId b) override;
   std::uint32_t num_hosts() const override { return num_hosts_; }
+  // access >= 1.0 per side, region base >= 4.0 with jitter >= 0.9.
+  double min_latency_ms() const override { return 2.0 + 4.0 * 0.9; }
 
   std::uint32_t region_of(HostId h) const;
 
@@ -102,6 +112,8 @@ class TopologyLatency final : public LatencyModel {
   std::uint32_t num_hosts() const override {
     return static_cast<std::uint32_t>(host_router_.size());
   }
+  // Two hosts on the same router see just their two access links.
+  double min_latency_ms() const override { return min_latency_; }
 
   std::uint32_t host_router(HostId h) const { return host_router_[h]; }
 
@@ -111,6 +123,7 @@ class TopologyLatency final : public LatencyModel {
   Graph graph_;
   std::vector<std::uint32_t> host_router_;
   std::vector<float> host_access_ms_;
+  double min_latency_ = 0.0;
   std::unordered_map<std::uint32_t, std::vector<float>> dist_cache_;
 };
 

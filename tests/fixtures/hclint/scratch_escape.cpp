@@ -40,4 +40,19 @@ int consumed_in_place() {
   return sum;
 }
 
+// Sharded variant: per-lane slots (the distinct_neighbors() pattern after
+// the sharding refactor). The accessor indexes a thread_local array by the
+// current lane; the span it returns is still scratch — holding it past the
+// accessor's next same-lane call, or across an epoch barrier where the
+// lane migrates threads, reads reused or foreign storage.
+std::span<const int> lane_scratch_view(unsigned lane) {
+  static thread_local std::vector<int> scratch[4];
+  scratch[lane].assign(3, 7);
+  return scratch[lane];  // fine: this IS the accessor
+}
+
+std::span<const int> sharded_forwarded(unsigned lane) {
+  return lane_scratch_view(lane);  // flagged: lane span returned onward
+}
+
 }  // namespace hcube

@@ -236,9 +236,9 @@ TEST(HclintScanner, LayeringIgnoresFilesOutsideSrc) {
 
 TEST(HclintFixtures, ScratchNoEscape) {
   const auto issues = lint_fixture("scratch_escape.cpp");
-  EXPECT_EQ(4u, count_rule(issues, "scratch-no-escape"))
+  EXPECT_EQ(5u, count_rule(issues, "scratch-no-escape"))
       << format_issues(issues);
-  EXPECT_EQ(4u, issues.size()) << format_issues(issues);
+  EXPECT_EQ(5u, issues.size()) << format_issues(issues);
 }
 
 TEST(HclintFixtures, ScratchNoEscapeWaived) {

@@ -18,6 +18,16 @@
 //   ... --spike M                              add one spike window at M x
 //                                              the steady rates, plus
 //                                              recovery windows after it
+//   ... --shards K                             execute on K simulator lanes
+//                                              under the epoch barrier
+//                                              (sim/shard_driver.h). The
+//                                              flag clears drop/dup/degrade
+//                                              (at K = 1 too) — they are
+//                                              single-queue features — so
+//                                              compare digests against a
+//                                              --shards 1 run of the same
+//                                              invocation, not the bare
+//                                              profile
 //   hchaos --replay FILE                       re-execute a serialized
 //                                              schedule (e.g. a CI artifact)
 //   ... --shrink                               on failure, ddmin-minimize
@@ -63,6 +73,7 @@ int usage() {
                "              [--adversary-mode stale|dropper|mixed]\n"
                "              [--rate-join <per-s>] [--rate-leave <per-s>]\n"
                "              [--window-ms <ms=1000>] [--spike <mult>]\n"
+               "              [--shards <k=1>]\n"
                "              [--replay <file>] [--shrink] [--out <file>]\n",
                names.c_str());
   return 2;
@@ -116,7 +127,8 @@ int main(int argc, char** argv) {
     if (key != "seed" && key != "profile" && key != "steps" &&
         key != "replay" && key != "out" && key != "adversary-frac" &&
         key != "adversary-mode" && key != "rate-join" &&
-        key != "rate-leave" && key != "window-ms" && key != "spike")
+        key != "rate-leave" && key != "window-ms" && key != "spike" &&
+        key != "shards")
       return usage();
   }
   if (kv.contains("replay") &&
@@ -133,6 +145,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "hchaos: --rate-*/--window-ms/--spike shape sampling only; "
                  "a replayed artifact already carries its rate windows\n");
+    return 2;
+  }
+  if (kv.contains("replay") && kv.contains("shards")) {
+    std::fprintf(stderr,
+                 "hchaos: a replayed artifact already carries its shard "
+                 "count (and sharded artifacts have drop/dup/degrade off)\n");
     return 2;
   }
   if (kv.contains("adversary-mode") && !kv.contains("adversary-frac")) {
@@ -155,6 +173,16 @@ int main(int argc, char** argv) {
                    "hchaos: --adversary-frac must be in [0, 0.5] — a "
                    "misbehaving majority has no honest remainder to "
                    "converge\n");
+      return 2;
+    }
+  }
+
+  std::uint32_t shards = 1;
+  if (kv.contains("shards")) {
+    shards = static_cast<std::uint32_t>(
+        std::strtoull(kv["shards"].c_str(), nullptr, 10));
+    if (shards < 1 || shards > 16) {
+      std::fprintf(stderr, "hchaos: --shards must be in [1, 16]\n");
       return 2;
     }
   }
@@ -240,6 +268,21 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(seed), profile->name,
                   script.steps.size());
     }
+  }
+
+  if (kv.contains("shards")) {
+    // The sharded runner rejects probabilistic fault streams and mid-epoch
+    // backlog reads (both are inherently single-queue; see
+    // ChaosConfig::shards). The knobs are cleared whenever --shards is
+    // given — at K = 1 too — so CI's determinism cross-check compares a
+    // `--shards K` digest against the SAME invocation at `--shards 1`,
+    // identical in everything but the lane count.
+    script.config.shards = shards;
+    script.config.drop = 0.0;
+    script.config.duplicate = 0.0;
+    script.config.degrade = 0;
+    std::printf("shards %u (drop/dup/degrade cleared for sharded mode)\n",
+                shards);
   }
 
   ChaosResult result = run_script(script);

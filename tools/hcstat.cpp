@@ -100,6 +100,27 @@ std::string validate_churn_metrics(const hcube::obs::MetricsRegistry& reg) {
   return "";
 }
 
+// The "scale" report (bench_scale on the sharded simulator) must carry the
+// sharded-execution fields CI's digest cross-check and trend row read: the
+// shard count, the barrier epoch length, total wall time, and peak RSS.
+// A scale report missing any of them predates the sharded engine and is
+// rejected so stale binaries cannot feed the trend job.
+std::string validate_scale_metrics(const hcube::obs::MetricsRegistry& reg) {
+  std::set<std::string> names;
+  reg.for_each([&](const std::string& name, hcube::obs::MetricKind,
+                   std::uint64_t, double, const hcube::obs::LogHistogram&) {
+    names.insert(name);
+  });
+  for (const char* required :
+       {"scale.shards", "scale.epoch_ms", "scale.wall_ms", "scale.peak_rss"}) {
+    if (!names.count(required))
+      return std::string("missing sharded-execution field ") + required;
+  }
+  if (reg.gauge_value("scale.shards") < 1.0)
+    return "scale.shards must be >= 1";
+  return "";
+}
+
 // One headline line per report for --summary mode. Known benches get their
 // key figures; anything else reports its metric count.
 void print_summary(const std::string& path, const std::string& bench,
@@ -113,6 +134,16 @@ void print_summary(const std::string& path, const std::string& bench,
         path.c_str(), g("eq.knee_rate"), g("eq.sustained_rate"),
         g("eq.sustained_completion_rate"), g("eq.backlog_p99"),
         g("eq.recovery_ms"));
+    return;
+  }
+  if (bench == "scale") {
+    const auto g = [&](const char* name) { return reg.gauge_value(name); };
+    std::printf(
+        "%s: scale shards=%g bytes/node=%.0f epoch_ms=%g wall_ms=%.0f "
+        "peak_rss=%.0fMB\n",
+        path.c_str(), g("scale.shards"), g("scale.bytes_per_node"),
+        g("scale.epoch_ms"), g("scale.wall_ms"),
+        g("scale.peak_rss") / (1024.0 * 1024.0));
     return;
   }
   std::size_t metric_count = 0;
@@ -160,6 +191,14 @@ int process(const std::string& path, bool as_json, bool as_summary) {
     const std::string missing = validate_churn_metrics(*reg);
     if (!missing.empty()) {
       std::fprintf(stderr, "hcstat: %s: churn schema: %s\n", path.c_str(),
+                   missing.c_str());
+      return 1;
+    }
+  }
+  if (bench == "scale") {
+    const std::string missing = validate_scale_metrics(*reg);
+    if (!missing.empty()) {
+      std::fprintf(stderr, "hcstat: %s: scale schema: %s\n", path.c_str(),
                    missing.c_str());
       return 1;
     }
